@@ -1,0 +1,32 @@
+"""Shared machinery for the per-table/figure benchmark suite.
+
+Every bench regenerates one paper artifact against the shared
+full-scale study and writes the reproduced table/figure text to
+``benchmarks/output/<id>.txt`` so that a bench run leaves the complete
+reproduction on disk next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.results import ExperimentResult
+from repro.core.study import Study
+from repro.experiments.registry import run_experiment
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def run_and_record(
+    benchmark, study: Study, experiment_id: str
+) -> ExperimentResult:
+    """Benchmark one experiment and persist its reproduction text."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, study), rounds=1, iterations=1
+    )
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{experiment_id}.txt"
+    path.write_text(result.text + "\n", encoding="utf-8")
+    print()
+    print(result.text)
+    return result

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Figure 1 (size percentile curves)."""
+
+from _harness import run_and_record
+
+
+def test_bench_figure01(benchmark, study):
+    result = run_and_record(benchmark, study, "figure01")
+    assert result.experiment_id == "figure01"
+    assert result.data

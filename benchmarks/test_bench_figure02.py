@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Figure 2 (UK growth curve)."""
+
+from _harness import run_and_record
+
+
+def test_bench_figure02(benchmark, study):
+    result = run_and_record(benchmark, study, "figure02")
+    assert result.experiment_id == "figure02"
+    assert result.data

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Figure 3 (table shape distributions)."""
+
+from _harness import run_and_record
+
+
+def test_bench_figure03(benchmark, study):
+    result = run_and_record(benchmark, study, "figure03")
+    assert result.experiment_id == "figure03"
+    assert result.data

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Figure 4 (null-value ratios)."""
+
+from _harness import run_and_record
+
+
+def test_bench_figure04(benchmark, study):
+    result = run_and_record(benchmark, study, "figure04")
+    assert result.experiment_id == "figure04"
+    assert result.data

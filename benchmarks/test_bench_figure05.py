@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Figure 5 (uniqueness distributions)."""
+
+from _harness import run_and_record
+
+
+def test_bench_figure05(benchmark, study):
+    result = run_and_record(benchmark, study, "figure05")
+    assert result.experiment_id == "figure05"
+    assert result.data

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Figure 6 (minimum candidate key sizes)."""
+
+from _harness import run_and_record
+
+
+def test_bench_figure06(benchmark, study):
+    result = run_and_record(benchmark, study, "figure06")
+    assert result.experiment_id == "figure06"
+    assert result.data

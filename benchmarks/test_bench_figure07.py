@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Figure 7 (BCNF fragment counts)."""
+
+from _harness import run_and_record
+
+
+def test_bench_figure07(benchmark, study):
+    result = run_and_record(benchmark, study, "figure07")
+    assert result.experiment_id == "figure07"
+    assert result.data

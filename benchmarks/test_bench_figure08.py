@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Figure 8 (expansion-ratio letter values)."""
+
+from _harness import run_and_record
+
+
+def test_bench_figure08(benchmark, study):
+    result = run_and_record(benchmark, study, "figure08")
+    assert result.experiment_id == "figure08"
+    assert result.data

@@ -1,0 +1,53 @@
+"""Benchmarks for the data-lake search facade."""
+
+from _harness import OUTPUT_DIR
+
+from repro.search import DataLake
+
+
+def test_bench_lake_build(benchmark, study):
+    lake = benchmark.pedantic(DataLake, args=(study,), rounds=1, iterations=1)
+    assert lake.search("fisheries")
+
+
+def test_bench_lake_queries(benchmark, study):
+    lake = DataLake(study)
+    queries = (
+        "fisheries landings", "covid testing", "budget appropriations",
+        "school enrolment", "crime incidents", "waste collection",
+        "population estimates", "air quality",
+    )
+
+    def run():
+        return [lake.search(q, limit=10) for q in queries]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    hit_counts = [len(hits) for hits in results]
+    (OUTPUT_DIR / "search_queries.txt").write_text(
+        "\n".join(
+            f"{query!r}: {count} hits"
+            for query, count in zip(queries, hit_counts)
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    assert sum(hit_counts) > 0
+
+
+def test_bench_join_suggestions(benchmark, study):
+    lake = DataLake(study)
+    portal = study.portal("CA")
+    analysis = portal.joinability()
+    resources = [
+        analysis.tables[t].resource_id
+        for t in sorted(analysis.table_neighbors)[:20]
+    ]
+
+    def run():
+        return [
+            lake.suggest_joins("CA", resource, limit=5)
+            for resource in resources
+        ]
+
+    suggestions = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert any(suggestions)

@@ -1,0 +1,19 @@
+"""Benchmark regenerating the paper's supplementary size-bucket table."""
+
+import pathlib
+
+from repro.experiments import supplementary
+
+
+def test_bench_supplementary01(benchmark, study):
+    result = benchmark.pedantic(
+        supplementary.run, args=(study,), rounds=1, iterations=1
+    )
+    output = pathlib.Path(__file__).parent / "output"
+    output.mkdir(exist_ok=True)
+    (output / "supplementary01.txt").write_text(
+        result.text + "\n", encoding="utf-8"
+    )
+    print()
+    print(result.text)
+    assert result.data

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 1 (portal size statistics)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table01(benchmark, study):
+    result = run_and_record(benchmark, study, "table01")
+    assert result.experiment_id == "table01"
+    assert result.data

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 2 (table size statistics)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table02(benchmark, study):
+    result = run_and_record(benchmark, study, "table02")
+    assert result.experiment_id == "table02"
+    assert result.data

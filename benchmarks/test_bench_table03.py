@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 3 (metadata availability)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table03(benchmark, study):
+    result = run_and_record(benchmark, study, "table03")
+    assert result.experiment_id == "table03"
+    assert result.data

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 4 (uniqueness statistics)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table04(benchmark, study):
+    result = run_and_record(benchmark, study, "table04")
+    assert result.experiment_id == "table04"
+    assert result.data

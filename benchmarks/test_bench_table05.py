@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 5 (FD and decomposition statistics)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table05(benchmark, study):
+    result = run_and_record(benchmark, study, "table05")
+    assert result.experiment_id == "table05"
+    assert result.data

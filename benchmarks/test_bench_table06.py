@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 6 (joinable-pair statistics)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table06(benchmark, study):
+    result = run_and_record(benchmark, study, "table06")
+    assert result.experiment_id == "table06"
+    assert result.data

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 7 (accidental vs useful labels)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table07(benchmark, study):
+    result = run_and_record(benchmark, study, "table07")
+    assert result.experiment_id == "table07"
+    assert result.data

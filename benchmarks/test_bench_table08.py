@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 8 (labels by dataset locality)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table08(benchmark, study):
+    result = run_and_record(benchmark, study, "table08")
+    assert result.experiment_id == "table08"
+    assert result.data

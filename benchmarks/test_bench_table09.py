@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 9 (labels by key combination)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table09(benchmark, study):
+    result = run_and_record(benchmark, study, "table09")
+    assert result.experiment_id == "table09"
+    assert result.data

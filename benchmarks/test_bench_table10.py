@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 10 (labels by column data type)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table10(benchmark, study):
+    result = run_and_record(benchmark, study, "table10")
+    assert result.experiment_id == "table10"
+    assert result.data

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table 11 (unionable-table statistics)."""
+
+from _harness import run_and_record
+
+
+def test_bench_table11(benchmark, study):
+    result = run_and_record(benchmark, study, "table11")
+    assert result.experiment_id == "table11"
+    assert result.data

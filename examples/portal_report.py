@@ -1,0 +1,80 @@
+"""Full profiling report for one portal, crawled the way the paper did.
+
+This example uses the public substrate APIs directly — CKAN metadata
+API, HTTP client, ingestion pipeline — rather than the Study wrapper,
+to show the raw workflow a downstream user would run against their own
+(real or simulated) portal.
+
+Run with::
+
+    python examples/portal_report.py [SG|CA|UK|US]
+"""
+
+import sys
+
+from repro.generator import PROFILES_BY_CODE, generate_portal
+from repro.ingest import ingest_portal
+from repro.portal import CkanApi, HttpClient
+from repro.profiling import (
+    growth_curve,
+    metadata_stats,
+    null_stats,
+    portal_size_stats,
+    table_size_stats,
+    uniqueness_stats,
+)
+from repro.report import mib, percent
+
+
+def main() -> None:
+    code = sys.argv[1].upper() if len(sys.argv) > 1 else "UK"
+    profile = PROFILES_BY_CODE[code]
+    print(f"generating the simulated {profile.name} portal ...")
+    generated = generate_portal(profile, seed=7, scale=0.4)
+
+    api = CkanApi(generated.portal)
+    client = HttpClient(generated.store)
+    print(f"crawling {len(api.package_list())} datasets over the CKAN API ...")
+    report = ingest_portal(api, client)
+    print(f"HTTP requests made: {client.requests_made}")
+    print()
+
+    sizes = portal_size_stats(generated.portal, report, generated.store)
+    shapes = table_size_stats(report)
+    nulls = null_stats(report)
+    unique = uniqueness_stats(report)
+    metadata = metadata_stats(generated.portal, seed=7)
+    growth = growth_curve(generated.portal, report)
+
+    print(f"== {profile.name} ({code}) ==")
+    print(f"datasets:            {sizes.total_datasets}")
+    print(f"declared CSV tables: {sizes.total_tables}")
+    print(f"downloadable:        {sizes.downloadable_tables}")
+    print(f"readable:            {sizes.readable_tables}")
+    print(f"total size:          {mib(sizes.total_size_bytes)} "
+          f"({mib(sizes.total_compressed_bytes)} compressed, "
+          f"{sizes.compression_ratio:.1f}x)")
+    print()
+    print(f"median table shape:  {int(shapes.median_rows)} rows x "
+          f"{int(shapes.median_columns)} cols "
+          f"(max {shapes.max_rows} x {shapes.max_columns})")
+    print(f"columns with nulls:  {percent(nulls.frac_columns_with_nulls)}")
+    print(f"columns half empty:  {percent(nulls.frac_columns_half_empty)}")
+    print(f"entirely null:       {percent(nulls.frac_columns_entirely_null)}")
+    print()
+    print(f"median unique values per column: {int(unique.all.median_unique)}")
+    print(f"median uniqueness score:         {unique.all.median_score:.2f}")
+    print(f"columns with score < 0.1:        "
+          f"{percent(unique.frac_score_below_0_1)}")
+    print()
+    print("metadata availability: "
+          f"structured {percent(metadata.structured, 0)}, "
+          f"unstructured {percent(metadata.unstructured, 0)}, "
+          f"outside portal {percent(metadata.outside_portal, 0)}, "
+          f"lacking {percent(metadata.lacking, 0)}")
+    shape = "step-like (bulk ingests)" if growth.is_steplike else "smooth"
+    print(f"growth curve: {shape} over {growth.years[0]}-{growth.years[-1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — reproduction of "Analysis of Open Government Datasets From a
+Data Design and Integration Perspective" (Usta, Liu, Salihoğlu; EDBT 2024).
+
+The package builds everything the study needs from scratch:
+
+* :mod:`repro.dataframe` — a columnar table engine (CSV, types, joins);
+* :mod:`repro.portal` — a CKAN-style portal substrate (catalog, HTTP);
+* :mod:`repro.generator` — a calibrated synthetic four-portal corpus
+  with ground-truth lineage;
+* :mod:`repro.ingest` — the paper's crawl/parse/clean pipeline;
+* :mod:`repro.profiling`, :mod:`repro.keys`, :mod:`repro.fd`,
+  :mod:`repro.normalize`, :mod:`repro.joinability`,
+  :mod:`repro.unionability` — the §3-§6 analyses;
+* :mod:`repro.experiments` — one runnable experiment per paper
+  table/figure (also exposed as the ``ogdp-repro`` CLI).
+
+Quickstart::
+
+    from repro import StudyConfig, Study, run_experiment
+
+    study = Study.build(StudyConfig(scale=0.3))
+    print(run_experiment("table05", study).text)
+"""
+
+from .core.config import DEFAULT_PORTALS, StudyConfig
+from .core.results import ExperimentResult
+from .core.study import PortalStudy, Study
+from .experiments.registry import experiment_ids, run_all, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PORTALS",
+    "ExperimentResult",
+    "PortalStudy",
+    "Study",
+    "StudyConfig",
+    "__version__",
+    "experiment_ids",
+    "run_all",
+    "run_experiment",
+]

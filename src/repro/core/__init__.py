@@ -1,0 +1,29 @@
+"""Study orchestration, configuration and shared numeric helpers."""
+
+from .config import DEFAULT_PORTALS, StudyConfig
+from .results import ExperimentResult
+from .stats import (
+    format_count,
+    fraction,
+    geometric_buckets,
+    histogram,
+    mean,
+    median,
+    percentile,
+)
+from .study import PortalStudy, Study
+
+__all__ = [
+    "DEFAULT_PORTALS",
+    "ExperimentResult",
+    "PortalStudy",
+    "Study",
+    "StudyConfig",
+    "format_count",
+    "fraction",
+    "geometric_buckets",
+    "histogram",
+    "mean",
+    "median",
+    "percentile",
+]

@@ -1,0 +1,51 @@
+"""Study configuration.
+
+One :class:`StudyConfig` pins every knob of a reproduction run: corpus
+scale and seed, which portals participate, and the thresholds the paper
+fixes (Jaccard 0.9, unique-value floor 10, FD LHS cap 4, the FD-analysis
+size filter).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Portal codes in the paper's presentation order.
+DEFAULT_PORTALS = ("SG", "CA", "UK", "US")
+
+
+@dataclasses.dataclass(frozen=True)
+class StudyConfig:
+    """All parameters of one study run."""
+
+    #: Corpus scale (1.0 ~ 1/100 of the real portals; see DESIGN.md).
+    scale: float = 1.0
+    #: Master seed: generation, sampling and decomposition all derive
+    #: sub-seeds from it, so equal configs give identical studies.
+    seed: int = 7
+    portal_codes: tuple[str, ...] = DEFAULT_PORTALS
+    #: §5.1 joinability thresholds.
+    jaccard_threshold: float = 0.9
+    min_unique_values: int = 10
+    #: §4.2 FD discovery cap.
+    max_lhs: int = 4
+    #: §5.3.1 join-sample size per (size bucket, key combo) cell.
+    join_sample_per_subbucket: int = 17
+    #: §6 union sample size per portal.
+    union_sample_size: int = 25
+    #: Table 3 metadata sample size per portal.
+    metadata_sample_size: int = 100
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if not 0.0 < self.jaccard_threshold <= 1.0:
+            raise ValueError(
+                f"jaccard_threshold must be in (0, 1], got "
+                f"{self.jaccard_threshold}"
+            )
+        if self.max_lhs < 1:
+            raise ValueError(f"max_lhs must be >= 1, got {self.max_lhs}")
+        unknown = set(self.portal_codes) - set(DEFAULT_PORTALS)
+        if unknown:
+            raise ValueError(f"unknown portal codes: {sorted(unknown)}")

@@ -1,0 +1,24 @@
+"""Experiment result container."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """The output of reproducing one paper table or figure.
+
+    ``text`` is the printable reproduction (same row labels as the
+    paper); ``data`` carries the machine-readable values for tests and
+    for EXPERIMENTS.md's paper-vs-measured records.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.text

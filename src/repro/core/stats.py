@@ -1,0 +1,82 @@
+"""Small numeric-statistics helpers shared by every analysis module.
+
+Kept dependency-free (no numpy) because the quantities involved are tiny
+— per-portal summaries over at most a few hundred thousand scalars.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; 0.0 for an empty sequence."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (linear interpolation, like numpy default)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low]) * (1.0 - weight) + float(ordered[high]) * weight
+
+
+def fraction(count: int, total: int) -> float:
+    """``count / total`` guarded against a zero denominator."""
+    return count / total if total else 0.0
+
+
+def histogram(
+    values: Sequence[float], edges: Sequence[float]
+) -> list[int]:
+    """Counts per bucket for the given edges.
+
+    ``edges`` of length k produce k+1 buckets: ``(-inf, e0], (e0, e1],
+    ..., (e_{k-1}, inf)``.  Useful for the paper's log-bucketed row and
+    column count figures.
+    """
+    counts = [0] * (len(edges) + 1)
+    for value in values:
+        position = 0
+        while position < len(edges) and value > edges[position]:
+            position += 1
+        counts[position] += 1
+    return counts
+
+
+def geometric_buckets(max_value: float, base: float = 10.0) -> list[float]:
+    """Bucket edges 1, base, base^2, ... covering up to *max_value*."""
+    edges: list[float] = []
+    edge = 1.0
+    while edge <= max_value:
+        edges.append(edge)
+        edge *= base
+    return edges or [1.0]
+
+
+def format_count(value: float) -> str:
+    """Human-short rendering like the paper's tables (4.2K, 25.4M)."""
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1_000:.1f}K"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return str(int(value))

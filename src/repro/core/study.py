@@ -1,0 +1,219 @@
+"""Study orchestration: generate -> ingest -> cache shared analyses.
+
+A :class:`Study` holds, per portal, the generated corpus, the ingestion
+report, and lazily computed shared analyses (joinability, unionability,
+FD/normalization, labeled samples).  The experiment modules all pull
+from one study so that expensive intermediates are computed once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from ..generator.portal_gen import GeneratedPortal, generate_portal
+from ..generator.profiles import PROFILES_BY_CODE
+from ..ingest.pipeline import IngestReport, ingest_portal
+from ..portal.ckan import CkanApi
+from ..portal.http import HttpClient
+from .config import StudyConfig
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep imports acyclic
+    from ..dataframe import Table
+    from ..joinability.labeling import LabeledPair
+    from ..joinability.pairs import JoinabilityAnalysis
+    from ..normalize.analysis import NormalizationStats
+    from ..unionability.labeling import LabeledUnionPair
+    from ..unionability.schemas import UnionabilityAnalysis
+
+
+@dataclasses.dataclass
+class PortalStudy:
+    """One portal's corpus, ingest report, and cached analyses."""
+
+    config: StudyConfig
+    generated: GeneratedPortal
+    report: IngestReport
+    _cache: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def code(self) -> str:
+        """Portal code (SG/CA/UK/US)."""
+        return self.report.portal_code
+
+    # ------------------------------------------------------------------
+    # joinability
+    # ------------------------------------------------------------------
+    def joinability(
+        self, threshold: float | None = None
+    ) -> "JoinabilityAnalysis":
+        """Cached joinability analysis at the given threshold."""
+        from ..joinability.pairs import analyze_joinability
+
+        threshold = (
+            self.config.jaccard_threshold if threshold is None else threshold
+        )
+        key = ("joinability", threshold)
+        if key not in self._cache:
+            self._cache[key] = analyze_joinability(
+                self.code,
+                self.report.clean_tables,
+                threshold=threshold,
+                min_unique=self.config.min_unique_values,
+            )
+        return self._cache[key]
+
+    def labeled_join_sample(
+        self, threshold: float | None = None
+    ) -> list["LabeledPair"]:
+        """Cached oracle-labeled stratified join sample."""
+        from ..joinability.labeling import LineageOracle
+        from ..joinability.sampling import stratified_sample
+
+        threshold = (
+            self.config.jaccard_threshold if threshold is None else threshold
+        )
+        key = ("join-sample", threshold)
+        if key not in self._cache:
+            oracle = LineageOracle.from_recorder(self.generated.lineage)
+            labeled, plan = stratified_sample(
+                self.joinability(threshold),
+                oracle,
+                seed=self.config.seed,
+                per_subbucket=self.config.join_sample_per_subbucket,
+            )
+            self._cache[key] = labeled
+            self._cache[("join-sample-plan", threshold)] = plan
+        return self._cache[key]
+
+    def expansion_ratios(
+        self, threshold: float | None = None
+    ) -> tuple[float, ...]:
+        """Cached expansion ratios of every joinable pair."""
+        from ..joinability.expansion import expansion_stats
+
+        threshold = (
+            self.config.jaccard_threshold if threshold is None else threshold
+        )
+        key = ("expansion", threshold)
+        if key not in self._cache:
+            self._cache[key] = expansion_stats(
+                self.joinability(threshold)
+            ).ratios
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # unionability
+    # ------------------------------------------------------------------
+    def unionability(self) -> "UnionabilityAnalysis":
+        """Cached unionability analysis."""
+        from ..unionability.schemas import analyze_unionability
+
+        if "unionability" not in self._cache:
+            self._cache["unionability"] = analyze_unionability(
+                self.code, self.report.clean_tables
+            )
+        return self._cache["unionability"]
+
+    def labeled_union_sample(self) -> list["LabeledUnionPair"]:
+        """Cached oracle-labeled union sample."""
+        from ..unionability.labeling import UnionOracle, sample_union_pairs
+
+        if "union-sample" not in self._cache:
+            oracle = UnionOracle.from_recorder(self.generated.lineage)
+            self._cache["union-sample"] = sample_union_pairs(
+                self.unionability(),
+                oracle,
+                seed=self.config.seed,
+                sample_size=self.config.union_sample_size,
+            )
+        return self._cache["union-sample"]
+
+    # ------------------------------------------------------------------
+    # FDs / normalization / keys
+    # ------------------------------------------------------------------
+    def filtered_tables(self) -> list["Table"]:
+        """Tables passing the paper's §4.2 size filter."""
+        from ..normalize.analysis import passes_size_filter
+
+        if "filtered-tables" not in self._cache:
+            self._cache["filtered-tables"] = [
+                t.clean
+                for t in self.report.clean_tables
+                if t.clean is not None and passes_size_filter(t.clean)
+            ]
+        return self._cache["filtered-tables"]
+
+    def normalization(self) -> "NormalizationStats":
+        """Cached FD/BCNF statistics over the filtered tables."""
+        from ..normalize.analysis import normalization_stats
+
+        if "normalization" not in self._cache:
+            self._cache["normalization"] = normalization_stats(
+                self.code,
+                self.filtered_tables(),
+                seed=self.config.seed,
+                max_lhs=self.config.max_lhs,
+            )
+        return self._cache["normalization"]
+
+    def key_distribution(self):
+        """Cached minimum-key-size distribution (Figure 6)."""
+        from ..keys.candidates import key_size_distribution
+
+        if "keys" not in self._cache:
+            self._cache["keys"] = key_size_distribution(
+                self.code, self.filtered_tables()
+            )
+        return self._cache["keys"]
+
+    def single_key_fraction(self) -> float:
+        """Fraction of *all* cleaned tables lacking a single-column key."""
+        if "single-key-frac" not in self._cache:
+            tables = self.report.clean_tables
+            without = sum(
+                1
+                for t in tables
+                if t.clean is not None
+                and not any(c.is_key for c in t.clean.columns)
+            )
+            self._cache["single-key-frac"] = (
+                without / len(tables) if tables else 0.0
+            )
+        return self._cache["single-key-frac"]
+
+
+class Study:
+    """The full four-portal study."""
+
+    def __init__(self, config: StudyConfig, portals: dict[str, PortalStudy]):
+        self.config = config
+        self.portals = portals
+
+    @classmethod
+    def build(cls, config: StudyConfig) -> "Study":
+        """Generate and ingest every configured portal."""
+        portals: dict[str, PortalStudy] = {}
+        for code in config.portal_codes:
+            generated = generate_portal(
+                PROFILES_BY_CODE[code], seed=config.seed, scale=config.scale
+            )
+            report = ingest_portal(
+                CkanApi(generated.portal), HttpClient(generated.store)
+            )
+            portals[code] = PortalStudy(
+                config=config, generated=generated, report=report
+            )
+        return cls(config=config, portals=portals)
+
+    def __iter__(self):
+        return iter(self.portals.values())
+
+    def portal(self, code: str) -> PortalStudy:
+        """The portal study for *code*."""
+        return self.portals[code]
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        """Portal codes in configuration order."""
+        return tuple(self.portals)

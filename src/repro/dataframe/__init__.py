@@ -1,0 +1,63 @@
+"""A from-scratch columnar table engine (the study's pandas substitute).
+
+Public surface::
+
+    from repro.dataframe import Table, Column, DataType, read_csv
+
+    table = read_csv("city,province\\nWaterloo,ON\\n")
+    table.column("city").uniqueness_score
+    table.join(other, "city", "city")
+"""
+
+from .column import Column
+from .csvio import (
+    decode_bytes,
+    read_csv,
+    read_raw_rows,
+    rows_to_table,
+    write_csv,
+)
+from .errors import (
+    ColumnNotFoundError,
+    DataFrameError,
+    EmptyTableError,
+    ParseError,
+    SchemaError,
+)
+from .infer import infer_column_type, parse_cell
+from .ops import (
+    distinct_count,
+    group_by,
+    inner_join,
+    join_output_size,
+    union_all,
+)
+from .table import Table
+from .types import NULL_TOKENS, Cell, DataType, is_null, is_null_text
+
+__all__ = [
+    "Cell",
+    "Column",
+    "ColumnNotFoundError",
+    "DataFrameError",
+    "DataType",
+    "EmptyTableError",
+    "NULL_TOKENS",
+    "ParseError",
+    "SchemaError",
+    "Table",
+    "decode_bytes",
+    "distinct_count",
+    "group_by",
+    "infer_column_type",
+    "inner_join",
+    "is_null",
+    "is_null_text",
+    "join_output_size",
+    "parse_cell",
+    "read_csv",
+    "read_raw_rows",
+    "rows_to_table",
+    "union_all",
+    "write_csv",
+]

@@ -1,0 +1,162 @@
+"""The :class:`Column` type: a named, typed vector of cells.
+
+Columns are the unit of most of the paper's analyses (uniqueness scores,
+null ratios, joinability profiles), so the class exposes those statistics
+directly and caches the expensive ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from .infer import infer_column_type
+from .types import Cell, DataType
+
+
+class Column:
+    """A named sequence of cells sharing one inferred storage type.
+
+    The cell list is owned by the column; callers must not mutate it after
+    construction (cached statistics would go stale).  All derived
+    statistics — null count, distinct values, uniqueness score — are lazy
+    and memoized.
+    """
+
+    __slots__ = (
+        "name",
+        "_values",
+        "_dtype",
+        "_null_count",
+        "_distinct",
+        "_value_counts",
+    )
+
+    def __init__(self, name: str, values: Sequence[Cell], dtype: DataType | None = None):
+        self.name = name
+        self._values: list[Cell] = list(values)
+        self._dtype = dtype
+        self._null_count: int | None = None
+        self._distinct: frozenset[Cell] | None = None
+        self._value_counts: Counter | None = None
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> Cell:
+        return self._values[index]
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, n={len(self)}, dtype={self.dtype.value})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.name == other.name and self._values == other._values
+
+    def __hash__(self):  # columns are mutable-ish containers; not hashable
+        raise TypeError("Column objects are not hashable")
+
+    @property
+    def values(self) -> list[Cell]:
+        """The underlying cell list (treat as read-only)."""
+        return self._values
+
+    # ------------------------------------------------------------------
+    # type
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> DataType:
+        """Inferred storage type (cached)."""
+        if self._dtype is None:
+            self._dtype = infer_column_type(self._values)
+        return self._dtype
+
+    # ------------------------------------------------------------------
+    # statistics used throughout the study
+    # ------------------------------------------------------------------
+    @property
+    def null_count(self) -> int:
+        """Number of null cells."""
+        if self._null_count is None:
+            self._null_count = sum(1 for v in self._values if v is None)
+        return self._null_count
+
+    @property
+    def null_ratio(self) -> float:
+        """Fraction of cells that are null (0.0 for an empty column)."""
+        if not self._values:
+            return 0.0
+        return self.null_count / len(self._values)
+
+    @property
+    def is_entirely_null(self) -> bool:
+        """True when every cell is null (or the column has no rows)."""
+        return self.null_count == len(self._values)
+
+    def distinct_values(self) -> frozenset[Cell]:
+        """The set of distinct *non-null* values (cached)."""
+        if self._distinct is None:
+            self._distinct = frozenset(v for v in self._values if v is not None)
+        return self._distinct
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct non-null values."""
+        return len(self.distinct_values())
+
+    @property
+    def uniqueness_score(self) -> float:
+        """``|set(c)| / |c|`` as defined in the paper's §4.1.
+
+        Nulls count toward ``|c|`` but not toward the distinct set, so a
+        column of all nulls scores 0.0 and can never be a key.
+        """
+        if not self._values:
+            return 0.0
+        return self.distinct_count / len(self._values)
+
+    @property
+    def is_key(self) -> bool:
+        """True when the column uniquely identifies every row.
+
+        A key must have no nulls and no repeated values, i.e. a uniqueness
+        score of exactly 1.0 over a non-empty column.
+        """
+        if not self._values or self.null_count:
+            return False
+        return self.distinct_count == len(self._values)
+
+    def value_counts(self) -> Counter:
+        """Multiplicity of each non-null value (cached).
+
+        This is the quantity joins grow by: the join output size on this
+        column is the sum over shared values of the count products.
+        """
+        if self._value_counts is None:
+            self._value_counts = Counter(
+                v for v in self._values if v is not None
+            )
+        return self._value_counts
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def take(self, indices: Iterable[int]) -> "Column":
+        """Return a new column with rows at *indices*, in that order."""
+        values = self._values
+        return Column(self.name, [values[i] for i in indices])
+
+    def renamed(self, name: str) -> "Column":
+        """Return a same-data column under a different *name*."""
+        clone = Column(name, self._values, self._dtype)
+        clone._null_count = self._null_count
+        clone._distinct = self._distinct
+        clone._value_counts = self._value_counts
+        return clone

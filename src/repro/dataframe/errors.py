@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro.dataframe` substrate.
+
+The engine deliberately raises narrow, descriptive exception types so that
+calling code (the ingestion pipeline in particular) can distinguish between
+"this file is not a table" and "this is a programming error".
+"""
+
+from __future__ import annotations
+
+
+class DataFrameError(Exception):
+    """Base class for every error raised by the dataframe engine."""
+
+
+class SchemaError(DataFrameError):
+    """A table-level structural invariant was violated.
+
+    Raised for ragged column lengths, duplicate column names where a unique
+    name is required, or references to columns that do not exist.
+    """
+
+
+class ColumnNotFoundError(SchemaError):
+    """A referenced column name does not exist in the table."""
+
+    def __init__(self, name: str, available: tuple[str, ...]):
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"column {name!r} not found; available columns: {list(available)!r}"
+        )
+
+
+class ParseError(DataFrameError):
+    """Raw bytes/text could not be parsed into a table."""
+
+
+class EmptyTableError(ParseError):
+    """The parsed input contained no usable rows at all."""

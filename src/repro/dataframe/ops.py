@@ -1,0 +1,195 @@
+"""Relational algorithms over :class:`~repro.dataframe.table.Table`.
+
+Joins and group-bys are hash based; unions are positional concatenations
+over name-identical schemas.  All functions return new tables and never
+mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Sequence
+
+from .column import Column
+from .errors import SchemaError
+from .table import Table
+from .types import Cell
+
+
+def inner_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    name: str | None = None,
+) -> Table:
+    """Hash inner equi-join of *left* and *right* on one column each.
+
+    Null join keys never match (SQL semantics).  Output columns are all of
+    the left columns followed by all of the right columns except the join
+    column; name clashes on the right side get a ``"<right name>."``
+    prefix, mirroring how data-integration tools disambiguate.
+    """
+    left_key = left.column(left_on)
+    right_key = right.column(right_on)
+
+    buckets: dict[Cell, list[int]] = defaultdict(list)
+    for index, value in enumerate(right_key):
+        if value is not None:
+            buckets[value].append(index)
+
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for index, value in enumerate(left_key):
+        if value is None:
+            continue
+        for match in buckets.get(value, ()):
+            left_rows.append(index)
+            right_rows.append(match)
+
+    out_columns = [c.take(left_rows) for c in left.columns]
+    taken_names = set(left.column_names)
+    for column in right.columns:
+        if column.name == right_on:
+            continue
+        out_name = column.name
+        if out_name in taken_names:
+            out_name = f"{right.name}.{out_name}"
+        taken_names.add(out_name)
+        out_columns.append(column.take(right_rows).renamed(out_name))
+    return Table(name or f"{left.name}_join_{right.name}", out_columns)
+
+
+def join_output_size(
+    left: Table, right: Table, left_on: str, right_on: str
+) -> int:
+    """Exact inner-join cardinality without materializing the join.
+
+    Computed as the sum over shared key values of the per-side
+    multiplicity product — the quantity the paper's expansion-ratio
+    analysis (§5.2, Figure 8) needs for hundreds of thousands of pairs.
+    """
+    left_counts = left.column(left_on).value_counts()
+    right_counts = right.column(right_on).value_counts()
+    if len(right_counts) < len(left_counts):
+        left_counts, right_counts = right_counts, left_counts
+    return sum(
+        count * right_counts[value]
+        for value, count in left_counts.items()
+        if value in right_counts
+    )
+
+
+def union_all(left: Table, right: Table, name: str | None = None) -> Table:
+    """Concatenate two tables whose column-name sequences are identical."""
+    if left.column_names != right.column_names:
+        raise SchemaError(
+            "union requires identical column names: "
+            f"{list(left.column_names)!r} vs {list(right.column_names)!r}"
+        )
+    columns = [
+        Column(lcol.name, lcol.values + rcol.values)
+        for lcol, rcol in zip(left.columns, right.columns)
+    ]
+    return Table(name or f"{left.name}_union_{right.name}", columns)
+
+
+#: Aggregation function registry for :func:`group_by`.
+_AGGREGATES = {
+    "count": lambda values: sum(1 for v in values if v is not None),
+    "sum": lambda values: _numeric_fold(values, sum),
+    "min": lambda values: _fold_nonnull(values, min),
+    "max": lambda values: _fold_nonnull(values, max),
+    "mean": lambda values: _numeric_fold(
+        values, lambda nums: sum(nums) / len(nums)
+    ),
+    "first": lambda values: next((v for v in values if v is not None), None),
+    "distinct_count": lambda values: len(
+        {v for v in values if v is not None}
+    ),
+}
+
+
+def _fold_nonnull(values: Sequence[Cell], fold) -> Cell:
+    present = [v for v in values if v is not None]
+    return fold(present) if present else None
+
+
+def _numeric_fold(values: Sequence[Cell], fold) -> Cell:
+    numbers = [
+        v
+        for v in values
+        if isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        and not (isinstance(v, float) and math.isnan(v))
+    ]
+    return fold(numbers) if numbers else None
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggregations: dict[str, tuple[str, str]],
+    name: str | None = None,
+) -> Table:
+    """Group *table* by *keys* and aggregate.
+
+    *aggregations* maps an output column name to a ``(source column,
+    function)`` pair, where the function is one of ``count``, ``sum``,
+    ``min``, ``max``, ``mean``, ``first`` or ``distinct_count``.  Groups
+    appear in first-seen order.
+    """
+    unknown = [
+        func for _, func in aggregations.values() if func not in _AGGREGATES
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown aggregate function(s) {unknown!r}; "
+            f"available: {sorted(_AGGREGATES)}"
+        )
+    key_columns = [table.column(k) for k in keys]
+    source_columns = {
+        out: table.column(source) for out, (source, _) in aggregations.items()
+    }
+
+    groups: dict[tuple[Cell, ...], list[int]] = {}
+    order: list[tuple[Cell, ...]] = []
+    for index in range(table.num_rows):
+        key = tuple(c[index] for c in key_columns)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [index]
+            order.append(key)
+        else:
+            bucket.append(index)
+
+    out_columns: list[Column] = [
+        Column(key_name, [key[i] for key in order])
+        for i, key_name in enumerate(keys)
+    ]
+    for out_name, (_, func_name) in aggregations.items():
+        func = _AGGREGATES[func_name]
+        source = source_columns[out_name]
+        out_columns.append(
+            Column(
+                out_name,
+                [
+                    func([source[i] for i in groups[key]])
+                    for key in order
+                ],
+            )
+        )
+    return Table(name or f"{table.name}_grouped", out_columns)
+
+
+def distinct_count(table: Table, names: Sequence[str]) -> int:
+    """Number of distinct value combinations over the given columns.
+
+    Used heavily by key discovery and FD partition checks.
+    """
+    columns = [table.column(n) for n in names]
+    seen: set[tuple[Cell, ...]] = set()
+    for index in range(table.num_rows):
+        seen.add(tuple(c[index] for c in columns))
+    return len(seen)

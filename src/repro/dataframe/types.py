@@ -1,0 +1,76 @@
+"""Storage data types and null conventions for the dataframe engine.
+
+The engine stores cell values as plain Python objects: ``str``, ``int``,
+``float``, ``bool`` or ``None``.  ``None`` is the single in-memory null
+representation; the textual spellings that OGDP publishers use for missing
+values (the paper's §3.3 list) are normalized to ``None`` at parse time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+#: Textual values treated as null, matching the paper's §3.3 manual list
+#: ("n/a", "n/d", "nan", "null", "-", "...") plus the empty cell.
+NULL_TOKENS: frozenset[str] = frozenset(
+    {"", "n/a", "n/d", "nan", "null", "-", "..."}
+)
+
+#: Cell value type alias.  ``None`` encodes null.
+Cell = str | int | float | bool | None
+
+
+class DataType(enum.Enum):
+    """Broad storage type of a column.
+
+    ``TEXT`` and the numeric types map onto the paper's "text" vs "number"
+    grouping used in Table 4.  ``EMPTY`` marks a column whose values are all
+    null, for which no type can be inferred.
+    """
+
+    TEXT = "text"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    EMPTY = "empty"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether this type falls in the paper's "number" bucket."""
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @property
+    def is_text(self) -> bool:
+        """Whether this type falls in the paper's "text" bucket.
+
+        Booleans are stored distinctly but are grouped with text for the
+        Table 4 style text/number split, mirroring how such columns appear
+        as "Yes"/"No" strings in the raw CSVs.
+        """
+        return self in (DataType.TEXT, DataType.BOOLEAN)
+
+
+def is_null(value: Cell) -> bool:
+    """Return True if *value* is the engine's null (``None``).
+
+    Strings are *not* re-checked against :data:`NULL_TOKENS` here: token
+    normalization is the parser's job, and keeping this predicate trivial
+    makes hot loops cheap.
+    """
+    return value is None
+
+
+def is_null_text(raw: str) -> bool:
+    """Return True if raw CSV text *raw* spells a null value."""
+    return raw.strip().lower() in NULL_TOKENS
+
+
+def normalize_null_text(raw: str) -> str | None:
+    """Map a raw CSV cell to ``None`` if it spells null, else return it."""
+    return None if is_null_text(raw) else raw
+
+
+def non_null(values: Iterable[Cell]) -> list[Cell]:
+    """Return the non-null subsequence of *values* preserving order."""
+    return [v for v in values if v is not None]

@@ -1,0 +1,15 @@
+"""One experiment per paper table/figure, plus the shared study cache."""
+
+from .corpus import BENCH_SCALE, BENCH_SEED, clear_cache, get_study
+from .registry import EXPERIMENTS, experiment_ids, run_all, run_experiment
+
+__all__ = [
+    "BENCH_SCALE",
+    "BENCH_SEED",
+    "EXPERIMENTS",
+    "clear_cache",
+    "experiment_ids",
+    "get_study",
+    "run_all",
+    "run_experiment",
+]

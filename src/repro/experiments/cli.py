@@ -1,0 +1,88 @@
+"""Command-line entry point: ``ogdp-repro``.
+
+Examples::
+
+    ogdp-repro list
+    ogdp-repro run table05
+    ogdp-repro run all --scale 0.5 --seed 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.config import StudyConfig
+from .corpus import get_study
+from .registry import experiment_ids, run_all, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="ogdp-repro",
+        description=(
+            "Reproduce the tables and figures of 'Analysis of Open "
+            "Government Datasets From a Data Design and Integration "
+            "Perspective' (EDBT 2024) on a simulated corpus."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. table05, figure08) or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0, help="corpus scale (default 1.0)"
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=7, help="master seed (default 7)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments, run, print, return exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    config = StudyConfig(scale=args.scale, seed=args.seed)
+    study = get_study(config=config)
+    if args.experiment == "all":
+        for result in run_all(study):
+            print(result.text)
+            print()
+        return 0
+    try:
+        result = run_experiment(args.experiment, study)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(result.text)
+    return 0
+
+
+def _entry() -> int:
+    """Console-script entry point tolerant of closed pipes.
+
+    ``ogdp-repro list | head`` must not traceback when ``head`` closes
+    the pipe early.
+    """
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+        import sys
+
+        # Re-open stdout onto devnull so interpreter shutdown does not
+        # raise a second BrokenPipeError while flushing.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_entry())

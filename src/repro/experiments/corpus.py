@@ -1,0 +1,51 @@
+"""Shared study cache for experiments and benchmarks.
+
+Building a study (generate + ingest four portals) is the expensive
+step; every experiment and benchmark shares one instance per
+``(scale, seed)`` so a full bench run pays the cost once.
+"""
+
+from __future__ import annotations
+
+from ..core.config import StudyConfig
+from ..core.study import Study
+
+#: Default scale for benchmark runs: large enough for stable statistics,
+#: small enough that the full 19-experiment suite runs in minutes.
+BENCH_SCALE = 1.0
+
+#: Default seed for benchmark runs.
+BENCH_SEED = 7
+
+_CACHE: dict[tuple, Study] = {}
+
+
+def get_study(
+    scale: float = BENCH_SCALE,
+    seed: int = BENCH_SEED,
+    config: StudyConfig | None = None,
+) -> Study:
+    """A cached study for the given parameters."""
+    if config is None:
+        config = StudyConfig(scale=scale, seed=seed)
+    key = (
+        config.scale,
+        config.seed,
+        config.portal_codes,
+        config.jaccard_threshold,
+        config.min_unique_values,
+        config.max_lhs,
+        config.join_sample_per_subbucket,
+        config.union_sample_size,
+        config.metadata_sample_size,
+    )
+    study = _CACHE.get(key)
+    if study is None:
+        study = Study.build(config)
+        _CACHE[key] = study
+    return study
+
+
+def clear_cache() -> None:
+    """Drop all cached studies (tests use this to force regeneration)."""
+    _CACHE.clear()

@@ -1,0 +1,94 @@
+"""Ground-truth benchmark export (the paper's published artifact).
+
+The paper releases its manually labeled joinable and unionable pairs as
+"a ground truth benchmark for future research on techniques for
+suggesting joinable and unionable tables".  This module produces the
+same artifact for the simulated corpus: CSV files of labeled pairs with
+every property the paper's analysis used (dataset locality, key
+combination, data type, expansion ratio, pattern), written with the
+repository's own CSV writer.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..core.study import Study
+from ..dataframe import Table, write_csv
+from ..joinability.patterns import classify_pattern
+
+
+def labeled_join_pairs_table(study: Study) -> Table:
+    """All portals' labeled join samples as one relational table."""
+    rows: list[list] = []
+    for portal in study:
+        if portal.code == "SG":
+            continue  # the paper drops SG from the labeled analysis
+        analysis = portal.joinability()
+        for labeled in portal.labeled_join_sample():
+            left = analysis.profiles[labeled.pair.left]
+            right = analysis.profiles[labeled.pair.right]
+            left_table = analysis.tables[left.table_index]
+            right_table = analysis.tables[right.table_index]
+            rows.append(
+                [
+                    portal.code,
+                    left_table.resource_id,
+                    left.column_name,
+                    right_table.resource_id,
+                    right.column_name,
+                    round(labeled.pair.jaccard, 4),
+                    labeled.label.value,
+                    classify_pattern(labeled).name.lower(),
+                    "intra" if labeled.same_dataset else "inter",
+                    labeled.key_combo,
+                    labeled.semantic_type.value,
+                    labeled.size_bucket,
+                    round(labeled.expansion_ratio, 4),
+                ]
+            )
+    header = [
+        "portal", "left_resource", "left_column", "right_resource",
+        "right_column", "jaccard", "label", "pattern", "dataset_locality",
+        "key_combination", "data_type", "t1_size_bucket", "expansion_ratio",
+    ]
+    return Table.from_rows("labeled_join_pairs", header, rows)
+
+
+def labeled_union_pairs_table(study: Study) -> Table:
+    """All portals' labeled union samples as one relational table."""
+    rows: list[list] = []
+    for portal in study:
+        for labeled in portal.labeled_union_sample():
+            rows.append(
+                [
+                    portal.code,
+                    labeled.left_resource,
+                    labeled.right_resource,
+                    labeled.label.value,
+                    labeled.pattern.value,
+                    "intra" if labeled.same_dataset else "inter",
+                ]
+            )
+    header = [
+        "portal", "left_resource", "right_resource", "label", "pattern",
+        "dataset_locality",
+    ]
+    return Table.from_rows("labeled_union_pairs", header, rows)
+
+
+def export_ground_truth(
+    study: Study, directory: str | pathlib.Path
+) -> dict[str, pathlib.Path]:
+    """Write both benchmark CSVs into *directory*; returns the paths."""
+    target = pathlib.Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: dict[str, pathlib.Path] = {}
+    for table in (
+        labeled_join_pairs_table(study),
+        labeled_union_pairs_table(study),
+    ):
+        path = target / f"{table.name}.csv"
+        path.write_text(write_csv(table), encoding="utf-8")
+        written[table.name] = path
+    return written

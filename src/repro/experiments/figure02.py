@@ -1,0 +1,51 @@
+"""Figure 2 — annual growth of the UK portal's cumulative size."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..profiling.growth import growth_curve
+from ..report.render import render_bar_chart
+
+EXPERIMENT_ID = "figure02"
+TITLE = "Figure 2: Annual growth of cumulative portal size (UK)"
+
+PAPER = {
+    # UK grows smoothly; the other portals show bulk-ingest steps, which
+    # is why the paper charts only UK.
+    "uk_smooth_others_steplike": True,
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    curves = {
+        p.code: growth_curve(p.generated.portal, p.report) for p in study
+    }
+    data: dict = {}
+    sections: list[str] = []
+    for code, curve in curves.items():
+        data[code] = {
+            "years": curve.years,
+            "cumulative_bytes": curve.cumulative_bytes,
+            "is_steplike": curve.is_steplike,
+        }
+    uk = curves.get("UK")
+    if uk is not None and uk.years:
+        sections.append(
+            render_bar_chart(
+                TITLE,
+                [str(year) for year in uk.years],
+                [size / 1024 for size in uk.cumulative_bytes],
+                value_format="{:.0f} KiB",
+            )
+        )
+    diagnostics = [
+        f"{code}: {'step-like (bulk ingests) - not chartable' if curve.is_steplike else 'smooth growth'}"
+        for code, curve in curves.items()
+    ]
+    sections.append("growth-curve shape per portal:")
+    sections.extend(f"  {line}" for line in diagnostics)
+    text = "\n".join(sections)
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

@@ -1,0 +1,61 @@
+"""Figure 3 — distributions of table sizes (tuples and columns)."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..profiling.tablesize import shape_distribution
+from ..report.render import render_table
+
+EXPERIMENT_ID = "figure03"
+TITLE = "Figure 3: Distribution of table sizes (rows and columns)"
+
+PAPER = {
+    # The majority of tables in every portal have < 1000 rows, and SG's
+    # tables have very few columns (>80% at <= 5 columns).
+    "majority_under_1000_rows": True,
+    "sg_narrowest": True,
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    dists = {p.code: shape_distribution(p.report) for p in study}
+    rows = []
+    data: dict = {}
+    for code, dist in dists.items():
+        row_labels = _bucket_labels(dist.row_bucket_edges)
+        col_labels = _bucket_labels(dist.column_bucket_edges)
+        total = sum(dist.row_counts) or 1
+        for label, count in zip(row_labels, dist.row_counts):
+            rows.append(
+                [f"{code} rows {label}", count, f"{count / total * 100:.1f}%"]
+            )
+        for label, count in zip(col_labels, dist.column_counts):
+            rows.append(
+                [f"{code} cols {label}", count, f"{count / total * 100:.1f}%"]
+            )
+        under_1000 = sum(
+            count
+            for edge_index, count in enumerate(dist.row_counts)
+            if edge_index < len(dist.row_bucket_edges)
+            and dist.row_bucket_edges[edge_index] <= 1000
+        )
+        data[code] = {
+            "row_edges": dist.row_bucket_edges,
+            "row_counts": dist.row_counts,
+            "column_edges": dist.column_bucket_edges,
+            "column_counts": dist.column_counts,
+            "frac_under_1000_rows": under_1000 / total,
+        }
+    text = render_table(TITLE, ["bucket", "tables", "share"], rows)
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+def _bucket_labels(edges: list[float]) -> list[str]:
+    labels = [f"<={edges[0]:.0f}"]
+    for left, right in zip(edges, edges[1:]):
+        labels.append(f"{left:.0f}-{right:.0f}")
+    labels.append(f">{edges[-1]:.0f}")
+    return labels

@@ -1,0 +1,60 @@
+"""Figure 4 — null-value ratios of columns and tables."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..profiling.nulls import NULL_RATIO_EDGES, null_stats
+from ..report.render import percent, render_table
+
+EXPERIMENT_ID = "figure04"
+TITLE = "Figure 4: Null value ratios of columns and tables"
+
+PAPER = {
+    "frac_with_nulls": {"SG": 0.05, "CA": 0.5, "UK": 0.5, "US": 0.5},
+    "frac_half_empty": {"SG": 0.01, "CA": 0.23, "UK": 0.13, "US": 0.13},
+    "frac_entirely_null_non_sg": 0.03,
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    stats = {p.code: null_stats(p.report) for p in study}
+    codes = list(stats)
+    rows = [
+        ["total # columns"] + [stats[c].total_columns for c in codes],
+        ["% columns with >=1 null"]
+        + [percent(stats[c].frac_columns_with_nulls) for c in codes],
+        ["% columns >= half empty"]
+        + [percent(stats[c].frac_columns_half_empty) for c in codes],
+        ["% columns entirely null"]
+        + [percent(stats[c].frac_columns_entirely_null) for c in codes],
+    ]
+    labels = _bucket_labels()
+    for bucket_index, label in enumerate(labels):
+        rows.append(
+            [f"columns w/ null ratio {label}"]
+            + [stats[c].column_ratio_histogram[bucket_index] for c in codes]
+        )
+    text = render_table(TITLE, ["statistic"] + codes, rows)
+    data = {
+        code: {
+            "frac_with_nulls": s.frac_columns_with_nulls,
+            "frac_half_empty": s.frac_columns_half_empty,
+            "frac_entirely_null": s.frac_columns_entirely_null,
+            "column_histogram": s.column_ratio_histogram,
+            "table_histogram": s.table_ratio_histogram,
+        }
+        for code, s in stats.items()
+    }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+def _bucket_labels() -> list[str]:
+    edges = NULL_RATIO_EDGES
+    labels = [f"= {edges[0]:.0%}"]
+    for left, right in zip(edges, edges[1:]):
+        labels.append(f"({left:.0%}, {right:.0%}]")
+    labels.append(f"> {edges[-1]:.0%}")
+    return labels

@@ -1,0 +1,45 @@
+"""Figure 7 — distribution of the number of decomposed tables."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..report.render import render_table
+
+EXPERIMENT_ID = "figure07"
+TITLE = "Figure 7: Number of decomposed tables after BCNF normalization"
+
+PAPER = {
+    # >40% of not-in-BCNF tables (outside SG) split into 3+ sub-tables.
+    "frac_3plus_non_sg": 0.40,
+    "avg_fragments": {"SG": 2.42, "CA": 3.39, "UK": 3.28, "US": 3.26},
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    rows = []
+    data: dict = {}
+    for portal in study:
+        stats = portal.normalization()
+        histogram = stats.fragment_histogram
+        decomposed = {
+            count: n for count, n in histogram.items() if count > 1
+        }
+        total_decomposed = sum(decomposed.values())
+        three_plus = sum(
+            n for count, n in decomposed.items() if count >= 3
+        )
+        data[portal.code] = {
+            "histogram": dict(sorted(histogram.items())),
+            "avg_fragments": stats.avg_fragments_not_bcnf,
+            "frac_3plus": (
+                three_plus / total_decomposed if total_decomposed else 0.0
+            ),
+        }
+        for count in sorted(histogram):
+            label = "1 (already BCNF)" if count == 1 else str(count)
+            rows.append([f"{portal.code} -> {label}", histogram[count]])
+    text = render_table(TITLE, ["portal -> # sub-tables", "tables"], rows)
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

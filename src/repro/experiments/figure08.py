@@ -1,0 +1,48 @@
+"""Figure 8 — expansion-ratio distribution of joinable pairs."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..report.letters import letter_values, render_letter_values
+
+EXPERIMENT_ID = "figure08"
+TITLE = "Figure 8: Expansion ratio distribution of joinable pairs"
+
+PAPER = {
+    "median": {"SG": 2.0, "CA": 1.0, "UK": 1.0, "US": 24.0},
+    # At least a quarter of US pairs expand beyond 100x.
+    "us_upper_quartile_over_100": True,
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    sections = [TITLE, "=" * len(TITLE)]
+    data: dict = {}
+    for portal in study:
+        ratios = portal.expansion_ratios()
+        summary = letter_values(list(ratios))
+        sections.append(render_letter_values(portal.code, summary))
+        data[portal.code] = {
+            "count": summary.count,
+            "median": summary.median,
+            "boxes": list(summary.boxes),
+            "max": summary.maximum,
+        }
+    # Supplementary sensitivity check: lower the Jaccard threshold to
+    # 0.7 and confirm the distribution keeps its shape (the paper's
+    # github supplement).
+    sections.append("")
+    sections.append("sensitivity: Jaccard threshold 0.7 (supplementary)")
+    data["threshold_0_7"] = {}
+    for portal in study:
+        ratios = portal.expansion_ratios(threshold=0.7)
+        summary = letter_values(list(ratios))
+        sections.append(render_letter_values(f"{portal.code}@0.7", summary))
+        data["threshold_0_7"][portal.code] = {
+            "count": summary.count,
+            "median": summary.median,
+        }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, "\n".join(sections), data)

@@ -1,0 +1,61 @@
+"""Experiment registry: one entry per paper table and figure."""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from . import (
+    figure01,
+    figure02,
+    figure03,
+    figure04,
+    figure05,
+    figure06,
+    figure07,
+    figure08,
+    table01,
+    table02,
+    table03,
+    table04,
+    table05,
+    table06,
+    table07,
+    table08,
+    table09,
+    table10,
+    table11,
+)
+
+_MODULES: tuple[ModuleType, ...] = (
+    table01, table02, table03, table04, table05, table06,
+    table07, table08, table09, table10, table11,
+    figure01, figure02, figure03, figure04,
+    figure05, figure06, figure07, figure08,
+)
+
+EXPERIMENTS: dict[str, ModuleType] = {
+    module.EXPERIMENT_ID: module for module in _MODULES
+}
+
+
+def experiment_ids() -> list[str]:
+    """All experiment ids, tables first then figures."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, study: Study) -> ExperimentResult:
+    """Run one experiment against an existing study."""
+    module = EXPERIMENTS.get(experiment_id)
+    if module is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {experiment_ids()}"
+        )
+    return module.run(study)
+
+
+def run_all(study: Study) -> list[ExperimentResult]:
+    """Run every experiment against one study."""
+    return [module.run(study) for module in _MODULES]

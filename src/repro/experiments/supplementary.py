@@ -1,0 +1,79 @@
+"""Supplementary analyses the paper relegates to its repository.
+
+Two artifacts live in the paper's supplementary material rather than
+the body:
+
+* the **label x T1-size-bucket** cross-tabulation — the paper reports
+  it showed *no* clear correlation between table sizes and usefulness
+  (§5.3.3), which is why the table never made the body;
+* the **Jaccard-0.7 sensitivity** rerun of the expansion analysis
+  (already part of the figure08 experiment here).
+
+This module reproduces the first and states the correlation check the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..joinability.labeling import breakdown_by
+from ..joinability.sampling import SIZE_BUCKETS
+from ..report.render import percent, render_table
+from .table07 import LABELED_PORTALS
+
+EXPERIMENT_ID = "supplementary01"
+TITLE = "Supplementary: accidental vs useful labels by T1 size bucket"
+
+PAPER = {
+    # §5.3.3: "we also analyzed if the sizes of the tables correlate
+    # with whether the pairs are accidental but did not observe a clear
+    # correlation".
+    "no_clear_size_correlation": True,
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    rows = []
+    data: dict = {}
+    useful_by_bucket: dict[str, list[float]] = {b: [] for b in SIZE_BUCKETS}
+    for code in LABELED_PORTALS:
+        if code not in study.portals:
+            continue
+        sample = study.portal(code).labeled_join_sample()
+        groups = breakdown_by(sample, lambda p: p.size_bucket)
+        data[code] = {}
+        for bucket in SIZE_BUCKETS:
+            cell = groups.get(bucket)
+            if cell is None or not cell.total:
+                continue
+            rows.append(
+                [
+                    f"{code} {bucket}",
+                    cell.total,
+                    percent(cell.frac_accidental, 1),
+                    percent(cell.frac_useful, 1),
+                ]
+            )
+            data[code][bucket] = {
+                "n": cell.total,
+                "frac_useful": cell.frac_useful,
+            }
+            useful_by_bucket[bucket].append(cell.frac_useful)
+
+    spreads = [
+        max(values) - min(values)
+        for values in useful_by_bucket.values()
+        if len(values) >= 2
+    ]
+    data["per_bucket_useful_spread"] = spreads
+    text = render_table(
+        TITLE,
+        ["portal / T1 rows", "pairs", "accidental", "useful"],
+        rows,
+        note="the paper's supplementary check: usefulness does not vary "
+        "systematically with the queried table's size",
+    )
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

@@ -1,0 +1,73 @@
+"""Table 1 — portal size statistics."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..profiling.sizes import portal_size_stats
+from ..report.render import mib, render_table
+
+EXPERIMENT_ID = "table01"
+TITLE = "Table 1: Portal size statistics"
+
+#: The paper's values, for EXPERIMENTS.md comparison (readable tables
+#: and compression ratio are the shape-critical ones).
+PAPER = {
+    "readable_tables": {"SG": 2376, "CA": 14913, "UK": 34901, "US": 26416},
+    "size_order": ("SG", "CA", "UK", "US"),  # ascending total size
+    "compression_ratio_approx": 5.0,
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    stats = {
+        portal.code: portal_size_stats(
+            portal.generated.portal, portal.report, portal.generated.store
+        )
+        for portal in study
+    }
+    codes = list(stats)
+    rows = [
+        ["total # datasets"] + [stats[c].total_datasets for c in codes],
+        ["avg # tables per dataset"]
+        + [f"{stats[c].avg_tables_per_dataset:.2f}" for c in codes],
+        ["max # tables per dataset"]
+        + [stats[c].max_tables_per_dataset for c in codes],
+        ["total # tables"] + [stats[c].total_tables for c in codes],
+        ["total # downloadable tables"]
+        + [stats[c].downloadable_tables for c in codes],
+        ["total # readable tables"]
+        + [stats[c].readable_tables for c in codes],
+        ["total # columns"] + [stats[c].total_columns for c in codes],
+        ["total size"] + [mib(stats[c].total_size_bytes) for c in codes],
+        ["total compressed size"]
+        + [mib(stats[c].total_compressed_bytes) for c in codes],
+        ["size of largest table"]
+        + [mib(stats[c].largest_table_bytes) for c in codes],
+        ["compression ratio"]
+        + [f"{stats[c].compression_ratio:.2f}x" for c in codes],
+    ]
+    text = render_table(
+        TITLE,
+        ["statistic"] + codes,
+        rows,
+        note="corpus is generated at reduced scale; compare shapes and "
+        "ratios with the paper, not absolute sizes",
+    )
+    data = {
+        code: {
+            "total_datasets": s.total_datasets,
+            "avg_tables_per_dataset": s.avg_tables_per_dataset,
+            "total_tables": s.total_tables,
+            "downloadable_tables": s.downloadable_tables,
+            "readable_tables": s.readable_tables,
+            "total_columns": s.total_columns,
+            "total_size_bytes": s.total_size_bytes,
+            "total_compressed_bytes": s.total_compressed_bytes,
+            "compression_ratio": s.compression_ratio,
+        }
+        for code, s in stats.items()
+    }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

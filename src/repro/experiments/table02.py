@@ -1,0 +1,50 @@
+"""Table 2 — table size statistics."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.stats import format_count
+from ..core.study import Study
+from ..profiling.tablesize import table_size_stats
+from ..report.render import render_table
+
+EXPERIMENT_ID = "table02"
+TITLE = "Table 2: Table size statistics of OGDPs"
+
+PAPER = {
+    "median_columns": {"SG": 4, "CA": 10, "UK": 9, "US": 10},
+    "median_rows": {"SG": 95, "CA": 148, "UK": 86, "US": 447},
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    stats = {p.code: table_size_stats(p.report) for p in study}
+    codes = list(stats)
+    rows = [
+        ["avg # columns per table"]
+        + [f"{stats[c].avg_columns:.2f}" for c in codes],
+        ["median # columns per table"]
+        + [int(stats[c].median_columns) for c in codes],
+        ["max # columns per table"] + [stats[c].max_columns for c in codes],
+        ["avg # rows per table"]
+        + [format_count(stats[c].avg_rows) for c in codes],
+        ["median # rows per table"]
+        + [int(stats[c].median_rows) for c in codes],
+        ["max # rows per table"]
+        + [format_count(stats[c].max_rows) for c in codes],
+    ]
+    text = render_table(TITLE, ["statistic"] + codes, rows)
+    data = {
+        code: {
+            "avg_columns": s.avg_columns,
+            "median_columns": s.median_columns,
+            "max_columns": s.max_columns,
+            "avg_rows": s.avg_rows,
+            "median_rows": s.median_rows,
+            "max_rows": s.max_rows,
+        }
+        for code, s in stats.items()
+    }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

@@ -1,0 +1,55 @@
+"""Table 3 — metadata/dictionary file availability."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..profiling.metadata import metadata_stats
+from ..report.render import percent, render_table
+
+EXPERIMENT_ID = "table03"
+TITLE = "Table 3: Distribution of metadata file availability"
+
+PAPER = {
+    "structured": {"SG": 1.0, "CA": 0.04, "UK": 0.04, "US": 0.0},
+    "lacking": {"SG": 0.0, "CA": 0.59, "UK": 0.88, "US": 0.73},
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    stats = {
+        p.code: metadata_stats(
+            p.generated.portal,
+            sample_size=study.config.metadata_sample_size,
+            seed=study.config.seed,
+        )
+        for p in study
+    }
+    rows = [
+        [
+            code,
+            percent(s.structured, 0),
+            percent(s.unstructured, 0),
+            percent(s.outside_portal, 0),
+            percent(s.lacking, 0),
+        ]
+        for code, s in stats.items()
+    ]
+    text = render_table(
+        TITLE,
+        ["portal", "structured", "unstructured", "outside portal", "lacking"],
+        rows,
+    )
+    data = {
+        code: {
+            "structured": s.structured,
+            "unstructured": s.unstructured,
+            "outside_portal": s.outside_portal,
+            "lacking": s.lacking,
+            "sample_size": s.sample_size,
+        }
+        for code, s in stats.items()
+    }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

@@ -1,0 +1,71 @@
+"""Table 4 — uniqueness statistics of columns, by text/number type."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.stats import format_count
+from ..core.study import Study
+from ..profiling.uniqueness import UniquenessGroupStats, uniqueness_stats
+from ..report.render import render_table
+
+EXPERIMENT_ID = "table04"
+TITLE = "Table 4: Uniqueness statistics of columns in OGDPs"
+
+PAPER = {
+    "median_unique_all": {"SG": 10, "CA": 23, "UK": 10, "US": 30},
+    # Text columns repeat much more than numeric ones in every portal.
+    "text_less_unique_than_number": True,
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    stats = {p.code: uniqueness_stats(p.report) for p in study}
+    headers = ["statistic"]
+    for code in stats:
+        headers.extend([f"{code}:text", f"{code}:number", f"{code}:all"])
+
+    def row(label: str, getter) -> list:
+        """Build one output row across all portal/type groups."""
+        cells: list = [label]
+        for s in stats.values():
+            cells.extend(
+                [getter(s.text), getter(s.number), getter(s.all)]
+            )
+        return cells
+
+    rows = [
+        row("# columns", lambda g: g.num_columns),
+        row("avg unique per column", lambda g: format_count(g.avg_unique)),
+        row(
+            "median unique per column",
+            lambda g: int(g.median_unique),
+        ),
+        row("max unique per column", lambda g: format_count(g.max_unique)),
+        row("avg uniqueness score", lambda g: f"{g.avg_score:.2f}"),
+        row("median uniqueness score", lambda g: f"{g.median_score:.2f}"),
+    ]
+    text = render_table(TITLE, headers, rows)
+    data = {
+        code: {
+            "text": _group_dict(s.text),
+            "number": _group_dict(s.number),
+            "all": _group_dict(s.all),
+            "median_unique_all": s.all.median_unique,
+            "frac_score_below_0_1": s.frac_score_below_0_1,
+        }
+        for code, s in stats.items()
+    }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+def _group_dict(group: UniquenessGroupStats) -> dict:
+    return {
+        "num_columns": group.num_columns,
+        "avg_unique": group.avg_unique,
+        "median_unique": group.median_unique,
+        "max_unique": group.max_unique,
+        "avg_score": group.avg_score,
+        "median_score": group.median_score,
+    }

@@ -1,0 +1,57 @@
+"""Table 5 — FD prevalence and BCNF decomposition statistics."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..report.render import percent, render_table
+
+EXPERIMENT_ID = "table05"
+TITLE = "Table 5: FD and decomposition statistics (size-filtered tables)"
+
+PAPER = {
+    "frac_with_fd": {"SG": 0.5435, "CA": 0.7341, "UK": 0.8405, "US": 0.7986},
+    "frac_single_lhs": {"SG": 0.4536, "CA": 0.4883, "UK": 0.6890, "US": 0.6084},
+    "avg_fragments": {"SG": 2.42, "CA": 3.39, "UK": 3.28, "US": 3.26},
+    "uniqueness_gain": {"SG": 2.30, "CA": 2.98, "UK": 2.49, "US": 2.20},
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    stats = {p.code: p.normalization() for p in study}
+    codes = list(stats)
+    rows = [
+        ["total # tables"] + [stats[c].total_tables for c in codes],
+        ["total # columns"] + [stats[c].total_columns for c in codes],
+        ["avg # columns per table"]
+        + [f"{stats[c].avg_columns:.2f}" for c in codes],
+        ["# tables with a non-trivial FD"]
+        + [stats[c].tables_with_fd for c in codes],
+        ["% of tables with a non-trivial FD"]
+        + [percent(stats[c].frac_with_fd, 2) for c in codes],
+        ["# tables with FD s.t. |LHS|=1"]
+        + [stats[c].tables_with_single_lhs_fd for c in codes],
+        ["% of tables with FD s.t. |LHS|=1"]
+        + [percent(stats[c].frac_with_single_lhs_fd, 2) for c in codes],
+        ["avg # tables after decomposition"]
+        + [f"{stats[c].avg_fragments_not_bcnf:.2f}" for c in codes],
+        ["avg # columns in partitions"]
+        + [f"{stats[c].avg_fragment_columns:.2f}" for c in codes],
+        ["avg uniqueness score increase"]
+        + [f"{stats[c].avg_uniqueness_gain:.2f}x" for c in codes],
+    ]
+    text = render_table(TITLE, ["statistic"] + codes, rows)
+    data = {
+        code: {
+            "total_tables": s.total_tables,
+            "frac_with_fd": s.frac_with_fd,
+            "frac_single_lhs": s.frac_with_single_lhs_fd,
+            "avg_fragments": s.avg_fragments_not_bcnf,
+            "avg_fragment_columns": s.avg_fragment_columns,
+            "uniqueness_gain": s.avg_uniqueness_gain,
+        }
+        for code, s in stats.items()
+    }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

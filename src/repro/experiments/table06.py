@@ -1,0 +1,75 @@
+"""Table 6 — joinable-pair statistics."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..report.render import percent, render_table
+
+EXPERIMENT_ID = "table06"
+TITLE = "Table 6: Main statistics of the joinable pairs"
+
+PAPER = {
+    "frac_joinable_tables": {"SG": 0.664, "CA": 0.563, "UK": 0.484, "US": 0.549},
+    "frac_joinable_columns": {"SG": 0.158, "CA": 0.134, "UK": 0.119, "US": 0.178},
+    "frac_key_joinable": {"SG": 0.209, "CA": 0.204, "UK": 0.243, "US": 0.179},
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    stats = {p.code: p.joinability().stats for p in study}
+    codes = list(stats)
+    rows = [
+        ["total # joinable pairs"] + [stats[c].total_pairs for c in codes],
+        ["total # tables"] + [stats[c].total_tables for c in codes],
+        ["# joinable tables"]
+        + [
+            f"{stats[c].joinable_tables} "
+            f"({percent(stats[c].frac_joinable_tables)})"
+            for c in codes
+        ],
+        ["median degree per joinable table"]
+        + [f"{stats[c].median_table_degree:.0f}" for c in codes],
+        ["max degree per joinable table"]
+        + [stats[c].max_table_degree for c in codes],
+        ["total # columns"] + [stats[c].total_columns for c in codes],
+        ["# joinable columns"]
+        + [
+            f"{stats[c].joinable_columns} "
+            f"({percent(stats[c].frac_joinable_columns)})"
+            for c in codes
+        ],
+        ["# key joinable columns"]
+        + [
+            f"{stats[c].key_joinable_columns} "
+            f"({percent(stats[c].frac_key_joinable)})"
+            for c in codes
+        ],
+        ["# non-key joinable columns"]
+        + [
+            f"{stats[c].nonkey_joinable_columns} "
+            f"({percent(1 - stats[c].frac_key_joinable)})"
+            for c in codes
+        ],
+        ["median degree per joinable column"]
+        + [f"{stats[c].median_column_degree:.0f}" for c in codes],
+        ["max degree per joinable column"]
+        + [stats[c].max_column_degree for c in codes],
+    ]
+    text = render_table(TITLE, ["statistic"] + codes, rows)
+    data = {
+        code: {
+            "total_pairs": s.total_pairs,
+            "frac_joinable_tables": s.frac_joinable_tables,
+            "frac_joinable_columns": s.frac_joinable_columns,
+            "frac_key_joinable": s.frac_key_joinable,
+            "median_table_degree": s.median_table_degree,
+            "max_table_degree": s.max_table_degree,
+            "median_column_degree": s.median_column_degree,
+            "max_column_degree": s.max_column_degree,
+        }
+        for code, s in stats.items()
+    }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

@@ -1,0 +1,57 @@
+"""Table 8 — labels across inter- vs intra-dataset joinable pairs."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..joinability.labeling import breakdown_by
+from ..report.render import percent, render_table
+from .table07 import LABELED_PORTALS
+
+EXPERIMENT_ID = "table08"
+TITLE = "Table 8: Accidental vs useful labels, inter- vs intra-dataset"
+
+PAPER = {
+    "useful_inter": {"CA": 0.0625, "UK": 0.1545, "US": 0.0827},
+    "useful_intra": {"CA": 0.3659, "UK": 0.2927, "US": 0.5294},
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    rows = []
+    data: dict = {}
+    for code in LABELED_PORTALS:
+        if code not in study.portals:
+            continue
+        sample = study.portal(code).labeled_join_sample()
+        groups = breakdown_by(
+            sample, lambda p: "intra" if p.same_dataset else "inter"
+        )
+        data[code] = {}
+        for group in ("inter", "intra"):
+            cell = groups.get(group)
+            if cell is None or not cell.total:
+                continue
+            rows.append(
+                [
+                    f"{code} {group}",
+                    percent(cell.frac_u_acc, 2),
+                    percent(cell.frac_r_acc, 2),
+                    percent(cell.frac_accidental, 2),
+                    percent(cell.frac_useful, 2),
+                ]
+            )
+            data[code][group] = {
+                "n": cell.total,
+                "frac_useful": cell.frac_useful,
+                "frac_u_acc": cell.frac_u_acc,
+            }
+            data[code][f"useful_{group}"] = cell.frac_useful
+    text = render_table(
+        TITLE,
+        ["portal/dataset", "U-Acc", "R-Acc", "accidental total", "useful"],
+        rows,
+    )
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

@@ -1,0 +1,55 @@
+"""Table 9 — labels within key-column combination groups."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..joinability.labeling import breakdown_by
+from ..joinability.sampling import KEY_COMBOS
+from ..report.render import percent, render_table
+from .table07 import LABELED_PORTALS
+
+EXPERIMENT_ID = "table09"
+TITLE = "Table 9: Accidental vs useful labels by key-column combination"
+
+PAPER = {
+    "useful_key_key": {"CA": 0.2157, "UK": 0.3400, "US": 0.3000},
+    "useful_nonkey_nonkey": {"CA": 0.0392, "UK": 0.0200, "US": 0.0392},
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    rows = []
+    data: dict = {}
+    for code in LABELED_PORTALS:
+        if code not in study.portals:
+            continue
+        sample = study.portal(code).labeled_join_sample()
+        groups = breakdown_by(sample, lambda p: p.key_combo)
+        data[code] = {}
+        for combo in KEY_COMBOS:
+            cell = groups.get(combo)
+            if cell is None or not cell.total:
+                continue
+            rows.append(
+                [
+                    f"{code} {combo}",
+                    percent(cell.frac_u_acc, 2),
+                    percent(cell.frac_r_acc, 2),
+                    percent(cell.frac_accidental, 2),
+                    percent(cell.frac_useful, 2),
+                ]
+            )
+            data[code][combo] = {
+                "n": cell.total,
+                "frac_useful": cell.frac_useful,
+            }
+            data[code][f"useful_{combo.replace('-', '_')}"] = cell.frac_useful
+    text = render_table(
+        TITLE,
+        ["portal/key combo", "U-Acc", "R-Acc", "accidental total", "useful"],
+        rows,
+    )
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

@@ -1,0 +1,90 @@
+"""Table 11 — unionable-table statistics (plus the §6 labeled sample)."""
+
+from __future__ import annotations
+
+from ..core.results import ExperimentResult
+from ..core.study import Study
+from ..report.render import percent, render_table
+from ..unionability.labeling import union_label_stats
+
+EXPERIMENT_ID = "table11"
+TITLE = "Table 11: Overall statistics of the unionable tables"
+
+PAPER = {
+    "frac_unionable_tables": {
+        "SG": 0.610, "CA": 0.637, "UK": 0.768, "US": 0.571,
+    },
+    "frac_single_dataset_schemas": {
+        "SG": 0.305, "CA": 0.499, "UK": 0.549, "US": 0.100,
+    },
+    # §6 labeled sample: overwhelming majority useful (100% in CA/UK).
+    "union_sample_mostly_useful": True,
+}
+
+
+def run(study: Study) -> ExperimentResult:
+    """Reproduce this artifact against *study*; see the module docstring."""
+    rows = []
+    data: dict = {}
+    codes = []
+    stats = {}
+    samples = {}
+    for portal in study:
+        stats[portal.code] = portal.unionability().stats
+        samples[portal.code] = union_label_stats(
+            portal.labeled_union_sample()
+        )
+        codes.append(portal.code)
+    rows = [
+        ["total # tables"] + [stats[c].total_tables for c in codes],
+        ["# unionable tables"]
+        + [
+            f"{stats[c].unionable_tables} "
+            f"({percent(stats[c].frac_unionable_tables)})"
+            for c in codes
+        ],
+        ["median degree per unionable table"]
+        + [f"{stats[c].median_degree:.0f}" for c in codes],
+        ["max degree per unionable table"]
+        + [stats[c].max_degree for c in codes],
+        ["# unique schemas"]
+        + [
+            f"{stats[c].unique_schemas} "
+            f"({stats[c].avg_tables_per_schema:.2f})"
+            for c in codes
+        ],
+        ["# unionable schemas"]
+        + [
+            f"{stats[c].unionable_schemas} "
+            f"({percent(stats[c].frac_unionable_schemas)})"
+            for c in codes
+        ],
+        ["unionable schemas with single dataset"]
+        + [
+            f"{stats[c].unionable_schemas_single_dataset} "
+            f"({percent(stats[c].frac_single_dataset_schemas)})"
+            for c in codes
+        ],
+        ["labeled sample: % useful"]
+        + [percent(samples[c].frac_useful) for c in codes],
+    ]
+    text = render_table(TITLE, ["statistic"] + codes, rows)
+    for code in codes:
+        s = stats[code]
+        sample = samples[code]
+        data[code] = {
+            "total_tables": s.total_tables,
+            "frac_unionable_tables": s.frac_unionable_tables,
+            "median_degree": s.median_degree,
+            "max_degree": s.max_degree,
+            "unique_schemas": s.unique_schemas,
+            "frac_unionable_schemas": s.frac_unionable_schemas,
+            "frac_single_dataset_schemas": s.frac_single_dataset_schemas,
+            "sample_frac_useful": sample.frac_useful,
+            "sample_patterns": {
+                pattern.value: count
+                for pattern, count in sample.pattern_counts.items()
+            },
+        }
+    data["paper"] = PAPER
+    return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)

@@ -1,0 +1,41 @@
+"""Functional-dependency discovery (paper §4.2)."""
+
+from .fun import DEFAULT_MAX_LHS, discover_fds
+from .model import FD, FDSet
+from .naive import discover_fds_naive
+from .tane import discover_fds_tane
+from .quality import (
+    ClassifierEvaluation,
+    FDScore,
+    evaluate_classifier,
+    planted_fd_keys,
+    score_all,
+    score_fd,
+)
+from .partitions import (
+    cardinality,
+    encode_columns,
+    partition_of,
+    refine,
+    refined_cardinality,
+)
+
+__all__ = [
+    "ClassifierEvaluation",
+    "DEFAULT_MAX_LHS",
+    "FD",
+    "FDScore",
+    "FDSet",
+    "cardinality",
+    "discover_fds",
+    "discover_fds_naive",
+    "discover_fds_tane",
+    "encode_columns",
+    "evaluate_classifier",
+    "planted_fd_keys",
+    "score_all",
+    "score_fd",
+    "partition_of",
+    "refine",
+    "refined_cardinality",
+]

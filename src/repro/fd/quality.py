@@ -1,0 +1,207 @@
+"""Accidental-vs-real FD classification (the paper's §4.3 open question).
+
+The paper asks: *"how to differentiate between accidental vs real FDs
+to identify high quality and useful sub-tables"*.  An FD discovered on
+a finite table is "real" when it reflects a semantic rule of the domain
+(city determines province) and "accidental" when the particular rows
+just happen not to contradict it (two near-unique measure columns).
+
+This module scores each discovered FD with value-based evidence only —
+no lineage — using three classic signals:
+
+* **support breadth** — how many distinct LHS values witness the FD;
+  an FD witnessed by three groups is barely tested;
+* **repetition depth** — how often LHS values repeat; every repetition
+  is a chance to falsify the FD, so surviving many repetitions is
+  strong evidence;
+* **shape plausibility** — real rules map keys to lower-cardinality
+  descriptions; an FD whose RHS has (almost) as many distinct values
+  as its LHS groups is usually a coincidence between near-unique
+  columns, unless it is a genuine 1:1 code mapping, which the depth
+  signal then has to carry.
+
+On the synthetic corpus the generator knows which FDs were planted, so
+:func:`evaluate_classifier` measures the classifier's precision/recall
+against that ground truth — the evaluation the paper calls for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from ..dataframe import Table
+from ..generator.lineage import TableLineage
+from .model import FD, FDSet
+
+
+@dataclasses.dataclass(frozen=True)
+class FDScore:
+    """Value-based evidence for one discovered FD."""
+
+    fd: FD
+    #: Number of distinct LHS value combinations.
+    support: int
+    #: Number of rows beyond the first in their LHS group — i.e. the
+    #: number of opportunities the data had to falsify the FD.
+    falsification_chances: int
+    #: Distinct RHS values over distinct LHS groups (1.0 = 1:1 map).
+    rhs_to_lhs_ratio: float
+    score: float
+
+    @property
+    def is_real(self) -> bool:
+        """The classifier's verdict at the default threshold."""
+        return self.score >= 0.5
+
+
+#: Minimum falsification chances before an FD can be called real.
+MIN_DEPTH = 3
+
+
+def score_fd(table: Table, fd: FD) -> FDScore:
+    """Score one FD on *table* with value-based evidence only."""
+    lhs = sorted(fd.lhs)
+    lhs_columns = [table.column(name) for name in lhs]
+    rhs_column = table.column(fd.rhs)
+
+    groups: Counter = Counter()
+    rhs_values: set = set()
+    for index in range(table.num_rows):
+        key = tuple(
+            (type(c[index]).__name__, c[index]) for c in lhs_columns
+        )
+        groups[key] += 1
+        value = rhs_column[index]
+        rhs_values.add((type(value).__name__, value))
+
+    support = len(groups)
+    chances = sum(count - 1 for count in groups.values())
+    ratio = len(rhs_values) / support if support else 1.0
+
+    score = _combine(support, chances, ratio, fd.lhs_size)
+    return FDScore(
+        fd=fd,
+        support=support,
+        falsification_chances=chances,
+        rhs_to_lhs_ratio=ratio,
+        score=score,
+    )
+
+
+def _combine(support: int, chances: int, ratio: float, lhs_size: int) -> float:
+    """Fold the three signals into a [0, 1] score.
+
+    Hand-tuned, monotone in the evidence: more falsification chances
+    and broader support push up; near-1:1 RHS ratios and wide LHS
+    (multi-attribute FDs are where coincidences concentrate) push down.
+    """
+    if chances < MIN_DEPTH:
+        return 0.0
+    depth_evidence = min(1.0, chances / 25.0)
+    support_evidence = min(1.0, support / 8.0)
+    # A descriptive attribute maps many keys to fewer labels; ratio
+    # near 1.0 means "as many descriptions as keys" — suspicious unless
+    # the depth evidence is overwhelming (genuine code mappings).
+    if ratio >= 0.985:
+        shape_penalty = 0.55 if chances < 40 else 0.15
+    elif ratio >= 0.8:
+        shape_penalty = 0.2
+    else:
+        shape_penalty = 0.0
+    width_penalty = 0.18 * max(0, lhs_size - 1)
+    score = 0.55 * depth_evidence + 0.45 * support_evidence
+    return max(0.0, min(1.0, score - shape_penalty - width_penalty))
+
+
+def score_all(table: Table, fds: FDSet) -> list[FDScore]:
+    """Score every non-empty-LHS FD of *fds* on *table*."""
+    return [score_fd(table, fd) for fd in fds if fd.lhs]
+
+
+# ----------------------------------------------------------------------
+# ground-truth evaluation on the synthetic corpus
+# ----------------------------------------------------------------------
+def planted_fd_keys(lineage: TableLineage) -> set[tuple[frozenset[str], str]]:
+    """The FDs the generator planted in one table, in (lhs, rhs) form.
+
+    Planted FDs are attribute dependencies (``fd_parent`` edges) plus
+    their transitive closure (level_3 -> level_1 through level_2).
+    """
+    parent_of = {
+        column.name: column.fd_parent
+        for column in lineage.columns
+        if column.fd_parent is not None
+    }
+    planted: set[tuple[frozenset[str], str]] = set()
+    for child, parent in parent_of.items():
+        planted.add((frozenset({parent}), child))
+        # Deterministic attribute maps are usually *not* injective, so
+        # the reverse direction is not planted; transitive closure is.
+        ancestor = parent_of.get(parent)
+        while ancestor is not None:
+            planted.add((frozenset({ancestor}), child))
+            ancestor = parent_of.get(ancestor)
+    return planted
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassifierEvaluation:
+    """Precision/recall of the FD classifier against planted FDs."""
+
+    total_fds: int
+    planted_fds: int
+    predicted_real: int
+    true_positives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of predicted-real FDs that were planted."""
+        if not self.predicted_real:
+            return 0.0
+        return self.true_positives / self.predicted_real
+
+    @property
+    def recall(self) -> float:
+        """Fraction of planted FDs the classifier keeps."""
+        if not self.planted_fds:
+            return 0.0
+        return self.true_positives / self.planted_fds
+
+    @property
+    def baseline_precision(self) -> float:
+        """Precision of trusting every discovered FD."""
+        if not self.total_fds:
+            return 0.0
+        return self.planted_fds / self.total_fds
+
+
+def evaluate_classifier(
+    scored_by_table: list[tuple[TableLineage, list[FDScore]]],
+) -> ClassifierEvaluation:
+    """Evaluate classifier verdicts against generator ground truth.
+
+    An FD counts as genuinely real when the generator planted it (or a
+    sub-FD of it: a planted ``city -> province`` also makes
+    ``{city, year} -> province`` true, but minimality means we only see
+    the planted form).
+    """
+    total = planted = predicted = hits = 0
+    for lineage, scores in scored_by_table:
+        truth = planted_fd_keys(lineage)
+        for scored in scores:
+            total += 1
+            key = (scored.fd.lhs, scored.fd.rhs)
+            is_planted = key in truth
+            if is_planted:
+                planted += 1
+            if scored.is_real:
+                predicted += 1
+                if is_planted:
+                    hits += 1
+    return ClassifierEvaluation(
+        total_fds=total,
+        planted_fds=planted,
+        predicted_real=predicted,
+        true_positives=hits,
+    )

@@ -1,0 +1,65 @@
+"""Synthetic OGDP corpus generator with ground-truth lineage.
+
+This package is the paper's "live portals" substitute.  It synthesizes
+four CKAN-style portals whose publication pathologies — denormalized
+pre-joined tables, periodic re-publication, Singapore's standardized
+schemas, null-riddled columns, undownloadable resources — are calibrated
+against the paper's own reported statistics, and it records lineage so
+that the join/union labeling oracles can replace the authors' manual
+annotation with ground truth.
+"""
+
+from .base_tables import DimInstance, TopicInstance, build_instance
+from .corruption import CorruptionKnobs, corrupt_and_serialize
+from .domains import Domain, DomainKind, DomainRegistry
+from .lineage import (
+    ColumnLineage,
+    ColumnRole,
+    LineageRecorder,
+    PublicationStyle,
+    TableLineage,
+)
+from .portal_gen import GeneratedPortal, generate_corpus, generate_portal
+from .profiles import (
+    ALL_PROFILES,
+    CA_PROFILE,
+    PROFILES_BY_CODE,
+    PortalProfile,
+    SG_PROFILE,
+    UK_PROFILE,
+    US_PROFILE,
+)
+from .schemas import BLUEPRINTS, TopicBlueprint, blueprint_by_topic
+from .styles import DraftDataset, StyleKnobs, publish
+
+__all__ = [
+    "ALL_PROFILES",
+    "BLUEPRINTS",
+    "CA_PROFILE",
+    "ColumnLineage",
+    "ColumnRole",
+    "CorruptionKnobs",
+    "DimInstance",
+    "Domain",
+    "DomainKind",
+    "DomainRegistry",
+    "DraftDataset",
+    "GeneratedPortal",
+    "LineageRecorder",
+    "PROFILES_BY_CODE",
+    "PortalProfile",
+    "PublicationStyle",
+    "SG_PROFILE",
+    "StyleKnobs",
+    "TableLineage",
+    "TopicBlueprint",
+    "TopicInstance",
+    "UK_PROFILE",
+    "US_PROFILE",
+    "blueprint_by_topic",
+    "build_instance",
+    "corrupt_and_serialize",
+    "generate_corpus",
+    "generate_portal",
+    "publish",
+]

@@ -1,0 +1,277 @@
+"""Semantic value domains.
+
+A :class:`Domain` is the generator's unit of *meaning*: every generated
+column is bound to exactly one domain, and the labeling oracle later
+decides whether a high value overlap between two columns is semantically
+real (same domain) or accidental (different domains that merely share
+spellings — incremental integers being the canonical case).
+
+Domains are either *closed* (a fixed vocabulary, e.g. provinces) or
+*open* (values synthesized on demand, e.g. person names, measures,
+incremental row ids).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import Callable, Sequence
+
+from . import vocab
+
+
+class DomainKind(enum.Enum):
+    """Semantic flavour of a domain; drives column-type ground truth."""
+
+    CATEGORICAL = "categorical"
+    GEO = "geo-spatial"
+    TEMPORAL = "timestamp"
+    STRING = "string"
+    CODE = "code"
+    MEASURE = "measure"
+    INCREMENTAL = "incremental integer"
+    YEAR = "year"
+
+
+@dataclasses.dataclass(frozen=True)
+class Domain:
+    """One semantic value domain.
+
+    ``name`` is the global identity the oracle compares; ``values`` is the
+    closed vocabulary when there is one, otherwise ``make_values`` is
+    called to synthesize *n* distinct values.
+    """
+
+    name: str
+    kind: DomainKind
+    values: tuple | None = None
+    make_values: Callable[[random.Random, int], list] | None = None
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether the domain has a fixed vocabulary."""
+        return self.values is not None
+
+    def draw(self, rng: random.Random, count: int) -> list:
+        """Draw up to *count* distinct values from the domain.
+
+        For a closed domain this is a sample (the whole vocabulary when
+        *count* exceeds it, preserving vocabulary order for realism).
+        """
+        if self.values is not None:
+            if count >= len(self.values):
+                return list(self.values)
+            picked = set(rng.sample(range(len(self.values)), count))
+            return [v for i, v in enumerate(self.values) if i in picked]
+        assert self.make_values is not None
+        return self.make_values(rng, count)
+
+
+def _years(start: int, end: int) -> tuple[int, ...]:
+    return tuple(range(start, end + 1))
+
+
+def _dates(year: int) -> tuple[str, ...]:
+    """ISO dates for a whole year (non-leap lengths are fine here)."""
+    lengths = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+    return tuple(
+        f"{year}-{month:02d}-{day:02d}"
+        for month, month_length in enumerate(lengths, start=1)
+        for day in range(1, month_length + 1)
+    )
+
+
+def _year_months(start: int, end: int) -> tuple[str, ...]:
+    return tuple(
+        f"{year}-{month:02d}"
+        for year in range(start, end + 1)
+        for month in range(1, 13)
+    )
+
+
+def _person_names(rng: random.Random, count: int) -> list[str]:
+    names: set[str] = set()
+    while len(names) < count:
+        names.add(
+            f"{rng.choice(vocab.LAST_NAMES)}, {rng.choice(vocab.FIRST_NAMES)}"
+        )
+    return sorted(names)[:count]
+
+
+def _addresses(rng: random.Random, count: int) -> list[str]:
+    addresses: set[str] = set()
+    while len(addresses) < count:
+        number = rng.randint(1, 9999)
+        street = rng.choice(vocab.STREET_NAMES)
+        kind = rng.choice(("St", "Ave", "Rd", "Blvd", "Dr"))
+        addresses.add(f"{number} {street} {kind}")
+    return sorted(addresses)[:count]
+
+
+def _titles(rng: random.Random, count: int) -> list[str]:
+    titles: set[str] = set()
+    while len(titles) < count:
+        area = rng.choice(vocab.RESEARCH_AREAS)
+        verb = rng.choice(
+            ("Advances in", "Modelling", "Applications of", "Foundations of",
+             "Scaling", "Monitoring")
+        )
+        titles.add(f"{verb} {area} {rng.randint(1, 999)}")
+    return sorted(titles)[:count]
+
+
+def incremental_domain(scope: str) -> Domain:
+    """Row-id domain: values are 1..n, semantically scoped to one table.
+
+    Two different incremental domains overlap heavily as raw integers —
+    exactly the paper's most frequent accidental-join pattern — but the
+    oracle sees distinct names and labels such joins accidental.
+    """
+    return Domain(
+        name=f"id.{scope}",
+        kind=DomainKind.INCREMENTAL,
+        make_values=lambda rng, count: list(range(1, count + 1)),
+    )
+
+
+def code_domain(scope: str, prefix: str, width: int = 3) -> Domain:
+    """Scoped code domain, e.g. fund codes ``F-101``..``F-999``."""
+
+    def make(rng: random.Random, count: int) -> list[str]:
+        """Draw *count* distinct codes."""
+        base = 10 ** (width - 1)
+        codes = rng.sample(range(base, base * 10), count)
+        return [f"{prefix}-{code}" for code in sorted(codes)]
+
+    return Domain(name=f"code.{scope}", kind=DomainKind.CODE, make_values=make)
+
+
+def measure_domain(name: str, low: float, high: float, integral: bool = False) -> Domain:
+    """Open numeric measure domain (counts, amounts, rates)."""
+
+    def make(rng: random.Random, count: int) -> list:
+        """Draw *count* distinct measure values."""
+        if integral:
+            values: set = set()
+            spread = max(int(high - low), count * 4)
+            while len(values) < count:
+                values.add(int(low) + rng.randint(0, spread))
+            return sorted(values)[:count]
+        return sorted(rng.uniform(low, high) for _ in range(count))
+
+    return Domain(
+        name=f"measure.{name}", kind=DomainKind.MEASURE, make_values=make
+    )
+
+
+def coordinate_domain(portal: str, rng: random.Random, pool_size: int = 240) -> Domain:
+    """Per-portal pool of geographic point strings.
+
+    The pool is fixed per portal so that facility registries published in
+    different datasets of the same portal share coordinates — the way one
+    city's open data reuses its own geocoded locations.
+    """
+    base_lat, base_lon = {
+        "SG": (1.35, 103.82),
+        "CA": (45.42, -75.70),
+        "UK": (51.50, -0.12),
+        "US": (38.90, -77.03),
+    }.get(portal, (0.0, 0.0))
+    points = set()
+    while len(points) < pool_size:
+        lat = base_lat + rng.uniform(-3.0, 3.0)
+        lon = base_lon + rng.uniform(-3.0, 3.0)
+        points.add(f"POINT ({lon:.5f} {lat:.5f})")
+    return Domain(
+        name=f"geo.point.{portal}", kind=DomainKind.GEO, values=tuple(sorted(points))
+    )
+
+
+class DomainRegistry:
+    """All shared domains for one portal, keyed by name.
+
+    Closed cross-dataset domains (geo units, years, species, ...) live
+    here; table-scoped domains (ids, codes) are created on the fly by the
+    blueprints and do not need registration.
+    """
+
+    def __init__(self, portal: str, rng: random.Random):
+        self.portal = portal
+        self._domains: dict[str, Domain] = {}
+        for domain in _build_shared_domains(portal, rng):
+            self._domains[domain.name] = domain
+
+    def get(self, name: str) -> Domain:
+        """The registered domain called *name*."""
+        return self._domains[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def names(self) -> list[str]:
+        """All registered domain names, sorted."""
+        return sorted(self._domains)
+
+
+def _build_shared_domains(portal: str, rng: random.Random) -> list[Domain]:
+    geo_units: Sequence[str] = {
+        "SG": vocab.SG_REGIONS,
+        "CA": vocab.CA_PROVINCES,
+        "UK": vocab.UK_COUNCILS,
+        "US": vocab.US_STATES,
+    }[portal]
+    cities: Sequence[str] = {
+        "SG": vocab.SG_REGIONS,
+        "CA": vocab.CA_CITIES,
+        "UK": vocab.UK_CITIES,
+        "US": vocab.US_CITIES,
+    }[portal]
+    domains = [
+        Domain(f"geo.region.{portal}", DomainKind.GEO, tuple(geo_units)),
+        Domain(f"geo.city.{portal}", DomainKind.GEO, tuple(cities)),
+        coordinate_domain(portal, rng),
+        Domain("time.year", DomainKind.YEAR, _years(1990, 2022)),
+        Domain("time.year.recent", DomainKind.YEAR, _years(2010, 2022)),
+        Domain("time.month", DomainKind.CATEGORICAL, tuple(vocab.MONTHS)),
+        Domain("time.quarter", DomainKind.CATEGORICAL, tuple(vocab.QUARTERS)),
+        Domain("time.date.2020", DomainKind.TEMPORAL, _dates(2020)),
+        Domain("time.date.2021", DomainKind.TEMPORAL, _dates(2021)),
+        Domain("time.yearmonth", DomainKind.TEMPORAL, _year_months(2015, 2022)),
+        Domain("cat.species.fish", DomainKind.CATEGORICAL, tuple(vocab.FISH_SPECIES)),
+        Domain("cat.species.group", DomainKind.CATEGORICAL, tuple(vocab.FISH_GROUPS)),
+        Domain("cat.industry.l1", DomainKind.CATEGORICAL, tuple(vocab.INDUSTRY_LEVEL1)),
+        Domain("cat.industry.l2", DomainKind.CATEGORICAL, tuple(vocab.INDUSTRY_LEVEL2)),
+        Domain("cat.fund_type", DomainKind.CATEGORICAL, tuple(vocab.FUND_TYPES)),
+        Domain("cat.department", DomainKind.CATEGORICAL, tuple(vocab.DEPARTMENTS)),
+        Domain("cat.crime_type", DomainKind.CATEGORICAL, tuple(vocab.CRIME_TYPES)),
+        Domain("cat.property_type", DomainKind.CATEGORICAL, tuple(vocab.PROPERTY_TYPES)),
+        Domain("cat.disease", DomainKind.CATEGORICAL, tuple(vocab.DISEASES)),
+        Domain("cat.age_group", DomainKind.CATEGORICAL, tuple(vocab.AGE_GROUPS)),
+        Domain("cat.gender", DomainKind.CATEGORICAL, tuple(vocab.GENDERS)),
+        Domain("cat.energy_source", DomainKind.CATEGORICAL, tuple(vocab.ENERGY_SOURCES)),
+        Domain("cat.crop", DomainKind.CATEGORICAL, tuple(vocab.CROP_TYPES)),
+        Domain("cat.vehicle_type", DomainKind.CATEGORICAL, tuple(vocab.VEHICLE_TYPES)),
+        Domain("cat.school_type", DomainKind.CATEGORICAL, tuple(vocab.SCHOOL_TYPES)),
+        Domain("cat.occupation", DomainKind.CATEGORICAL, tuple(vocab.OCCUPATIONS)),
+        Domain("cat.tenure", DomainKind.CATEGORICAL, tuple(vocab.HOUSING_TENURES)),
+        Domain("cat.tax_bracket", DomainKind.CATEGORICAL, tuple(vocab.TAX_BRACKETS)),
+        Domain("cat.transport_mode", DomainKind.CATEGORICAL, tuple(vocab.TRANSPORT_MODES)),
+        Domain("cat.waste_stream", DomainKind.CATEGORICAL, tuple(vocab.WASTE_STREAMS)),
+        Domain("cat.permit_type", DomainKind.CATEGORICAL, tuple(vocab.PERMIT_TYPES)),
+        Domain("cat.university", DomainKind.CATEGORICAL, tuple(vocab.UNIVERSITIES)),
+        Domain("cat.research_area", DomainKind.CATEGORICAL, tuple(vocab.RESEARCH_AREAS)),
+        Domain("cat.sg_level1", DomainKind.CATEGORICAL, tuple(vocab.SG_LEVEL1)),
+        Domain("cat.party", DomainKind.CATEGORICAL, tuple(vocab.PARTIES)),
+        Domain("cat.pollutant", DomainKind.CATEGORICAL, tuple(vocab.POLLUTANTS)),
+        Domain("cat.license_type", DomainKind.CATEGORICAL, tuple(vocab.LICENSE_TYPES)),
+        Domain("cat.road_class", DomainKind.CATEGORICAL, tuple(vocab.ROAD_CLASSES)),
+        Domain("cat.assistance_program", DomainKind.CATEGORICAL,
+               tuple(vocab.ASSISTANCE_PROGRAMS)),
+        Domain("cat.water_parameter", DomainKind.CATEGORICAL,
+               tuple(vocab.WATER_PARAMETERS)),
+        Domain("str.person", DomainKind.STRING, make_values=_person_names),
+        Domain("str.address", DomainKind.STRING, make_values=_addresses),
+        Domain("str.project_title", DomainKind.STRING, make_values=_titles),
+    ]
+    return domains

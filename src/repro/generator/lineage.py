@@ -1,0 +1,129 @@
+"""Ground-truth provenance for every generated table and column.
+
+The paper's most labour-intensive step is manual labeling of joinable and
+unionable pairs.  Our substitute is lineage: because we generate the
+corpus, we can record *why* each table and column exists — its semantic
+domain, its role, which base table it came from, which publication style
+produced it.  The labeling oracles in :mod:`repro.joinability.labeling`
+and :mod:`repro.unionability.labeling` are pure functions of this record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class PublicationStyle(enum.Enum):
+    """How a logical database was turned into published CSVs."""
+
+    DENORMALIZED_SINGLE = "denormalized-single"
+    SEMI_NORMALIZED = "semi-normalized"
+    PERIODIC = "periodic"
+    PARTITIONED = "partitioned"
+    SG_STANDARD = "sg-standard"
+    DUPLICATE = "duplicate"
+
+
+class ColumnRole(enum.Enum):
+    """What a column *is* within its table."""
+
+    ID = "id"                    # incremental surrogate key
+    ENTITY_KEY = "entity-key"    # natural key of an entity (code, name)
+    ATTRIBUTE = "attribute"      # descriptive attribute (FD target)
+    MEASURE = "measure"          # numeric statistic
+    TEMPORAL = "temporal"        # date / year / period
+    GEO = "geo"                  # geographic unit or point
+    LEVEL = "level"              # SG-standard hierarchy level
+    VALUE = "value"              # SG-standard melted value column
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnLineage:
+    """Ground truth for one published column."""
+
+    name: str
+    domain_name: str
+    role: ColumnRole
+    #: True when this column is the designated link of a semi-normalized
+    #: fact/entity pair (i.e. a real foreign-key / primary-key column).
+    is_link: bool = False
+    #: Name of the column (in the same table) this one functionally
+    #: depends on, when the generator planted the FD; None otherwise.
+    fd_parent: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class TableLineage:
+    """Ground truth for one published table (CSV resource)."""
+
+    portal: str
+    dataset_id: str
+    resource_id: str
+    table_name: str
+    #: Fine-grained topic, e.g. "covid_testing".
+    topic: str
+    #: Coarse topical category, e.g. "health" — drives the paper's
+    #: related-vs-unrelated (R-Acc vs U-Acc) distinction.
+    category: str
+    style: PublicationStyle
+    #: Identifier of the logical database ("family") this table was
+    #: published from; all sub-tables, periods and partitions of one
+    #: topic instance share it.
+    family_id: str
+    columns: tuple[ColumnLineage, ...]
+    #: Kind of sub-table within the family: "fact", "entity:<name>",
+    #: or "melted" for SG-standard tables.
+    subtable_kind: str = "fact"
+    #: Period label for periodic publications (e.g. "2019"), else None.
+    period: str | None = None
+    #: Partition value for attribute-partitioned publications, else None.
+    partition_value: str | None = None
+    #: resource_id of the original when this table is a re-publication.
+    duplicate_of: str | None = None
+    #: Number of preamble (title) rows the corruption layer prepended.
+    preamble_rows: int = 0
+    #: Whether the corruption layer blew the table up past the width
+    #: cutoff (repeated periodical columns — should be dropped by clean).
+    wide_malformed: bool = False
+
+    def column(self, name: str) -> ColumnLineage | None:
+        """Lineage of the column called *name*, or None."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        return None
+
+    @property
+    def header(self) -> tuple[str, ...]:
+        """Ground-truth header names, in order."""
+        return tuple(c.name for c in self.columns)
+
+
+class LineageRecorder:
+    """Corpus-wide registry of table lineage, keyed by resource id."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableLineage] = {}
+
+    def record(self, lineage: TableLineage) -> None:
+        """Register one table's lineage (resource ids must be unique)."""
+        if lineage.resource_id in self._tables:
+            raise ValueError(
+                f"duplicate lineage for resource {lineage.resource_id!r}"
+            )
+        self._tables[lineage.resource_id] = lineage
+
+    def get(self, resource_id: str) -> TableLineage:
+        """The lineage of *resource_id*; raises KeyError if unknown."""
+        return self._tables[resource_id]
+
+    def maybe_get(self, resource_id: str) -> TableLineage | None:
+        """The lineage of *resource_id*, or None if unknown."""
+        return self._tables.get(resource_id)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self):
+        return iter(self._tables.values())

@@ -1,0 +1,468 @@
+"""End-to-end synthesis of one portal: catalog, bytes, and lineage.
+
+``generate_portal`` builds the full simulated OGDP for one profile:
+
+1. instantiate topic blueprints into logical databases,
+2. publish them through the profile's style mix,
+3. corrupt + serialize every table into the blob store,
+4. emit the CKAN catalog (datasets, resources, URLs, dates, metadata),
+5. record ground-truth lineage for every published table.
+
+``generate_corpus`` does this for all four portals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import math
+import random
+
+from ..portal.models import Dataset, MetadataKind, Portal, Resource
+from ..portal.store import BlobStore, FailureMode
+from . import vocab
+from .base_tables import build_instance
+from .corruption import corrupt_and_serialize, masquerade_payload
+from .domains import DomainRegistry
+from .lineage import LineageRecorder, PublicationStyle, TableLineage
+from .profiles import ALL_PROFILES, PortalProfile
+from .schemas import BLUEPRINTS, TopicBlueprint
+from .styles import DraftDataset, publish
+
+_METADATA_KINDS = (
+    MetadataKind.STRUCTURED,
+    MetadataKind.UNSTRUCTURED,
+    MetadataKind.OUTSIDE_PORTAL,
+    MetadataKind.LACKING,
+)
+
+#: Non-CSV formats that pad out dataset resource lists.
+_EXTRA_FORMATS = ("PDF", "HTML", "XLSX", "JSON")
+
+
+@dataclasses.dataclass
+class GeneratedPortal:
+    """One synthesized portal plus everything analyses need."""
+
+    portal: Portal
+    store: BlobStore
+    lineage: LineageRecorder
+    profile: PortalProfile
+
+
+def generate_portal(
+    profile: PortalProfile, seed: int = 7, scale: float = 1.0
+) -> GeneratedPortal:
+    """Generate the simulated portal for *profile* at the given scale."""
+    rng = random.Random(f"{seed}:{profile.code}:portal")
+    registry = DomainRegistry(
+        profile.code, random.Random(f"{seed}:{profile.code}:domains")
+    )
+    store = BlobStore()
+    lineage = LineageRecorder()
+    organizations = _organizations(profile, rng)
+
+    target_tables = max(6, round(profile.table_target * scale))
+    datasets: list[Dataset] = []
+    readable_count = 0
+    family_counter = 0
+    dataset_counter = 0
+    blueprint_cycle = _blueprint_cycle(rng)
+
+    while readable_count < target_tables:
+        family_counter += 1
+        blueprint = next(blueprint_cycle)
+        style = _pick_style(blueprint, profile, rng)
+        family_id = f"{profile.code.lower()}-fam-{family_counter:04d}"
+        instance_rows = _instance_row_target(
+            profile, style, rng, blueprint, registry
+        )
+        instance = build_instance(
+            blueprint,
+            registry,
+            random.Random(f"{seed}:{family_id}"),
+            family_id,
+            instance_rows,
+            duplicate_rate=profile.duplicate_row_rate,
+            coverage_full_probability=profile.coverage_full_probability,
+            measure_resolutions=profile.measure_resolutions,
+            entity_cardinality_scale=profile.entity_cardinality_scale,
+        )
+        drafts = publish(instance, style, rng, profile.style_knobs)
+        for draft_dataset in drafts:
+            dataset_counter += 1
+            dataset, published = _materialize_dataset(
+                draft_dataset,
+                dataset_counter,
+                profile,
+                rng,
+                store,
+                lineage,
+                organizations,
+            )
+            datasets.append(dataset)
+            readable_count += published
+
+    _append_duplicates(datasets, profile, rng, store, lineage)
+    datasets.extend(
+        _plain_datasets(profile, rng, len(datasets), organizations)
+    )
+    rng.shuffle(datasets)
+    portal = Portal(code=profile.code, name=profile.name, datasets=datasets)
+    return GeneratedPortal(
+        portal=portal, store=store, lineage=lineage, profile=profile
+    )
+
+
+def generate_corpus(
+    seed: int = 7,
+    scale: float = 1.0,
+    portal_codes: tuple[str, ...] | None = None,
+) -> dict[str, GeneratedPortal]:
+    """Generate all portals (or the selected subset) at *scale*."""
+    corpus: dict[str, GeneratedPortal] = {}
+    for profile in ALL_PROFILES:
+        if portal_codes is not None and profile.code not in portal_codes:
+            continue
+        corpus[profile.code] = generate_portal(profile, seed=seed, scale=scale)
+    return corpus
+
+
+# ----------------------------------------------------------------------
+# dataset materialization
+# ----------------------------------------------------------------------
+def _materialize_dataset(
+    draft: DraftDataset,
+    dataset_counter: int,
+    profile: PortalProfile,
+    rng: random.Random,
+    store: BlobStore,
+    lineage: LineageRecorder,
+    organizations: list[str],
+) -> tuple[Dataset, int]:
+    """Turn a draft dataset into a catalog entry; returns readable count."""
+    code = profile.code
+    dataset_id = f"{code.lower()}-ds-{dataset_counter:05d}"
+    organization = rng.choice(organizations)
+    metadata_kind = _METADATA_KINDS[
+        _weighted_index(profile.metadata_mix, rng)
+    ]
+    published_date = _publication_date(profile, rng)
+
+    resources: list[Resource] = []
+    readable = 0
+    for table_index, table_draft in enumerate(draft.tables, start=1):
+        resource_id = f"{dataset_id}-r{table_index:02d}"
+        url = f"https://ogdp.sim/{code.lower()}/{dataset_id}/{resource_id}.csv"
+        resources.append(
+            Resource(
+                resource_id=resource_id,
+                name=table_draft.name,
+                declared_format="CSV",
+                url=url,
+            )
+        )
+        downloadable = rng.random() < profile.downloadable_rate
+        if not downloadable:
+            store.put_failure(url, _failure_mode(rng))
+        elif rng.random() < profile.masquerade_rate:
+            store.put(url, masquerade_payload(rng))
+        else:
+            outcome = corrupt_and_serialize(
+                table_draft, profile.corruption, rng, organization
+            )
+            store.put(url, outcome.payload)
+            if not outcome.transposed:
+                readable += 1
+            lineage.record(
+                TableLineage(
+                    portal=code,
+                    dataset_id=dataset_id,
+                    resource_id=resource_id,
+                    table_name=table_draft.name,
+                    topic=draft.topic,
+                    category=draft.category,
+                    style=draft.style,
+                    family_id=draft.family_id,
+                    columns=tuple(table_draft.lineage_columns),
+                    subtable_kind=table_draft.subtable_kind,
+                    period=table_draft.period,
+                    partition_value=table_draft.partition_value,
+                    preamble_rows=outcome.preamble_rows,
+                    wide_malformed=outcome.wide_malformed,
+                )
+            )
+    if metadata_kind is MetadataKind.STRUCTURED and rng.random() < 0.5:
+        resources.append(_dictionary_resource(dataset_id, draft, store))
+    elif metadata_kind is MetadataKind.UNSTRUCTURED:
+        resources.append(_pdf_resource(dataset_id, rng, store))
+
+    dataset = Dataset(
+        dataset_id=dataset_id,
+        title=draft.title,
+        description=draft.description,
+        topic=draft.topic,
+        organization=organization,
+        published=published_date,
+        metadata_kind=metadata_kind,
+        resources=tuple(resources),
+    )
+    return dataset, readable
+
+
+def _dictionary_resource(
+    dataset_id: str, draft: DraftDataset, store: BlobStore
+) -> Resource:
+    """A structured (CSV) data dictionary describing the first table."""
+    header = "column,description\n"
+    body = "".join(
+        f"{name},Description of {name.replace('_', ' ')}\n"
+        for name in draft.tables[0].header
+    )
+    url = f"https://ogdp.sim/meta/{dataset_id}-dictionary.csv"
+    store.put(url, (header + body).encode("utf-8"))
+    return Resource(
+        resource_id=f"{dataset_id}-dict",
+        name="data dictionary",
+        declared_format="CSV-DICT",
+        url=url,
+    )
+
+
+def _pdf_resource(
+    dataset_id: str, rng: random.Random, store: BlobStore
+) -> Resource:
+    url = f"https://ogdp.sim/meta/{dataset_id}-notes.pdf"
+    store.put(url, b"%PDF-1.4\n% documentation stub\n%%EOF\n")
+    return Resource(
+        resource_id=f"{dataset_id}-notes",
+        name="methodology notes",
+        declared_format="PDF",
+        url=url,
+    )
+
+
+# ----------------------------------------------------------------------
+# duplicates, plain datasets, helpers
+# ----------------------------------------------------------------------
+def _append_duplicates(
+    datasets: list[Dataset],
+    profile: PortalProfile,
+    rng: random.Random,
+    store: BlobStore,
+    lineage: LineageRecorder,
+) -> None:
+    """Re-publish a sample of tables under new datasets (US pattern)."""
+    if profile.duplicate_rate <= 0:
+        return
+    candidates = [
+        (dataset, resource)
+        for dataset in datasets
+        for resource in dataset.csv_resources
+        if lineage.maybe_get(resource.resource_id) is not None
+    ]
+    count = round(len(candidates) * profile.duplicate_rate)
+    if count == 0:
+        return
+    for index, (dataset, resource) in enumerate(
+        rng.sample(candidates, min(count, len(candidates))), start=1
+    ):
+        original = lineage.get(resource.resource_id)
+        blob = store.get(resource.url)
+        assert blob is not None and blob.ok
+        dup_dataset_id = f"{profile.code.lower()}-dup-{index:05d}"
+        dup_resource_id = f"{dup_dataset_id}-r01"
+        url = (
+            f"https://ogdp.sim/{profile.code.lower()}/"
+            f"{dup_dataset_id}/{dup_resource_id}.csv"
+        )
+        store.put(url, blob.content)
+        lineage.record(
+            dataclasses.replace(
+                original,
+                dataset_id=dup_dataset_id,
+                resource_id=dup_resource_id,
+                style=PublicationStyle.DUPLICATE,
+                duplicate_of=resource.resource_id,
+            )
+        )
+        datasets.append(
+            Dataset(
+                dataset_id=dup_dataset_id,
+                title=f"{dataset.title} (mirror)",
+                description=dataset.description,
+                topic=dataset.topic,
+                organization=dataset.organization,
+                published=_publication_date(profile, rng),
+                metadata_kind=MetadataKind.LACKING,
+                resources=(
+                    Resource(
+                        resource_id=dup_resource_id,
+                        name=resource.name,
+                        declared_format="CSV",
+                        url=url,
+                    ),
+                ),
+            )
+        )
+
+
+def _plain_datasets(
+    profile: PortalProfile,
+    rng: random.Random,
+    csv_dataset_count: int,
+    organizations: list[str],
+) -> list[Dataset]:
+    """Datasets that publish no CSV at all (PDF/HTML only)."""
+    rate = profile.plain_dataset_rate
+    if rate <= 0:
+        return []
+    count = round(csv_dataset_count * rate / (1.0 - rate))
+    datasets = []
+    for index in range(1, count + 1):
+        dataset_id = f"{profile.code.lower()}-doc-{index:05d}"
+        fmt = rng.choice(_EXTRA_FORMATS)
+        datasets.append(
+            Dataset(
+                dataset_id=dataset_id,
+                title=f"Report {index}: {rng.choice(vocab.RESEARCH_AREAS)}",
+                description="Narrative publication without tabular data.",
+                topic="documentation",
+                organization=rng.choice(organizations),
+                published=_publication_date(profile, rng),
+                # Document-only datasets follow the portal's metadata
+                # habits too (Table 3 samples over the whole catalog).
+                metadata_kind=_METADATA_KINDS[
+                    _weighted_index(profile.metadata_mix, rng)
+                ],
+                resources=(
+                    Resource(
+                        resource_id=f"{dataset_id}-r01",
+                        name="report",
+                        declared_format=fmt,
+                        url=f"https://ogdp.sim/docs/{dataset_id}.{fmt.lower()}",
+                    ),
+                ),
+            )
+        )
+    return datasets
+
+
+def _blueprint_cycle(rng: random.Random):
+    """Endless shuffled stream of blueprints (repeats = new families)."""
+    while True:
+        order = list(BLUEPRINTS)
+        rng.shuffle(order)
+        yield from order
+
+
+def _pick_style(
+    blueprint: TopicBlueprint, profile: PortalProfile, rng: random.Random
+) -> PublicationStyle:
+    weights = profile.style_weights
+    entity_series = (
+        len(blueprint.dims) == 2
+        and blueprint.temporal_dim is not None
+        and any(d.is_entity for d in blueprint.dims)
+    )
+    candidates: list[PublicationStyle] = []
+    probabilities: list[float] = []
+    for style, weight in weights.items():
+        if style is PublicationStyle.PERIODIC and blueprint.temporal_dim is None:
+            continue
+        if style is PublicationStyle.PARTITIONED and blueprint.partition_dim is None:
+            continue
+        if style is PublicationStyle.PERIODIC and entity_series:
+            # Registries measured yearly (schools, parks, hospitals) are
+            # exactly the topics publishers re-publish per period; each
+            # period's table is then keyed by the entity, which is what
+            # gives CA/UK their mass of non-growing (ratio ~1) joins.
+            weight *= 3.0
+        candidates.append(style)
+        probabilities.append(weight)
+    return rng.choices(candidates, weights=probabilities, k=1)[0]
+
+
+def _instance_row_target(
+    profile: PortalProfile,
+    style: PublicationStyle,
+    rng: random.Random,
+    blueprint: TopicBlueprint,
+    registry: DomainRegistry,
+) -> int:
+    """Fact-row budget so that each *published* table hits the portal's
+    row-size model.
+
+    Periodic and partitioned styles split the fact along an axis, so the
+    instance must be roughly ``per-table target x axis cardinality``.
+    """
+    per_table = int(
+        math.exp(rng.normalvariate(math.log(profile.row_median), profile.row_sigma))
+    )
+    per_table = max(8, min(per_table, profile.row_cap))
+    axis = None
+    if style is PublicationStyle.PERIODIC:
+        axis = blueprint.temporal_dim
+    elif style is PublicationStyle.PARTITIONED:
+        axis = blueprint.partition_dim
+    if axis is None:
+        return per_table
+    cardinality = _axis_cardinality(blueprint.dim(axis), registry)
+    return min(120_000, int(per_table * cardinality * 0.85))
+
+
+def _axis_cardinality(spec, registry: DomainRegistry) -> int:
+    """Approximate number of distinct values the axis dimension takes."""
+    source = spec.source
+    if source.startswith(("code:", "derived:")):
+        return max(2, sum(spec.open_cardinality) // 2)
+    if source in ("geo.region", "geo.city", "geo.point"):
+        domain = registry.get(f"{source}.{registry.portal}")
+    elif source.startswith("str."):
+        return max(2, sum(spec.open_cardinality) // 2)
+    else:
+        domain = registry.get(source)
+    if domain.values is None:
+        return max(2, sum(spec.open_cardinality) // 2)
+    return max(2, len(domain.values))
+
+
+def _failure_mode(rng: random.Random) -> FailureMode:
+    return rng.choices(
+        (FailureMode.NOT_FOUND, FailureMode.GONE, FailureMode.SERVER_ERROR,
+         FailureMode.TIMEOUT),
+        weights=(0.6, 0.1, 0.2, 0.1),
+    )[0]
+
+
+def _publication_date(
+    profile: PortalProfile, rng: random.Random
+) -> datetime.date:
+    growth = profile.growth
+    start = datetime.date(growth.start_year, 1, 1)
+    end = datetime.date(growth.end_year, 12, 31)
+    span = (end - start).days
+    if growth.kind == "linear":
+        return start + datetime.timedelta(days=rng.randint(0, span))
+    bulk_dates = [
+        start + datetime.timedelta(days=round(span * fraction))
+        for fraction in (0.15, 0.5, 0.82)
+    ]
+    if rng.random() < growth.bulk_fraction:
+        # One migration dominates, as observed on the bulk-ingested
+        # portals: the cumulative curve becomes a step function.
+        return rng.choices(bulk_dates, weights=(0.15, 0.65, 0.2))[0]
+    return start + datetime.timedelta(days=rng.randint(0, span))
+
+
+def _weighted_index(weights: tuple[float, ...], rng: random.Random) -> int:
+    return rng.choices(range(len(weights)), weights=weights, k=1)[0]
+
+
+def _organizations(profile: PortalProfile, rng: random.Random) -> list[str]:
+    names: set[str] = set()
+    while len(names) < profile.organization_count:
+        names.add(
+            f"{rng.choice(vocab.DEPARTMENTS)} {rng.choice(vocab.ORG_SUFFIXES)}"
+        )
+    return sorted(names)

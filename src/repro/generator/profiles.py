@@ -1,0 +1,277 @@
+"""Calibrated publication-style profiles for the four portals.
+
+Every number here is read off the paper's own tables (noted inline) and
+expressed as a *rate* so the corpus can be generated at any scale.  The
+scale knob multiplies table/dataset counts only; all per-table and
+per-column rates are scale-free, which is why the reproduced statistics
+keep the paper's shapes at 1/100th the size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .corruption import CorruptionKnobs
+from .lineage import PublicationStyle
+from .styles import StyleKnobs
+
+
+@dataclasses.dataclass(frozen=True)
+class GrowthModel:
+    """How dataset publication dates are distributed (paper Fig. 2).
+
+    ``linear`` spreads publications smoothly over the window (UK — the
+    only portal the paper could chart); ``steps`` concentrates most
+    publications on a few bulk-ingest dates (the step-function curves
+    that made the other portals unchartable).
+    """
+
+    kind: str  # "linear" | "steps"
+    start_year: int = 2017
+    end_year: int = 2022
+    #: For "steps": fraction of datasets landing on bulk-ingest dates.
+    bulk_fraction: float = 0.75
+
+
+@dataclasses.dataclass(frozen=True)
+class PortalProfile:
+    """All generation parameters for one portal."""
+
+    code: str
+    name: str
+    #: Readable-CSV-table target at scale 1.0 (paper Table 1, ~1/110).
+    table_target: int
+    #: Datasets that carry no CSV at all (inflates dataset counts the
+    #: way the US portal's catalog dwarfs its CSV holdings).
+    plain_dataset_rate: float
+    style_weights: dict[PublicationStyle, float]
+    #: Log-normal row-count model: (median, sigma); capped at row_cap.
+    row_median: int
+    row_sigma: float
+    row_cap: int
+    downloadable_rate: float
+    masquerade_rate: float
+    #: Metadata presence mix (paper Table 3):
+    #: (structured, unstructured, outside portal, lacking).
+    metadata_mix: tuple[float, float, float, float]
+    growth: GrowthModel
+    corruption: CorruptionKnobs
+    style_knobs: StyleKnobs
+    #: Probability a published table is re-published verbatim under a
+    #: second dataset (paper §6: "Duplicate tables in US").
+    duplicate_rate: float
+    #: Probability a fact combination appears twice (breaks composite
+    #: keys; drives the ~10% of tables with no key of size <= 3).
+    duplicate_row_rate: float
+    #: Number of organizations publishing on the portal.
+    organization_count: int = 24
+    #: Probability a closed-domain dimension covers its whole vocabulary
+    #: (full-coverage columns are what overlap near-perfectly across
+    #: tables and drive the joinability degrees).
+    coverage_full_probability: float = 0.45
+    #: Measure value-grid mix ((grid size, weight), ...): small grids
+    #: repeat values (no accidental keys), huge grids leave small
+    #: tables with unique measures (accidental float keys).
+    measure_resolutions: tuple[tuple[int, float], ...] = (
+        (200, 0.25), (1000, 0.30), (5000, 0.25), (100_000, 0.20),
+    )
+    #: Multiplier on open-domain entity cardinalities (bigger portals
+    #: publish bigger registries: more schools, parks, facilities).
+    entity_cardinality_scale: float = 1.0
+
+
+SG_PROFILE = PortalProfile(
+    code="SG",
+    name="Singapore",
+    table_target=85,
+    plain_dataset_rate=0.02,
+    style_weights={
+        PublicationStyle.SG_STANDARD: 0.60,
+        PublicationStyle.PARTITIONED: 0.12,
+        PublicationStyle.PERIODIC: 0.10,
+        PublicationStyle.SEMI_NORMALIZED: 0.09,
+        PublicationStyle.DENORMALIZED_SINGLE: 0.09,
+    },
+    row_median=95,          # Table 2: median rows 95
+    row_sigma=1.1,
+    row_cap=4000,
+    downloadable_rate=0.99,  # Table 1: 2376 / 2399
+    masquerade_rate=0.0,
+    metadata_mix=(1.0, 0.0, 0.0, 0.0),  # Table 3: SG 100% structured
+    growth=GrowthModel("steps"),
+    corruption=CorruptionKnobs(
+        column_null_probability=0.05,   # Fig 4: 95% of SG columns null-free
+        heavy_null_probability=0.08,
+        full_null_probability=0.002,
+        trailing_empty_probability=0.01,
+        preamble_probability=0.01,
+        unnamed_header_probability=0.0,  # header inference 100% on SG
+        wide_malformed_probability=0.0,  # no wide tables observed in SG
+        transpose_probability=0.0,
+    ),
+    style_knobs=StyleKnobs(
+        inline_attr_probability=0.40,
+        add_id_probability=0.12,
+        aspect_probability=0.2,
+        periodic_same_dataset_probability=0.5,
+        sg_shared_hierarchy_probability=0.75,
+        sg_with_level2_probability=0.62,
+        sg_with_level3_probability=0.15,
+        extra_column_range=(0, 1),
+        max_periods=(3, 6),
+        max_partitions=(3, 6),
+    ),
+    duplicate_rate=0.0,
+    duplicate_row_rate=0.06,
+    organization_count=12,
+    coverage_full_probability=0.45,
+    measure_resolutions=((200, 0.30), (1000, 0.25), (5000, 0.15), (100_000, 0.30)),
+    entity_cardinality_scale=0.8,
+)
+
+CA_PROFILE = PortalProfile(
+    code="CA",
+    name="Canada",
+    table_target=170,
+    plain_dataset_rate=0.25,
+    style_weights={
+        PublicationStyle.PERIODIC: 0.34,
+        PublicationStyle.SEMI_NORMALIZED: 0.30,
+        PublicationStyle.PARTITIONED: 0.16,
+        PublicationStyle.DENORMALIZED_SINGLE: 0.20,
+    },
+    row_median=190,         # Table 2: median rows 148
+    row_sigma=1.5,
+    row_cap=9000,
+    downloadable_rate=0.41,  # Table 1: 14985 / 36373
+    masquerade_rate=0.006,   # Table 1: 72 of 14985 unreadable
+    metadata_mix=(0.04, 0.08, 0.29, 0.59),  # Table 3
+    growth=GrowthModel("steps"),
+    corruption=CorruptionKnobs(
+        column_null_probability=0.65,   # §3.3: half of columns have nulls
+        heavy_null_probability=0.38,    # 23% of CA columns > half empty
+        full_null_probability=0.04,
+        trailing_empty_probability=0.12,
+        preamble_probability=0.05,
+        unnamed_header_probability=0.07,  # header accuracy 93% on CA
+        wide_malformed_probability=0.014,  # 1.4% removed by width cutoff
+        transpose_probability=0.004,
+    ),
+    style_knobs=StyleKnobs(
+        inline_attr_probability=0.72,
+        add_id_probability=0.22,
+        aspect_probability=0.4,
+        periodic_same_dataset_probability=0.60,
+        periodic_entities_probability=0.25,
+        extra_column_range=(2, 5),
+        max_periods=(5, 12),
+        max_partitions=(3, 9),
+    ),
+    duplicate_rate=0.005,
+    duplicate_row_rate=0.10,
+    coverage_full_probability=0.22,
+    measure_resolutions=((200, 0.30), (1000, 0.35), (5000, 0.25), (100_000, 0.10)),
+    entity_cardinality_scale=1.3,
+)
+
+UK_PROFILE = PortalProfile(
+    code="UK",
+    name="United Kingdom",
+    table_target=300,
+    plain_dataset_rate=0.30,
+    style_weights={
+        PublicationStyle.PERIODIC: 0.50,
+        PublicationStyle.SEMI_NORMALIZED: 0.20,
+        PublicationStyle.PARTITIONED: 0.16,
+        PublicationStyle.DENORMALIZED_SINGLE: 0.14,
+    },
+    row_median=115,         # Table 2: median rows 86
+    row_sigma=1.6,
+    row_cap=9000,
+    downloadable_rate=0.45,  # Table 1: 35193 / 78146
+    masquerade_rate=0.008,
+    metadata_mix=(0.04, 0.05, 0.03, 0.88),  # Table 3
+    growth=GrowthModel("linear"),  # Fig 2 charts UK's near-linear growth
+    corruption=CorruptionKnobs(
+        column_null_probability=0.72,
+        heavy_null_probability=0.18,    # 13% of UK columns > half empty
+        full_null_probability=0.035,
+        trailing_empty_probability=0.10,
+        preamble_probability=0.07,
+        unnamed_header_probability=0.04,  # header accuracy 96% on UK
+        wide_malformed_probability=0.048,  # 4.8% removed by width cutoff
+        transpose_probability=0.006,
+    ),
+    style_knobs=StyleKnobs(
+        inline_attr_probability=0.80,
+        add_id_probability=0.30,
+        aspect_probability=0.35,
+        periodic_same_dataset_probability=0.68,
+        periodic_entities_probability=0.25,
+        extra_column_range=(2, 5),
+        max_periods=(6, 14),
+        max_partitions=(3, 10),
+    ),
+    duplicate_rate=0.004,
+    duplicate_row_rate=0.10,
+    organization_count=36,
+    coverage_full_probability=0.18,
+    measure_resolutions=((200, 0.30), (1000, 0.30), (5000, 0.20), (100_000, 0.20)),
+    entity_cardinality_scale=1.1,
+)
+
+US_PROFILE = PortalProfile(
+    code="US",
+    name="United States",
+    table_target=230,
+    plain_dataset_rate=0.55,
+    style_weights={
+        PublicationStyle.DENORMALIZED_SINGLE: 0.44,
+        PublicationStyle.PERIODIC: 0.28,
+        PublicationStyle.SEMI_NORMALIZED: 0.16,
+        PublicationStyle.PARTITIONED: 0.12,
+    },
+    row_median=1000,        # Table 2: median rows 447
+    row_sigma=1.7,
+    row_cap=15000,
+    downloadable_rate=0.57,  # Table 1: 26503 / 46155
+    masquerade_rate=0.004,
+    metadata_mix=(0.0, 0.0, 0.27, 0.73),  # Table 3
+    growth=GrowthModel("steps"),
+    corruption=CorruptionKnobs(
+        column_null_probability=0.70,
+        heavy_null_probability=0.17,    # 13% of US columns > half empty
+        full_null_probability=0.035,
+        trailing_empty_probability=0.08,
+        preamble_probability=0.04,
+        unnamed_header_probability=0.05,  # header accuracy 97% on US
+        wide_malformed_probability=0.021,  # 2.1% removed by width cutoff
+        transpose_probability=0.004,
+    ),
+    style_knobs=StyleKnobs(
+        inline_attr_probability=0.85,
+        add_id_probability=0.55,  # the "objectid" habit; US keys aplenty
+        aspect_probability=0.3,
+        periodic_same_dataset_probability=0.15,  # periods as own datasets
+        periodic_entities_probability=0.12,
+        extra_column_range=(2, 5),
+        max_periods=(3, 7),
+        max_partitions=(3, 8),
+    ),
+    duplicate_rate=0.10,    # §6: duplicate-table pattern specific to US
+    duplicate_row_rate=0.08,
+    organization_count=40,
+    coverage_full_probability=0.30,
+    measure_resolutions=((1000, 0.20), (5000, 0.30), (100_000, 0.50)),
+    entity_cardinality_scale=2.5,
+)
+
+#: All four portals in the paper's presentation order.
+ALL_PROFILES: tuple[PortalProfile, ...] = (
+    SG_PROFILE,
+    CA_PROFILE,
+    UK_PROFILE,
+    US_PROFILE,
+)
+
+PROFILES_BY_CODE = {p.code: p for p in ALL_PROFILES}

@@ -1,0 +1,592 @@
+"""Topic blueprints: declarative logical schemas for synthetic datasets.
+
+A blueprint describes one *logical database* about a topic: a fact table
+over dimensions (some of which are entities with descriptive attributes)
+plus numeric measures.  Publication styles (:mod:`repro.generator.styles`)
+then turn a blueprint instance into CSVs the way OGDP publishers do —
+pre-joined, split by period, split by category, or melted into SG's
+standardized schemas.
+
+The functional dependencies the paper finds everywhere are planted here:
+every :class:`AttributeSpec` on a dimension yields an FD ``dim -> attr``
+once the attribute is denormalized into the published fact table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class AttributeSpec:
+    """A descriptive attribute functionally determined by its dimension.
+
+    ``source`` is either a shared-domain name (the attribute value is a
+    deterministic mapping of the key into that vocabulary) or a
+    ``derived:<kind>`` factory implemented in ``base_tables``.
+    """
+
+    column: str
+    source: str
+    #: Probability the instantiated dimension actually carries this
+    #: attribute (decided once per family, so sibling tables agree).
+    probability: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class DimSpec:
+    """One dimension of the fact table.
+
+    ``source`` is a shared-domain name (``cat.*``, ``geo.*``, ``time.*``,
+    ``str.*``), or a scoped factory: ``code:<prefix>`` for per-family code
+    domains.  ``is_entity`` marks dimensions that the semi-normalized
+    style publishes as their own entity table.  ``coverage`` bounds the
+    fraction of a closed domain the instance uses (1.0 coverage on closed
+    domains is what makes cross-dataset columns near-perfectly joinable).
+    """
+
+    column: str
+    source: str
+    attributes: tuple[AttributeSpec, ...] = ()
+    is_entity: bool = False
+    coverage: tuple[float, float] = (0.9, 1.0)
+    #: Target number of distinct values for open (non-closed) sources.
+    open_cardinality: tuple[int, int] = (40, 140)
+
+
+@dataclasses.dataclass(frozen=True)
+class MeasureSpec:
+    """A numeric statistic column on the fact table."""
+
+    column: str
+    low: float
+    high: float
+    integral: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class TopicBlueprint:
+    """A full logical schema for one topic."""
+
+    topic: str
+    category: str
+    title: str
+    dims: tuple[DimSpec, ...]
+    measures: tuple[MeasureSpec, ...]
+    #: Column name of the periodic axis (must be one of the dims) used by
+    #: the periodic publication style; None disables that style.
+    temporal_dim: str | None = None
+    #: Column name the partitioned style splits on; None disables it.
+    partition_dim: str | None = None
+
+    def dim(self, column: str) -> DimSpec:
+        """The dimension spec whose column name is *column*."""
+        for spec in self.dims:
+            if spec.column == column:
+                return spec
+        raise KeyError(column)
+
+
+# A region dimension reused by many blueprints: the portal-specific
+# geographic unit (province/state/council/town).  ``portal_gen`` renames
+# the column and resolves the domain per portal.  Roughly half of the
+# instances also carry the unit's standard code — a planted
+# ``region -> region_code`` FD shared across datasets, like ISO codes.
+_REGION = DimSpec(
+    "{region}",
+    "geo.region",
+    attributes=(
+        AttributeSpec("region_code", "derived:region_code", probability=0.55),
+    ),
+    coverage=(0.95, 1.0),
+)
+
+_YEAR = DimSpec("year", "time.year", coverage=(0.5, 1.0))
+_YEAR_RECENT = DimSpec("year", "time.year.recent", coverage=(0.8, 1.0))
+_YEARMONTH = DimSpec("period", "time.yearmonth", coverage=(0.4, 0.9))
+
+
+BLUEPRINTS: tuple[TopicBlueprint, ...] = (
+    TopicBlueprint(
+        topic="fisheries_landings",
+        category="natural_resources",
+        title="Commercial Fisheries Landings",
+        dims=(
+            DimSpec(
+                "species",
+                "cat.species.fish",
+                attributes=(AttributeSpec("species_group", "cat.species.group"),),
+                is_entity=True,
+                coverage=(0.85, 1.0),
+            ),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(
+            MeasureSpec("landings_tonnes", 1.0, 50000.0),
+            MeasureSpec("landed_value", 1000.0, 8_000_000.0),
+        ),
+        temporal_dim="year",
+        partition_dim="{region}",
+    ),
+    TopicBlueprint(
+        topic="budget_recommendations",
+        category="finance",
+        title="Budget Recommendations and Appropriations",
+        dims=(
+            DimSpec(
+                "fund_code",
+                "code:F",
+                attributes=(
+                    AttributeSpec("fund_description", "derived:fund_desc"),
+                    AttributeSpec("fund_type", "cat.fund_type"),
+                ),
+                is_entity=True,
+                open_cardinality=(25, 70),
+            ),
+            DimSpec(
+                "department_number",
+                "code:D",
+                attributes=(
+                    AttributeSpec("department_name", "cat.department"),
+                ),
+                is_entity=True,
+                open_cardinality=(15, 35),
+            ),
+            _YEAR_RECENT,
+        ),
+        measures=(
+            MeasureSpec("appropriation", 10_000.0, 90_000_000.0),
+            MeasureSpec("total_spend", 10_000.0, 90_000_000.0),
+        ),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="covid_cases",
+        category="health",
+        title="COVID-19 Daily Cases",
+        dims=(
+            DimSpec("date", "time.date.2020", coverage=(0.95, 1.0)),
+            _REGION,
+            DimSpec("age_group", "cat.age_group", coverage=(0.85, 1.0)),
+        ),
+        measures=(
+            MeasureSpec("cases", 0, 5000, integral=True),
+            MeasureSpec("hospitalizations", 0, 400, integral=True),
+        ),
+    ),
+    TopicBlueprint(
+        topic="covid_testing",
+        category="health",
+        title="COVID-19 Testing by Age Group",
+        dims=(
+            DimSpec("date", "time.date.2020", coverage=(0.95, 1.0)),
+            DimSpec("age_group", "cat.age_group", coverage=(0.85, 1.0)),
+        ),
+        measures=(
+            MeasureSpec("tests_performed", 0, 60000, integral=True),
+            MeasureSpec("tests_positive", 0, 6000, integral=True),
+        ),
+    ),
+    TopicBlueprint(
+        topic="crime_incidents",
+        category="justice",
+        title="Reported Crime Incidents",
+        dims=(
+            DimSpec(
+                "offence",
+                "cat.crime_type",
+                attributes=(AttributeSpec("severity", "derived:severity"),),
+                is_entity=True,
+                coverage=(0.9, 1.0),
+            ),
+            DimSpec("city", "geo.city", coverage=(0.8, 1.0)),
+            _YEAR,
+        ),
+        measures=(MeasureSpec("incidents", 0, 9000, integral=True),),
+        temporal_dim="year",
+        partition_dim="city",
+    ),
+    TopicBlueprint(
+        topic="housing_sales",
+        category="housing",
+        title="Residential Property Sales",
+        dims=(
+            DimSpec("property_type", "cat.property_type", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEARMONTH,
+        ),
+        measures=(
+            MeasureSpec("sales_volume", 0, 2500, integral=True),
+            MeasureSpec("average_price", 90_000.0, 2_400_000.0),
+        ),
+        temporal_dim="period",
+        partition_dim="property_type",
+    ),
+    TopicBlueprint(
+        topic="school_enrolment",
+        category="education",
+        title="School Enrolment",
+        dims=(
+            DimSpec(
+                "school_name",
+                "derived:school",
+                attributes=(
+                    AttributeSpec("school_type", "cat.school_type"),
+                    AttributeSpec("city", "geo.city"),
+                ),
+                is_entity=True,
+                open_cardinality=(60, 180),
+            ),
+            _YEAR_RECENT,
+        ),
+        measures=(MeasureSpec("enrolment", 50, 2500, integral=True),),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="labour_force",
+        category="economy",
+        title="Labour Force by Industry",
+        dims=(
+            DimSpec(
+                "industry_2",
+                "cat.industry.l2",
+                attributes=(AttributeSpec("industry_1", "cat.industry.l1"),),
+                is_entity=True,
+                coverage=(0.9, 1.0),
+            ),
+            DimSpec("occupation", "cat.occupation", coverage=(0.85, 1.0)),
+            _YEAR,
+        ),
+        measures=(MeasureSpec("employed_persons", 100, 900_000, integral=True),),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="research_awards",
+        category="science",
+        title="Research Awards",
+        dims=(
+            DimSpec(
+                "applicant",
+                "str.person",
+                attributes=(AttributeSpec("institution", "cat.university"),),
+                is_entity=True,
+                open_cardinality=(90, 260),
+            ),
+            DimSpec("research_area", "cat.research_area", coverage=(0.9, 1.0)),
+            _YEAR_RECENT,
+        ),
+        measures=(MeasureSpec("award_amount", 5_000.0, 2_000_000.0),),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="ghg_emissions",
+        category="environment",
+        title="Greenhouse Gas Emissions by Source",
+        dims=(
+            DimSpec("energy_source", "cat.energy_source", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(MeasureSpec("co2_kilotonnes", 0.0, 90_000.0),),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="transit_ridership",
+        category="transport",
+        title="Public Transit Ridership",
+        dims=(
+            DimSpec("mode", "cat.transport_mode", coverage=(0.85, 1.0)),
+            DimSpec("city", "geo.city", coverage=(0.75, 1.0)),
+            _YEARMONTH,
+        ),
+        measures=(MeasureSpec("ridership", 1000, 4_000_000, integral=True),),
+        temporal_dim="period",
+    ),
+    TopicBlueprint(
+        topic="crop_production",
+        category="natural_resources",
+        title="Crop Production Estimates",
+        dims=(
+            DimSpec("crop", "cat.crop", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(
+            MeasureSpec("production_tonnes", 100.0, 4_000_000.0),
+            MeasureSpec("seeded_area_ha", 100.0, 2_000_000.0),
+        ),
+        temporal_dim="year",
+        partition_dim="{region}",
+    ),
+    TopicBlueprint(
+        topic="tax_statistics",
+        category="finance",
+        title="Income Tax Statistics",
+        dims=(
+            DimSpec("income_bracket", "cat.tax_bracket", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR_RECENT,
+        ),
+        measures=(
+            MeasureSpec("tax_filers", 100, 3_000_000, integral=True),
+            MeasureSpec("total_tax_paid", 1e6, 9e9),
+        ),
+        temporal_dim="year",
+        partition_dim="{region}",
+    ),
+    TopicBlueprint(
+        topic="park_visits",
+        category="recreation",
+        title="Park Visitation and Maintenance",
+        dims=(
+            DimSpec(
+                "park_name",
+                "derived:park",
+                attributes=(
+                    AttributeSpec("city", "geo.city"),
+                    AttributeSpec("location", "geo.point"),
+                ),
+                is_entity=True,
+                open_cardinality=(40, 110),
+            ),
+            _YEAR_RECENT,
+        ),
+        measures=(
+            MeasureSpec("visitors", 500, 400_000, integral=True),
+            MeasureSpec("maintenance_cost", 1_000.0, 900_000.0),
+        ),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="building_permits",
+        category="planning",
+        title="Building Permits Issued",
+        dims=(
+            DimSpec("permit_type", "cat.permit_type", coverage=(0.85, 1.0)),
+            DimSpec("city", "geo.city", coverage=(0.8, 1.0)),
+            _YEARMONTH,
+        ),
+        measures=(
+            MeasureSpec("permits_issued", 0, 900, integral=True),
+            MeasureSpec("construction_value", 10_000.0, 80_000_000.0),
+        ),
+        temporal_dim="period",
+    ),
+    TopicBlueprint(
+        topic="library_usage",
+        category="recreation",
+        title="Library Branch Usage",
+        dims=(
+            DimSpec(
+                "branch",
+                "derived:library",
+                attributes=(
+                    AttributeSpec("city", "geo.city"),
+                    AttributeSpec("address", "str.address"),
+                ),
+                is_entity=True,
+                open_cardinality=(25, 70),
+            ),
+            _YEAR_RECENT,
+        ),
+        measures=(
+            MeasureSpec("circulation", 1000, 900_000, integral=True),
+            MeasureSpec("visits", 1000, 500_000, integral=True),
+        ),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="waste_collection",
+        category="environment",
+        title="Municipal Waste Collection",
+        dims=(
+            DimSpec("waste_stream", "cat.waste_stream", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEARMONTH,
+        ),
+        measures=(MeasureSpec("tonnes_collected", 1.0, 60_000.0),),
+        temporal_dim="period",
+    ),
+    TopicBlueprint(
+        topic="hospital_activity",
+        category="health",
+        title="Hospital Facility Activity",
+        dims=(
+            DimSpec(
+                "facility",
+                "derived:facility",
+                attributes=(
+                    AttributeSpec("city", "geo.city"),
+                    AttributeSpec("location", "geo.point"),
+                ),
+                is_entity=True,
+                open_cardinality=(30, 90),
+            ),
+            _YEAR_RECENT,
+        ),
+        measures=(
+            MeasureSpec("admissions", 100, 90_000, integral=True),
+            MeasureSpec("staffed_beds", 10, 1500, integral=True),
+        ),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="population_estimates",
+        category="society",
+        title="Population Estimates",
+        dims=(
+            DimSpec("age_group", "cat.age_group", coverage=(0.85, 1.0)),
+            DimSpec("gender", "cat.gender", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(MeasureSpec("population", 100, 2_000_000, integral=True),),
+        temporal_dim="year",
+        partition_dim="{region}",
+    ),
+    TopicBlueprint(
+        topic="vehicle_registrations",
+        category="transport",
+        title="Registered Vehicles by Type",
+        dims=(
+            DimSpec("vehicle_type", "cat.vehicle_type", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(MeasureSpec("registrations", 100, 3_000_000, integral=True),),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="disease_surveillance",
+        category="health",
+        title="Notifiable Disease Surveillance",
+        dims=(
+            DimSpec("disease", "cat.disease", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(MeasureSpec("reported_cases", 0, 40_000, integral=True),),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="housing_tenure",
+        category="housing",
+        title="Households by Tenure",
+        dims=(
+            DimSpec("tenure", "cat.tenure", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(MeasureSpec("households", 100, 1_500_000, integral=True),),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="election_results",
+        category="government",
+        title="Election Results by Party",
+        dims=(
+            DimSpec("party", "cat.party", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(
+            MeasureSpec("votes", 100, 900_000, integral=True),
+            MeasureSpec("vote_share", 0.0, 100.0),
+        ),
+        temporal_dim="year",
+        partition_dim="{region}",
+    ),
+    TopicBlueprint(
+        topic="air_quality",
+        category="environment",
+        title="Ambient Air Quality Measurements",
+        dims=(
+            DimSpec("pollutant", "cat.pollutant", coverage=(0.85, 1.0)),
+            DimSpec("city", "geo.city", coverage=(0.7, 1.0)),
+            _YEARMONTH,
+        ),
+        measures=(MeasureSpec("concentration", 0.1, 400.0),),
+        temporal_dim="period",
+    ),
+    TopicBlueprint(
+        topic="business_licenses",
+        category="economy",
+        title="Active Business Licenses",
+        dims=(
+            DimSpec(
+                "license_type",
+                "cat.license_type",
+                attributes=(AttributeSpec("severity", "derived:severity"),),
+                is_entity=True,
+                coverage=(0.85, 1.0),
+            ),
+            DimSpec("city", "geo.city", coverage=(0.75, 1.0)),
+            _YEAR_RECENT,
+        ),
+        measures=(
+            MeasureSpec("active_licenses", 1, 9000, integral=True),
+            MeasureSpec("fees_collected", 500.0, 4_000_000.0),
+        ),
+        temporal_dim="year",
+    ),
+    TopicBlueprint(
+        topic="road_maintenance",
+        category="transport",
+        title="Road Maintenance Expenditure",
+        dims=(
+            DimSpec("road_class", "cat.road_class", coverage=(0.85, 1.0)),
+            _REGION,
+            _YEAR,
+        ),
+        measures=(
+            MeasureSpec("lane_km_maintained", 1.0, 9000.0),
+            MeasureSpec("expenditure", 10_000.0, 50_000_000.0),
+        ),
+        temporal_dim="year",
+        partition_dim="{region}",
+    ),
+    TopicBlueprint(
+        topic="social_assistance",
+        category="society",
+        title="Social Assistance Caseloads",
+        dims=(
+            DimSpec(
+                "program",
+                "cat.assistance_program",
+                coverage=(0.85, 1.0),
+                is_entity=True,
+            ),
+            _REGION,
+            _YEARMONTH,
+        ),
+        measures=(MeasureSpec("caseload", 10, 300_000, integral=True),),
+        temporal_dim="period",
+    ),
+    TopicBlueprint(
+        topic="water_quality",
+        category="environment",
+        title="Drinking Water Quality Sampling",
+        dims=(
+            DimSpec("parameter", "cat.water_parameter", coverage=(0.85, 1.0)),
+            DimSpec(
+                "facility",
+                "derived:facility",
+                attributes=(AttributeSpec("city", "geo.city"),),
+                is_entity=True,
+                open_cardinality=(20, 60),
+            ),
+            _YEAR_RECENT,
+        ),
+        measures=(MeasureSpec("exceedances", 0, 400, integral=True),),
+        temporal_dim="year",
+    ),
+)
+
+
+def blueprint_by_topic(topic: str) -> TopicBlueprint:
+    """Look a blueprint up by its topic name."""
+    for blueprint in BLUEPRINTS:
+        if blueprint.topic == topic:
+            return blueprint
+    raise KeyError(topic)

@@ -1,0 +1,287 @@
+"""Vocabularies used to synthesize realistic OGDP content.
+
+Every list here is a closed vocabulary for one semantic domain (province
+names, fish species, industry levels, ...).  Sharing these vocabularies
+across topic blueprints is what creates the paper's high-value-overlap
+phenomena: a ``province`` column in a health table and one in a tax table
+draw from the same list, so they are "joinable" whether or not the join
+means anything.
+"""
+
+from __future__ import annotations
+
+CA_PROVINCES = [
+    "Alberta", "British Columbia", "Manitoba", "New Brunswick",
+    "Newfoundland and Labrador", "Northwest Territories", "Nova Scotia",
+    "Nunavut", "Ontario", "Prince Edward Island", "Quebec", "Saskatchewan",
+    "Yukon",
+]
+
+US_STATES = [
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York",
+    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "West Virginia", "Wisconsin", "Wyoming",
+]
+
+UK_COUNCILS = [
+    "Barnet", "Birmingham", "Bradford", "Brighton and Hove", "Bristol",
+    "Camden", "Cardiff", "Cornwall", "Coventry", "Croydon", "Derby",
+    "Durham", "Ealing", "Edinburgh", "Glasgow", "Hackney", "Islington",
+    "Kirklees", "Lambeth", "Leeds", "Leicester", "Liverpool", "Manchester",
+    "Newcastle upon Tyne", "Newham", "Nottingham", "Oxford", "Plymouth",
+    "Sheffield", "Southampton", "Sunderland", "Swansea", "Wakefield",
+    "Westminster", "Wigan", "York",
+]
+
+SG_REGIONS = [
+    "Ang Mo Kio", "Bedok", "Bishan", "Bukit Batok", "Bukit Merah",
+    "Bukit Panjang", "Choa Chu Kang", "Clementi", "Geylang", "Hougang",
+    "Jurong East", "Jurong West", "Kallang", "Marine Parade", "Pasir Ris",
+    "Punggol", "Queenstown", "Sembawang", "Sengkang", "Serangoon",
+    "Tampines", "Toa Payoh", "Woodlands", "Yishun",
+]
+
+CA_CITIES = [
+    "Toronto", "Montreal", "Vancouver", "Calgary", "Edmonton", "Ottawa",
+    "Winnipeg", "Quebec City", "Hamilton", "Kitchener", "London",
+    "Victoria", "Halifax", "Oshawa", "Windsor", "Saskatoon", "Regina",
+    "St. John's", "Kelowna", "Barrie", "Guelph", "Kingston", "Moncton",
+    "Thunder Bay", "Waterloo", "Sudbury", "Sherbrooke", "Fredericton",
+    "Charlottetown", "Whitehorse", "Yellowknife", "Iqaluit",
+]
+
+US_CITIES = [
+    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+    "Philadelphia", "San Antonio", "San Diego", "Dallas", "San Jose",
+    "Austin", "Jacksonville", "Fort Worth", "Columbus", "Charlotte",
+    "Indianapolis", "Seattle", "Denver", "Boston", "Nashville",
+    "Baltimore", "Portland", "Las Vegas", "Milwaukee", "Albuquerque",
+    "Tucson", "Sacramento", "Kansas City", "Atlanta", "Miami",
+]
+
+UK_CITIES = [
+    "London", "Birmingham", "Manchester", "Leeds", "Liverpool",
+    "Sheffield", "Bristol", "Newcastle", "Nottingham", "Leicester",
+    "Glasgow", "Edinburgh", "Cardiff", "Belfast", "Southampton",
+    "Portsmouth", "Oxford", "Cambridge", "Brighton", "Plymouth",
+]
+
+FISH_SPECIES = [
+    "Atlantic Cod", "Haddock", "Halibut", "Herring", "Mackerel",
+    "Lobster", "Snow Crab", "Shrimp", "Scallop", "Lumpfish", "Capelin",
+    "Redfish", "Pollock", "Flounder", "Sole", "Turbot", "Tuna", "Salmon",
+    "Sardine", "Swordfish", "Hake", "Skate", "Monkfish", "Eel", "Clam",
+]
+
+FISH_GROUPS = ["Groundfish", "Pelagic", "Shellfish", "Other Marine"]
+
+INDUSTRY_LEVEL1 = [
+    "Manufacturing", "Services", "Construction", "Agriculture",
+    "Transportation", "Finance", "Information", "Utilities",
+]
+
+INDUSTRY_LEVEL2 = [
+    "Food Manufacturing", "Textile Mills", "Machinery", "Electronics",
+    "Chemical Products", "Retail Trade", "Wholesale Trade",
+    "Food Services", "Professional Services", "Education Services",
+    "Health Care", "Residential Building", "Civil Engineering",
+    "Specialty Trades", "Crop Production", "Animal Production",
+    "Forestry", "Air Transport", "Rail Transport", "Truck Transport",
+    "Banking", "Insurance", "Real Estate", "Telecommunications",
+    "Broadcasting", "Software Publishing", "Power Generation",
+    "Water Supply",
+]
+
+FUND_TYPES = [
+    "Operating", "Capital", "Grant", "Enterprise", "Special Revenue",
+    "Debt Service", "Trust",
+]
+
+DEPARTMENTS = [
+    "Finance", "Public Health", "Transportation", "Parks and Recreation",
+    "Education", "Police", "Fire", "Housing", "Environment", "Planning",
+    "Water Management", "Aviation", "Libraries", "Streets and Sanitation",
+    "Innovation and Technology", "Cultural Affairs", "Human Resources",
+    "Law", "Buildings", "Procurement",
+]
+
+CRIME_TYPES = [
+    "Theft", "Burglary", "Assault", "Robbery", "Fraud", "Vandalism",
+    "Vehicle Theft", "Drug Offence", "Public Disorder", "Arson",
+    "Shoplifting", "Cybercrime",
+]
+
+PROPERTY_TYPES = [
+    "Detached", "Semi-Detached", "Terraced", "Flat", "Bungalow",
+    "Maisonette", "Condominium", "Townhouse",
+]
+
+DISEASES = [
+    "COVID-19", "Influenza", "Measles", "Tuberculosis", "Hepatitis B",
+    "Dengue", "Salmonellosis", "Pertussis", "Chickenpox", "Mumps",
+]
+
+AGE_GROUPS = [
+    "0-4", "5-11", "12-17", "18-29", "30-39", "40-49", "50-59", "60-69",
+    "70-79", "80+",
+]
+
+GENDERS = ["Female", "Male"]
+
+ENERGY_SOURCES = [
+    "Hydro", "Nuclear", "Wind", "Solar", "Natural Gas", "Coal", "Biomass",
+    "Geothermal",
+]
+
+CROP_TYPES = [
+    "Wheat", "Canola", "Barley", "Corn", "Soybeans", "Oats", "Lentils",
+    "Peas", "Potatoes", "Flaxseed",
+]
+
+VEHICLE_TYPES = [
+    "Passenger Car", "Light Truck", "Motorcycle", "Bus", "Heavy Truck",
+    "Bicycle", "Van",
+]
+
+SCHOOL_TYPES = [
+    "Primary", "Secondary", "Special", "Nursery", "Sixth Form College",
+]
+
+OCCUPATIONS = [
+    "Management", "Business and Finance", "Natural Sciences", "Health",
+    "Education and Law", "Art and Culture", "Sales and Service",
+    "Trades and Transport", "Natural Resources", "Manufacturing",
+]
+
+HOUSING_TENURES = ["Owned", "Rented Private", "Rented Social", "Shared"]
+
+MONTHS = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+QUARTERS = ["Q1", "Q2", "Q3", "Q4"]
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Susan", "Richard",
+    "Jessica", "Joseph", "Sarah", "Thomas", "Karen", "Charles", "Lisa",
+    "Daniel", "Nancy", "Matthew", "Betty", "Anthony", "Sandra", "Mark",
+    "Margaret", "Wei", "Mei", "Raj", "Priya", "Ahmed", "Fatima", "Yuki",
+    "Chen", "Omar", "Aisha", "Luis", "Sofia",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Wilson", "Anderson", "Taylor",
+    "Thomas", "Moore", "Martin", "Lee", "Thompson", "White", "Harris",
+    "Clark", "Lewis", "Walker", "Hall", "Young", "King", "Wright",
+    "Scott", "Green", "Baker", "Tremblay", "Gagnon", "Roy", "Singh",
+    "Wong", "Chan", "Patel", "Khan", "Tan", "Lim",
+]
+
+STREET_NAMES = [
+    "Main", "Church", "High", "Park", "Oak", "Maple", "Cedar", "Elm",
+    "Victoria", "King", "Queen", "Wellington", "Albert", "Station",
+    "Mill", "Bridge", "Union", "York", "Green", "Hill",
+]
+
+ORG_SUFFIXES = [
+    "Department", "Agency", "Office", "Commission", "Authority",
+    "Service", "Board", "Directorate", "Ministry", "Bureau",
+]
+
+RESEARCH_AREAS = [
+    "Genomics", "Quantum Computing", "Climate Modelling", "Robotics",
+    "Materials Science", "Neuroscience", "Photonics", "Epidemiology",
+    "Machine Learning", "Astrophysics", "Hydrology", "Nanotechnology",
+]
+
+UNIVERSITIES = [
+    "University of Waterloo", "University of Toronto", "McGill University",
+    "University of British Columbia", "University of Alberta",
+    "McMaster University", "Queen's University", "Western University",
+    "University of Calgary", "Dalhousie University", "University of Ottawa",
+    "Simon Fraser University", "Carleton University", "Laval University",
+]
+
+PARK_NAMES = [
+    "Riverside", "Lakeview", "Meadowbrook", "Highland", "Cedar Grove",
+    "Sunset", "Willow Creek", "Maple Ridge", "Pinecrest", "Fairview",
+    "Brookside", "Greenfield", "Oakwood", "Silver Springs", "Eastgate",
+]
+
+TAX_BRACKETS = [
+    "Under 20k", "20k-40k", "40k-60k", "60k-80k", "80k-100k",
+    "100k-150k", "150k-250k", "Over 250k",
+]
+
+TRANSPORT_MODES = [
+    "Bus", "Subway", "Light Rail", "Commuter Rail", "Ferry", "Bike Share",
+    "Paratransit",
+]
+
+WASTE_STREAMS = [
+    "Residual", "Recycling", "Organics", "Yard Waste", "Electronics",
+    "Hazardous", "Bulky Items",
+]
+
+PERMIT_TYPES = [
+    "New Construction", "Renovation", "Demolition", "Electrical",
+    "Plumbing", "Mechanical", "Sign", "Fence",
+]
+
+LIBRARY_BRANCH_PREFIXES = [
+    "Central", "North", "South", "East", "West", "Riverside", "Harbour",
+    "Civic Centre", "Parkdale", "Forest Hill", "Lakeshore", "Downtown",
+]
+
+#: Level-1 categories for Singapore's standardized statistical schemas.
+SG_LEVEL1 = [
+    "Resident Households", "Employed Persons", "Gross Domestic Product",
+    "Government Expenditure", "Motor Vehicles", "Public Transport Trips",
+    "Licensed Food Establishments", "Student Enrolment",
+    "Hospital Admissions", "Electricity Consumption", "Water Sales",
+    "Air Passengers", "Container Throughput", "Visitor Arrivals",
+    "Resale Flat Transactions", "Crude Birth Rate",
+]
+
+
+PARTIES = [
+    "Civic Alliance", "Progress Party", "Heritage Union", "Green Future",
+    "Liberty Coalition", "Workers Front", "Centre Forward", "Reform Now",
+]
+
+POLLUTANTS = [
+    "PM2.5", "PM10", "NO2", "SO2", "O3", "CO", "Benzene", "Lead",
+    "Ammonia", "VOC",
+]
+
+LICENSE_TYPES = [
+    "Retail Food", "Liquor", "Taxi", "Street Vendor", "Tobacco",
+    "Amusement", "Daycare", "Salon", "Pawnbroker", "Scrap Dealer",
+    "Kennel", "Towing",
+]
+
+ROAD_CLASSES = [
+    "Motorway", "Arterial", "Collector", "Local", "Laneway",
+    "Cycle Track", "Pedestrian Mall",
+]
+
+ASSISTANCE_PROGRAMS = [
+    "Income Support", "Disability Support", "Child Benefit",
+    "Housing Allowance", "Energy Rebate", "Food Assistance",
+    "Employment Training", "Elder Care Subsidy",
+]
+
+WATER_PARAMETERS = [
+    "pH", "Turbidity", "Chlorine Residual", "E. coli", "Nitrate",
+    "Lead", "Fluoride", "Hardness", "Colour", "Total Coliform",
+]

@@ -1,0 +1,30 @@
+"""Format-detection helpers for the pipeline.
+
+Thin wrapper over :mod:`repro.portal.magic` kept as its own module so
+pipeline call sites and tests have a single import point for the "is
+this really CSV?" decision (paper §2.2, step 1).
+"""
+
+from __future__ import annotations
+
+from ..portal.magic import detect_mime
+
+
+def is_actually_csv(payload: bytes) -> bool:
+    """True when the downloaded bytes sniff as CSV content."""
+    return detect_mime(payload) == "text/csv"
+
+
+def classify_payload(payload: bytes) -> str:
+    """Human-readable label for what the payload actually is."""
+    mime = detect_mime(payload)
+    return {
+        "text/csv": "csv",
+        "text/html": "html page",
+        "application/pdf": "pdf document",
+        "application/zip": "zip archive",
+        "application/vnd.ms-excel": "legacy excel",
+        "application/json": "json",
+        "text/xml": "xml",
+        "application/x-empty": "empty",
+    }.get(mime, "unknown")

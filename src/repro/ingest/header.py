@@ -1,0 +1,62 @@
+"""Header-row inference (paper §2.2, step 2).
+
+The paper's heuristic: look at the first 500 rows to determine the
+number of columns, then pick the first row with no missing value as the
+header.  The heuristic was measured at 93–100% accuracy across portals;
+we expose ground-truth comparison hooks so the reproduction can measure
+the same accuracy (see ``benchmarks/test_bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+#: How many leading rows participate in width/header inference.
+INFERENCE_WINDOW = 500
+
+
+@dataclasses.dataclass(frozen=True)
+class HeaderInference:
+    """Result of header inference over raw CSV rows."""
+
+    header_index: int
+    num_columns: int
+
+
+def infer_header(rows: Sequence[Sequence[str]]) -> HeaderInference:
+    """Infer the header row index and table width for raw *rows*.
+
+    The table width is the most common row width within the inference
+    window (ties broken toward the wider value, since data rows outnumber
+    preamble rows).  The header is the first row of exactly that width
+    with no missing (empty) cell; if no such row exists, the first row of
+    that width is used.
+    """
+    if not rows:
+        raise ValueError("cannot infer a header from zero rows")
+    window = rows[:INFERENCE_WINDOW]
+    width = _modal_width(window)
+    fallback: int | None = None
+    for index, row in enumerate(window):
+        if len(row) != width:
+            continue
+        if fallback is None:
+            fallback = index
+        if all(cell.strip() for cell in row):
+            return HeaderInference(header_index=index, num_columns=width)
+    return HeaderInference(
+        header_index=fallback if fallback is not None else 0,
+        num_columns=width,
+    )
+
+
+def _modal_width(window: Sequence[Sequence[str]]) -> int:
+    counts: dict[int, int] = {}
+    for row in window:
+        counts[len(row)] = counts.get(len(row), 0) + 1
+    best_width, best_count = 0, -1
+    for width, count in counts.items():
+        if count > best_count or (count == best_count and width > best_width):
+            best_width, best_count = width, count
+    return best_width

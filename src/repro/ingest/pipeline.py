@@ -1,0 +1,176 @@
+"""The crawl-and-parse pipeline (paper §2.2).
+
+For each declared-CSV resource of every dataset:
+
+1. fetch the URL — HTTP 200 makes it *downloadable*;
+2. sniff the bytes — they must actually be CSV (libmagic step);
+3. infer the header row (first 500 rows heuristic);
+4. parse the raw data into a typed table;
+5. apply cleaning (trailing empty columns, >100-column cutoff).
+
+Resources that clear steps 1–4 are *readable*; step 5 may still exclude
+a table from the analyses (``clean`` is ``None`` for dropped-wide
+tables), exactly mirroring the paper's accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..dataframe import (
+    DataFrameError,
+    Table,
+    decode_bytes,
+    read_raw_rows,
+    rows_to_table,
+)
+from ..portal.ckan import CkanApi
+from ..portal.http import HttpClient
+from ..portal.magic import detect_mime
+from .clean import clean_table
+from .header import infer_header
+
+
+class FetchOutcome(enum.Enum):
+    """Terminal state of one resource in the pipeline."""
+
+    READABLE = "readable"
+    NOT_DOWNLOADABLE = "not downloadable"
+    NOT_CSV = "not csv"
+    UNPARSEABLE = "unparseable"
+
+
+@dataclasses.dataclass
+class IngestedTable:
+    """One successfully parsed table plus its pipeline provenance."""
+
+    portal_code: str
+    dataset_id: str
+    resource_id: str
+    name: str
+    url: str
+    #: Parsed table before cleaning (used for raw size statistics).
+    raw: Table
+    #: Cleaned table, or None when the width cutoff removed it.
+    clean: Table | None
+    raw_size_bytes: int
+    header_index: int
+    trailing_columns_removed: int
+    dropped_as_wide: bool
+
+    @property
+    def analyzable(self) -> bool:
+        """Whether the table survives into the §4–§6 analyses."""
+        return self.clean is not None
+
+
+@dataclasses.dataclass
+class IngestReport:
+    """Everything the pipeline learned about one portal."""
+
+    portal_code: str
+    total_datasets: int
+    total_declared_tables: int
+    downloadable_tables: int
+    readable_tables: int
+    tables: list[IngestedTable]
+    outcome_counts: dict[FetchOutcome, int]
+    #: dataset id -> number of declared CSV tables (for Table 1's
+    #: tables-per-dataset statistics).
+    tables_per_dataset: dict[str, int]
+
+    @property
+    def clean_tables(self) -> list[IngestedTable]:
+        """Tables that survive cleaning (the analysis corpus)."""
+        return [t for t in self.tables if t.analyzable]
+
+    @property
+    def dropped_wide_count(self) -> int:
+        """Number of readable tables removed by the width cutoff."""
+        return sum(1 for t in self.tables if t.dropped_as_wide)
+
+
+def ingest_portal(api: CkanApi, client: HttpClient) -> IngestReport:
+    """Run the full pipeline over one portal's catalog."""
+    outcome_counts = {outcome: 0 for outcome in FetchOutcome}
+    tables: list[IngestedTable] = []
+    tables_per_dataset: dict[str, int] = {}
+    total_declared = 0
+    downloadable = 0
+
+    packages = api.package_search_all()
+    for package in packages:
+        dataset_id = package["id"]
+        csv_resources = [
+            r for r in package["resources"]
+            if r["format"].strip().lower() == "csv"
+        ]
+        if csv_resources:
+            tables_per_dataset[dataset_id] = len(csv_resources)
+        for resource in csv_resources:
+            total_declared += 1
+            outcome, ingested = _process_resource(
+                api.portal_code, dataset_id, resource, client
+            )
+            outcome_counts[outcome] += 1
+            if outcome is not FetchOutcome.NOT_DOWNLOADABLE:
+                downloadable += 1
+            if ingested is not None:
+                tables.append(ingested)
+
+    return IngestReport(
+        portal_code=api.portal_code,
+        total_datasets=len(packages),
+        total_declared_tables=total_declared,
+        downloadable_tables=downloadable,
+        readable_tables=len(tables),
+        tables=tables,
+        outcome_counts=outcome_counts,
+        tables_per_dataset=tables_per_dataset,
+    )
+
+
+def _process_resource(
+    portal_code: str,
+    dataset_id: str,
+    resource: dict,
+    client: HttpClient,
+) -> tuple[FetchOutcome, IngestedTable | None]:
+    response = client.try_fetch(resource["url"])
+    if not response.ok:
+        return FetchOutcome.NOT_DOWNLOADABLE, None
+    payload = response.content
+    if detect_mime(payload) != "text/csv":
+        return FetchOutcome.NOT_CSV, None
+    try:
+        raw_rows = read_raw_rows(decode_bytes(payload))
+        if len(raw_rows) < 2:  # header plus at least one data row
+            return FetchOutcome.UNPARSEABLE, None
+        inference = infer_header(raw_rows)
+        table = rows_to_table(
+            resource["name"],
+            raw_rows,
+            inference.header_index,
+            inference.num_columns,
+        )
+    except DataFrameError:
+        return FetchOutcome.UNPARSEABLE, None
+    if table.num_rows == 0 or table.num_columns == 0:
+        return FetchOutcome.UNPARSEABLE, None
+
+    cleaned = clean_table(table)
+    ingested = IngestedTable(
+        portal_code=portal_code,
+        dataset_id=dataset_id,
+        resource_id=resource["id"],
+        name=resource["name"],
+        url=resource["url"],
+        raw=table,
+        clean=cleaned.table,
+        raw_size_bytes=len(payload),
+        header_index=inference.header_index,
+        trailing_columns_removed=cleaned.trailing_columns_removed,
+        dropped_as_wide=cleaned.dropped_as_wide,
+    )
+    return FetchOutcome.READABLE, ingested

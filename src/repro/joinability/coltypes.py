@@ -1,0 +1,111 @@
+"""Semantic column-type classification (paper Table 10's categories).
+
+The paper groups join columns into six data types: incremental integer,
+categorical, integer, string, timestamp and geo-spatial.  This module
+infers that type from the values alone — it must work on ingested
+tables, where no lineage is available, just as the authors classified
+real portal columns by inspection.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+
+from ..dataframe import Column, DataType
+
+
+class SemanticType(enum.Enum):
+    """The paper's join-column data-type taxonomy."""
+
+    INCREMENTAL_INTEGER = "incremental integer"
+    CATEGORICAL = "categorical"
+    INTEGER = "integer"
+    STRING = "string"
+    TIMESTAMP = "timestamp"
+    GEOSPATIAL = "geo-spatial"
+
+
+#: Distinct-count ceiling under which repetitive text is "categorical".
+CATEGORICAL_MAX_DISTINCT = 64
+
+#: A text column is categorical only if values repeat at least this much.
+CATEGORICAL_MAX_SCORE = 0.5
+
+_DATE_PATTERN = re.compile(
+    r"^\d{4}-\d{2}(-\d{2})?$|^\d{1,2}/\d{1,2}/\d{2,4}$"
+)
+_POINT_PATTERN = re.compile(
+    r"^POINT ?\(|^-?\d{1,3}\.\d+ ?, ?-?\d{1,3}\.\d+$", re.IGNORECASE
+)
+
+#: Plausible calendar-year bounds: dense integer runs inside this window
+#: are years, not record ids.
+_YEAR_RANGE = (1800, 2100)
+
+
+def classify_column(column: Column) -> SemanticType:
+    """Classify *column* into the paper's data-type taxonomy."""
+    dtype = column.dtype
+    if dtype is DataType.INTEGER:
+        return _classify_integers(column)
+    if dtype is DataType.FLOAT:
+        return SemanticType.INTEGER  # numeric, grouped with integers
+    if dtype is DataType.BOOLEAN:
+        return SemanticType.CATEGORICAL
+    return _classify_text(column)
+
+
+def _classify_integers(column: Column) -> SemanticType:
+    values = sorted(
+        v for v in column.distinct_values() if isinstance(v, int)
+    )
+    if not values:
+        return SemanticType.INTEGER
+    low, high = values[0], values[-1]
+    span = high - low + 1
+    density = len(values) / span if span > 0 else 0.0
+    if (
+        _YEAR_RANGE[0] <= low
+        and high <= _YEAR_RANGE[1]
+        and len(values) <= 250
+        and density >= 0.5
+    ):
+        # Dense run of calendar years: temporal, not a record id.
+        return SemanticType.TIMESTAMP
+    if density >= 0.75 and len(values) >= 5 and low >= 0:
+        return SemanticType.INCREMENTAL_INTEGER
+    return SemanticType.INTEGER
+
+
+def _classify_text(column: Column) -> SemanticType:
+    sample = _text_sample(column)
+    if not sample:
+        return SemanticType.STRING
+    if all(_DATE_PATTERN.match(text) for text in sample):
+        return SemanticType.TIMESTAMP
+    if all(_POINT_PATTERN.match(text) for text in sample):
+        return SemanticType.GEOSPATIAL
+    if (
+        column.distinct_count <= CATEGORICAL_MAX_DISTINCT
+        and column.uniqueness_score <= CATEGORICAL_MAX_SCORE
+    ):
+        return SemanticType.CATEGORICAL
+    if column.distinct_count <= 40 and all(
+        len(text) <= 40 and not any(ch.isdigit() for ch in text)
+        for text in sample
+    ):
+        # A short digit-free closed list (e.g. a species reference
+        # column) is categorical even when each value appears once.
+        return SemanticType.CATEGORICAL
+    return SemanticType.STRING
+
+
+def _text_sample(column: Column, limit: int = 50) -> list[str]:
+    sample: list[str] = []
+    for value in column.distinct_values():
+        if isinstance(value, str):
+            sample.append(value.strip())
+            if len(sample) >= limit:
+                break
+    return sample

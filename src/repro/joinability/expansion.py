@@ -1,0 +1,81 @@
+"""Join expansion-ratio analysis (paper §5.2, Figure 8).
+
+Expansion ratio = inner-join output size / size of the larger input
+table.  Computed in closed form from the two join columns' value
+multiplicities, so hundreds of thousands of pairs are cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from ..ingest.pipeline import IngestedTable
+from .index import ColumnProfile, normalize_value
+from .pairs import JoinablePair, JoinabilityAnalysis
+
+
+def column_value_counts(
+    tables: list[IngestedTable], profile: ColumnProfile
+) -> Counter:
+    """Normalized-value multiplicities of a profiled column."""
+    table = tables[profile.table_index].clean
+    assert table is not None
+    counts: Counter = Counter()
+    for value, count in table.column(profile.column_name).value_counts().items():
+        counts[normalize_value(value)] += count
+    return counts
+
+
+def pair_expansion_ratio(
+    analysis: JoinabilityAnalysis,
+    pair: JoinablePair,
+    counts_cache: dict[int, Counter] | None = None,
+) -> float:
+    """Expansion ratio of one joinable pair."""
+    left_profile = analysis.profiles[pair.left]
+    right_profile = analysis.profiles[pair.right]
+    left_counts = _cached_counts(analysis, pair.left, counts_cache)
+    right_counts = _cached_counts(analysis, pair.right, counts_cache)
+    if len(right_counts) < len(left_counts):
+        left_counts, right_counts = right_counts, left_counts
+    output = sum(
+        count * right_counts[value]
+        for value, count in left_counts.items()
+        if value in right_counts
+    )
+    larger = max(left_profile.num_rows, right_profile.num_rows)
+    return output / larger if larger else 0.0
+
+
+def _cached_counts(
+    analysis: JoinabilityAnalysis,
+    column_id: int,
+    cache: dict[int, Counter] | None,
+) -> Counter:
+    if cache is None:
+        return column_value_counts(analysis.tables, analysis.profiles[column_id])
+    counts = cache.get(column_id)
+    if counts is None:
+        counts = column_value_counts(
+            analysis.tables, analysis.profiles[column_id]
+        )
+        cache[column_id] = counts
+    return counts
+
+
+@dataclasses.dataclass(frozen=True)
+class ExpansionStats:
+    """Per-portal expansion-ratio distribution (Figure 8's raw data)."""
+
+    portal_code: str
+    ratios: tuple[float, ...]
+
+
+def expansion_stats(analysis: JoinabilityAnalysis) -> ExpansionStats:
+    """Expansion ratios of every joinable pair in *analysis*."""
+    cache: dict[int, Counter] = {}
+    ratios = tuple(
+        pair_expansion_ratio(analysis, pair, cache) for pair in analysis.pairs
+    )
+    return ExpansionStats(portal_code=analysis.portal_code, ratios=ratios)

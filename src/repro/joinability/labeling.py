@@ -1,0 +1,356 @@
+"""Useful-vs-accidental labeling of joinable pairs (paper §5.3).
+
+The paper's authors manually labeled 600 sampled pairs with a three-way
+rubric: Unrelated-Accidental (U-Acc), Related-Accidental (R-Acc), and
+Useful.  Our corpus is synthetic, so we can judge pairs *by ground
+truth*: every generated column carries its semantic domain and every
+table its topic, family and publication provenance
+(:mod:`repro.generator.lineage`).  The oracle below encodes the paper's
+rubric over that lineage:
+
+* columns whose overlap is purely coincidental (different semantic
+  domains — incremental integers above all) are accidental: U-Acc when
+  the tables' topical categories differ, R-Acc otherwise;
+* same-domain joins are Useful when they correspond to a real link —
+  a semi-normalized fact/entity pair, periodic or partitioned siblings
+  joined on their entity key, or two statistics tables over the same
+  category correlated on a (near-)key common-domain column;
+* everything else same-domain is R-Acc (the NSERC ``Institution`` vs
+  ``CoAppInstitution`` pattern), except Singapore's standardized-schema
+  tables, which are accidental by construction (§5.3.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..generator.lineage import (
+    ColumnLineage,
+    ColumnRole,
+    PublicationStyle,
+    TableLineage,
+)
+from .coltypes import SemanticType
+from .index import ColumnProfile
+from .pairs import JoinablePair, JoinabilityAnalysis
+
+
+class JoinLabel(enum.Enum):
+    """The paper's three-way judgment."""
+
+    U_ACC = "U-Acc"
+    R_ACC = "R-Acc"
+    USEFUL = "useful"
+
+    @property
+    def is_accidental(self) -> bool:
+        """Whether this label counts as accidental (not useful)."""
+        return self is not JoinLabel.USEFUL
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinJudgment:
+    """Label plus the §5.3.4 pattern that produced it."""
+
+    label: JoinLabel
+    pattern: str
+
+
+#: Uniqueness ratio above which a join column counts as "near-key" for
+#: the common-domain-statistics rule (aggregate rows such as "Total"
+#: keep real keys just below 1.0 — the paper's Anecdote 3).
+NEAR_KEY_RATIO = 0.9
+
+
+class LineageOracle:
+    """Labels joinable pairs from generator lineage."""
+
+    def __init__(self, lineage_by_resource: dict[str, TableLineage]):
+        self._lineage = lineage_by_resource
+
+    @classmethod
+    def from_recorder(cls, recorder) -> "LineageOracle":
+        """Build an oracle from a lineage recorder."""
+        return cls({record.resource_id: record for record in recorder})
+
+    def judge(
+        self,
+        analysis: JoinabilityAnalysis,
+        pair: JoinablePair,
+    ) -> JoinJudgment:
+        """Judge one joinable pair."""
+        left = analysis.profiles[pair.left]
+        right = analysis.profiles[pair.right]
+        left_table = analysis.tables[left.table_index]
+        right_table = analysis.tables[right.table_index]
+        left_lineage = self._lineage.get(left_table.resource_id)
+        right_lineage = self._lineage.get(right_table.resource_id)
+        if left_lineage is None or right_lineage is None:
+            # No ground truth (shouldn't happen on generated corpora):
+            # treat as accidental, related only within a dataset.
+            related = left_table.dataset_id == right_table.dataset_id
+            return JoinJudgment(
+                JoinLabel.R_ACC if related else JoinLabel.U_ACC,
+                "unknown provenance",
+            )
+        left_column = _column_lineage(left_lineage, left, left_table)
+        right_column = _column_lineage(right_lineage, right, right_table)
+        if left_column is None or right_column is None:
+            related = left_lineage.category == right_lineage.category
+            return JoinJudgment(
+                JoinLabel.R_ACC if related else JoinLabel.U_ACC,
+                "unmatched column provenance",
+            )
+        return _judge(
+            left_lineage, left_column, left,
+            right_lineage, right_column, right,
+        )
+
+
+def _column_lineage(
+    table_lineage: TableLineage,
+    profile: ColumnProfile,
+    ingested,
+) -> ColumnLineage | None:
+    """Resolve a profiled column back to its lineage record.
+
+    Name match first; positional fallback covers corrupted headers
+    (blank header cells become ``column_<i>`` at parse time).
+    """
+    by_name = table_lineage.column(profile.column_name)
+    if by_name is not None:
+        return by_name
+    table = ingested.clean
+    if table is None:
+        return None
+    try:
+        position = list(table.column_names).index(profile.column_name)
+    except ValueError:
+        return None
+    if position < len(table_lineage.columns):
+        return table_lineage.columns[position]
+    return None
+
+
+def _judge(
+    l_table: TableLineage,
+    l_column: ColumnLineage,
+    l_profile: ColumnProfile,
+    r_table: TableLineage,
+    r_column: ColumnLineage,
+    r_profile: ColumnProfile,
+) -> JoinJudgment:
+    same_category = l_table.category == r_table.category
+    if l_column.domain_name != r_column.domain_name:
+        if _is_incremental(l_column) or _is_incremental(r_column):
+            pattern = "incremental-integer overlap"
+        else:
+            pattern = "coincidental value overlap"
+        return JoinJudgment(
+            JoinLabel.R_ACC if same_category else JoinLabel.U_ACC, pattern
+        )
+
+    # Same semantic domain from here on.
+    same_family = l_table.family_id == r_table.family_id
+    duplicated = (
+        l_table.duplicate_of == r_table.resource_id
+        or r_table.duplicate_of == l_table.resource_id
+    )
+    if duplicated:
+        return JoinJudgment(JoinLabel.R_ACC, "duplicate re-publication")
+
+    sg_standard = PublicationStyle.SG_STANDARD in (l_table.style, r_table.style)
+    if sg_standard and not same_family:
+        return JoinJudgment(
+            JoinLabel.R_ACC if same_category else JoinLabel.U_ACC,
+            "standardized schema (SG)",
+        )
+
+    if same_family:
+        return _judge_same_family(
+            l_table, l_column, l_profile, r_table, r_column, r_profile
+        )
+
+    if not same_category:
+        return JoinJudgment(JoinLabel.U_ACC, "common domain across topics")
+
+    # Different datasets, same category, same domain: the COVID
+    # cases-vs-testing pattern — useful when both sides publish
+    # statistics and the common column (near-)identifies their rows.
+    both_statistical = _has_measures(l_table) and _has_measures(r_table)
+    near_key = _near_key(l_profile) or _near_key(r_profile)
+    if both_statistical and near_key and l_column.role in (
+        ColumnRole.TEMPORAL,
+        ColumnRole.GEO,
+        ColumnRole.ENTITY_KEY,
+    ):
+        return JoinJudgment(
+            JoinLabel.USEFUL, "common-domain statistics correlation"
+        )
+    return JoinJudgment(JoinLabel.R_ACC, "related tables, non-linking column")
+
+
+def _judge_same_family(
+    l_table: TableLineage,
+    l_column: ColumnLineage,
+    l_profile: ColumnProfile,
+    r_table: TableLineage,
+    r_column: ColumnLineage,
+    r_profile: ColumnProfile,
+) -> JoinJudgment:
+    same_period = l_table.period == r_table.period
+    linked = l_column.is_link or r_column.is_link
+    different_kind = l_table.subtable_kind != r_table.subtable_kind
+    entity_side = "entity:" in (l_table.subtable_kind + r_table.subtable_kind)
+    if linked and different_kind and (same_period or entity_side):
+        # A fact joined with its reference (dimension) table: the join
+        # extends records with entity attributes and reads fine even
+        # across publication periods — reference data is timeless.
+        return JoinJudgment(
+            JoinLabel.USEFUL, "semi-normalized fact/entity link"
+        )
+    if different_kind and not same_period:
+        # The paper's explicit accidental pattern 3: sub-tables of a
+        # periodically published dataset joined across two different
+        # time periods (1990 ages with 2020 taxes).
+        return JoinJudgment(JoinLabel.R_ACC, "cross-period sub-table join")
+    if (
+        not different_kind
+        and (
+            not same_period
+            or l_table.partition_value != r_table.partition_value
+        )
+        and l_column.role is ColumnRole.ENTITY_KEY
+        and (_near_key(l_profile) or _near_key(r_profile))
+    ):
+        # Same-kind siblings across periods/partitions joined on their
+        # (near-)key entity column: correlate the same entities across
+        # years or coasts — the paper's "periodic key join" useful
+        # pattern (and its Anecdote 3 fish-landings exception).
+        return JoinJudgment(JoinLabel.USEFUL, "periodic key join")
+    return JoinJudgment(
+        JoinLabel.R_ACC, "semi-normalized non-key columns"
+    )
+
+
+def _is_incremental(column: ColumnLineage) -> bool:
+    return column.role is ColumnRole.ID or column.domain_name.startswith("id.")
+
+
+def _has_measures(table_lineage: TableLineage) -> bool:
+    return any(
+        column.role in (ColumnRole.MEASURE, ColumnRole.VALUE)
+        for column in table_lineage.columns
+    )
+
+
+def _near_key(profile: ColumnProfile) -> bool:
+    if profile.is_key:
+        return True
+    if profile.num_rows == 0:
+        return False
+    return profile.num_unique / profile.num_rows >= NEAR_KEY_RATIO
+
+
+# ----------------------------------------------------------------------
+# labeled-sample aggregation (Tables 7-10)
+# ----------------------------------------------------------------------
+KEY_KEY = "key-key"
+KEY_NONKEY = "key-nonkey"
+NONKEY_NONKEY = "nonkey-nonkey"
+
+
+def key_combination(left: ColumnProfile, right: ColumnProfile) -> str:
+    """The paper's key/non-key pair classification."""
+    keys = int(left.is_key) + int(right.is_key)
+    return (NONKEY_NONKEY, KEY_NONKEY, KEY_KEY)[keys]
+
+
+def pair_semantic_type(left: ColumnProfile, right: ColumnProfile) -> SemanticType:
+    """A single data type for the pair (Table 10's grouping).
+
+    When the two sides classify differently (e.g. a unique reference
+    column vs. its repetitive fact counterpart), the less generic side
+    wins: anything beats STRING, and INCREMENTAL beats INTEGER.
+    """
+    if left.semantic_type == right.semantic_type:
+        return left.semantic_type
+    priority = {
+        SemanticType.INCREMENTAL_INTEGER: 0,
+        SemanticType.TIMESTAMP: 1,
+        SemanticType.GEOSPATIAL: 2,
+        SemanticType.CATEGORICAL: 3,
+        SemanticType.INTEGER: 4,
+        SemanticType.STRING: 5,
+    }
+    return min(
+        (left.semantic_type, right.semantic_type), key=priority.__getitem__
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class LabeledPair:
+    """One sampled pair with its judgment and observed properties."""
+
+    pair: JoinablePair
+    label: JoinLabel
+    pattern: str
+    same_dataset: bool
+    key_combo: str
+    semantic_type: SemanticType
+    size_bucket: str
+    expansion_ratio: float
+
+
+@dataclasses.dataclass(frozen=True)
+class LabelBreakdown:
+    """U-Acc / R-Acc / Useful frequency cell (rows of Tables 7-10)."""
+
+    u_acc: int
+    r_acc: int
+    useful: int
+
+    @property
+    def total(self) -> int:
+        """Total pairs in this cell."""
+        return self.u_acc + self.r_acc + self.useful
+
+    @property
+    def frac_u_acc(self) -> float:
+        """Fraction labeled Unrelated-Accidental."""
+        return self.u_acc / self.total if self.total else 0.0
+
+    @property
+    def frac_r_acc(self) -> float:
+        """Fraction labeled Related-Accidental."""
+        return self.r_acc / self.total if self.total else 0.0
+
+    @property
+    def frac_accidental(self) -> float:
+        """Fraction labeled accidental (U-Acc or R-Acc)."""
+        return (self.u_acc + self.r_acc) / self.total if self.total else 0.0
+
+    @property
+    def frac_useful(self) -> float:
+        """Fraction labeled useful."""
+        return self.useful / self.total if self.total else 0.0
+
+
+def breakdown(labeled: list[LabeledPair]) -> LabelBreakdown:
+    """Aggregate a list of labeled pairs into a frequency cell."""
+    return LabelBreakdown(
+        u_acc=sum(1 for p in labeled if p.label is JoinLabel.U_ACC),
+        r_acc=sum(1 for p in labeled if p.label is JoinLabel.R_ACC),
+        useful=sum(1 for p in labeled if p.label is JoinLabel.USEFUL),
+    )
+
+
+def breakdown_by(
+    labeled: list[LabeledPair], key
+) -> dict:
+    """Group labeled pairs by ``key(pair)`` and aggregate each group."""
+    groups: dict = {}
+    for item in labeled:
+        groups.setdefault(key(item), []).append(item)
+    return {group: breakdown(items) for group, items in groups.items()}

@@ -1,0 +1,176 @@
+"""All-pairs joinable-column discovery and portal statistics (Table 6).
+
+The paper's joinable-pair definition (§5.1): a quadruplet
+``(t_i, c_k, t_j, c_l)`` whose columns have Jaccard similarity above a
+high threshold (0.9; 0.7 in the supplementary sensitivity analysis) and
+at least 10 unique values each.  We compute exact Jaccard for every
+candidate pair via the inverted index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from ..core.stats import fraction, median
+from ..ingest.pipeline import IngestedTable
+from .index import (
+    MIN_UNIQUE_VALUES,
+    ColumnProfile,
+    build_inverted_index,
+    build_profiles,
+)
+
+#: The paper's primary Jaccard threshold.
+JACCARD_THRESHOLD = 0.9
+
+#: The supplementary sensitivity threshold.
+JACCARD_THRESHOLD_LOW = 0.7
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinablePair:
+    """One joinable quadruplet, by column-profile ids."""
+
+    left: int
+    right: int
+    jaccard: float
+    overlap: int
+
+
+def find_joinable_pairs(
+    profiles: list[ColumnProfile],
+    threshold: float = JACCARD_THRESHOLD,
+) -> list[JoinablePair]:
+    """Every cross-table column pair with Jaccard >= *threshold*.
+
+    Pairs within a single table are excluded: joining a table to itself
+    is not a data-integration suggestion.  Output pairs are normalized
+    to ``left < right`` and sorted for determinism.
+    """
+    index = build_inverted_index(profiles)
+    overlaps: dict[tuple[int, int], int] = defaultdict(int)
+    for posting in index.values():
+        if len(posting) < 2:
+            continue
+        for i, left in enumerate(posting):
+            left_table = profiles[left].table_index
+            for right in posting[i + 1 :]:
+                if profiles[right].table_index == left_table:
+                    continue
+                overlaps[(left, right)] += 1
+
+    pairs: list[JoinablePair] = []
+    for (left, right), overlap in overlaps.items():
+        union = (
+            profiles[left].num_unique + profiles[right].num_unique - overlap
+        )
+        jaccard = overlap / union if union else 0.0
+        if jaccard >= threshold:
+            pairs.append(
+                JoinablePair(
+                    left=left, right=right, jaccard=jaccard, overlap=overlap
+                )
+            )
+    pairs.sort(key=lambda p: (p.left, p.right))
+    return pairs
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinabilityStats:
+    """One portal's column of the paper's Table 6."""
+
+    portal_code: str
+    total_pairs: int
+    total_tables: int
+    joinable_tables: int
+    median_table_degree: float
+    max_table_degree: int
+    total_columns: int
+    joinable_columns: int
+    key_joinable_columns: int
+    nonkey_joinable_columns: int
+    median_column_degree: float
+    max_column_degree: int
+
+    @property
+    def frac_joinable_tables(self) -> float:
+        """Fraction of tables with at least one joinable partner."""
+        return fraction(self.joinable_tables, self.total_tables)
+
+    @property
+    def frac_joinable_columns(self) -> float:
+        """Fraction of columns with at least one joinable partner."""
+        return fraction(self.joinable_columns, self.total_columns)
+
+    @property
+    def frac_key_joinable(self) -> float:
+        """Fraction of joinable columns that are key columns."""
+        return fraction(self.key_joinable_columns, self.joinable_columns)
+
+
+@dataclasses.dataclass
+class JoinabilityAnalysis:
+    """Profiles + pairs + stats bundled for downstream analyses."""
+
+    portal_code: str
+    tables: list[IngestedTable]
+    profiles: list[ColumnProfile]
+    pairs: list[JoinablePair]
+    stats: JoinabilityStats
+    #: column-profile id -> ids of its joinable partner columns.
+    column_neighbors: dict[int, list[int]]
+    #: table index -> set of joinable partner table indexes.
+    table_neighbors: dict[int, set[int]]
+
+
+def analyze_joinability(
+    portal_code: str,
+    tables: list[IngestedTable],
+    threshold: float = JACCARD_THRESHOLD,
+    min_unique: int = MIN_UNIQUE_VALUES,
+) -> JoinabilityAnalysis:
+    """Run joinable-pair discovery and compute Table 6's statistics."""
+    profiles, total_columns = build_profiles(tables, min_unique=min_unique)
+    pairs = find_joinable_pairs(profiles, threshold=threshold)
+
+    column_neighbors: dict[int, list[int]] = defaultdict(list)
+    table_neighbors: dict[int, set[int]] = defaultdict(set)
+    for pair in pairs:
+        column_neighbors[pair.left].append(pair.right)
+        column_neighbors[pair.right].append(pair.left)
+        left_table = profiles[pair.left].table_index
+        right_table = profiles[pair.right].table_index
+        table_neighbors[left_table].add(right_table)
+        table_neighbors[right_table].add(left_table)
+
+    table_degrees = [len(v) for v in table_neighbors.values()]
+    column_degrees = [len(v) for v in column_neighbors.values()]
+    joinable_column_ids = sorted(column_neighbors)
+    key_joinable = sum(
+        1 for cid in joinable_column_ids if profiles[cid].is_key
+    )
+
+    stats = JoinabilityStats(
+        portal_code=portal_code,
+        total_pairs=len(pairs),
+        total_tables=len(tables),
+        joinable_tables=len(table_neighbors),
+        median_table_degree=median(table_degrees),
+        max_table_degree=max(table_degrees, default=0),
+        total_columns=total_columns,
+        joinable_columns=len(joinable_column_ids),
+        key_joinable_columns=key_joinable,
+        nonkey_joinable_columns=len(joinable_column_ids) - key_joinable,
+        median_column_degree=median(column_degrees),
+        max_column_degree=max(column_degrees, default=0),
+    )
+    return JoinabilityAnalysis(
+        portal_code=portal_code,
+        tables=tables,
+        profiles=profiles,
+        pairs=pairs,
+        stats=stats,
+        column_neighbors=dict(column_neighbors),
+        table_neighbors=dict(table_neighbors),
+    )

@@ -1,0 +1,118 @@
+"""Publication-pattern taxonomy for joinable pairs (paper §5.3.4).
+
+The paper closes its joinability study by cataloguing the recurring
+patterns behind useful and accidental pairs.  The labeling oracle
+already attaches a pattern string to every judgment; this module
+formalizes the taxonomy, groups the free-form pattern strings under the
+paper's named patterns, and aggregates frequencies over a labeled
+sample.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import Counter
+
+from .labeling import JoinLabel, LabeledPair
+
+
+class JoinPattern(enum.Enum):
+    """The paper's §5.3.4 pattern names."""
+
+    # useful patterns
+    SEMI_NORMALIZED_LINK = (
+        "joins of two semi-normalized tables under the same dataset"
+    )
+    PERIODIC_KEY_JOIN = "joins of periodically published tables on key columns"
+    COMMON_DOMAIN_STATISTICS = (
+        "joins of tables measuring different statistics on common domains"
+    )
+    # accidental patterns
+    UNRELATED_COMMON_DOMAIN = (
+        "joins of unrelated tables on incremental integers or common domains"
+    )
+    SEMI_NORMALIZED_NONKEY = "joins of semi-normalized tables on non-key columns"
+    CROSS_PERIOD_SUBTABLES = (
+        "joins of periodic sub-tables across different time periods"
+    )
+    TRANSACTION_TABLES = (
+        "joins of transaction/event tables sharing a property column"
+    )
+    STANDARDIZED_SCHEMA = "standardized schemas shared by unrelated datasets"
+    OTHER = "other"
+
+
+#: Mapping from the oracle's judgment pattern strings to the taxonomy.
+_ORACLE_TO_PATTERN = {
+    "semi-normalized fact/entity link": JoinPattern.SEMI_NORMALIZED_LINK,
+    "periodic key join": JoinPattern.PERIODIC_KEY_JOIN,
+    "common-domain statistics correlation": (
+        JoinPattern.COMMON_DOMAIN_STATISTICS
+    ),
+    "incremental-integer overlap": JoinPattern.UNRELATED_COMMON_DOMAIN,
+    "common domain across topics": JoinPattern.UNRELATED_COMMON_DOMAIN,
+    "coincidental value overlap": JoinPattern.UNRELATED_COMMON_DOMAIN,
+    "semi-normalized non-key columns": JoinPattern.SEMI_NORMALIZED_NONKEY,
+    "related tables, non-linking column": JoinPattern.TRANSACTION_TABLES,
+    "cross-period sub-table join": JoinPattern.CROSS_PERIOD_SUBTABLES,
+    "standardized schema (SG)": JoinPattern.STANDARDIZED_SCHEMA,
+    "duplicate re-publication": JoinPattern.OTHER,
+}
+
+
+def classify_pattern(labeled: LabeledPair) -> JoinPattern:
+    """Map one labeled pair's oracle pattern into the §5.3.4 taxonomy."""
+    return _ORACLE_TO_PATTERN.get(labeled.pattern, JoinPattern.OTHER)
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternFrequencies:
+    """Pattern counts split by useful vs. accidental (the §5.3.4 lists)."""
+
+    useful: dict[JoinPattern, int]
+    accidental: dict[JoinPattern, int]
+
+    @property
+    def dominant_useful(self) -> JoinPattern | None:
+        """The most frequent useful pattern, or None."""
+        if not self.useful:
+            return None
+        return max(self.useful, key=lambda p: self.useful[p])
+
+    @property
+    def dominant_accidental(self) -> JoinPattern | None:
+        """The most frequent accidental pattern, or None."""
+        if not self.accidental:
+            return None
+        return max(self.accidental, key=lambda p: self.accidental[p])
+
+
+def pattern_frequencies(labeled: list[LabeledPair]) -> PatternFrequencies:
+    """Aggregate a labeled sample into the §5.3.4 frequency lists."""
+    useful: Counter = Counter()
+    accidental: Counter = Counter()
+    for pair in labeled:
+        pattern = classify_pattern(pair)
+        if pair.label is JoinLabel.USEFUL:
+            useful[pattern] += 1
+        else:
+            accidental[pattern] += 1
+    return PatternFrequencies(
+        useful=dict(useful), accidental=dict(accidental)
+    )
+
+
+def render_pattern_summary(frequencies: PatternFrequencies) -> str:
+    """A textual §5.3.4-style summary."""
+    lines = ["useful join patterns:"]
+    for pattern, count in sorted(
+        frequencies.useful.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  {count:4d}  {pattern.value}")
+    lines.append("accidental join patterns:")
+    for pattern, count in sorted(
+        frequencies.accidental.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  {count:4d}  {pattern.value}")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Stratified sampling of joinable pairs for labeling (paper §5.3.1).
+
+The paper's procedure, reproduced exactly:
+
+1. pick a joinable table ``T1`` uniformly at random (so high-degree
+   tables are not over-represented);
+2. pick one of ``T1``'s joinable columns uniformly;
+3. pick ``T2`` uniformly among the tables joinable with that column,
+   taking ``T2``'s highest-overlap column when several qualify;
+4. discard pairs of same-schema tables (they belong to the
+   unionability analysis);
+5. balance the sample across three ``T1``-size buckets — (10,100),
+   [100,1000), >=1000 rows — and three key/non-key combinations,
+   ~17 pairs per sub-bucket (~150 per portal).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import Counter, defaultdict
+
+from .labeling import (
+    KEY_KEY,
+    KEY_NONKEY,
+    NONKEY_NONKEY,
+    LabeledPair,
+    LineageOracle,
+    key_combination,
+    pair_semantic_type,
+)
+from .expansion import pair_expansion_ratio
+from .pairs import JoinablePair, JoinabilityAnalysis
+
+SIZE_BUCKETS = ("10-100", "100-1000", ">=1000")
+KEY_COMBOS = (KEY_KEY, KEY_NONKEY, NONKEY_NONKEY)
+
+#: The paper's target per (size bucket, key combo) sub-bucket.
+PER_SUBBUCKET = 17
+
+
+def size_bucket(num_rows: int) -> str | None:
+    """The paper's T1-size bucket, or None for tables under 10 rows."""
+    if num_rows < 10:
+        return None
+    if num_rows < 100:
+        return SIZE_BUCKETS[0]
+    if num_rows < 1000:
+        return SIZE_BUCKETS[1]
+    return SIZE_BUCKETS[2]
+
+
+@dataclasses.dataclass
+class SamplePlan:
+    """Bookkeeping of the stratified sampling run."""
+
+    requested_per_subbucket: int
+    filled: Counter
+    attempts: int
+
+
+def stratified_sample(
+    analysis: JoinabilityAnalysis,
+    oracle: LineageOracle,
+    seed: int = 0,
+    per_subbucket: int = PER_SUBBUCKET,
+    max_attempts: int | None = None,
+) -> tuple[list[LabeledPair], SamplePlan]:
+    """Draw and label a stratified sample of joinable pairs.
+
+    Sub-buckets that the portal cannot fill (small corpora may simply
+    lack, say, key-key pairs among tiny tables) are left short, and the
+    plan records what was achieved.
+    """
+    rng = random.Random(f"{seed}:{analysis.portal_code}:sample")
+    profiles = analysis.profiles
+    by_table = _joinable_columns_by_table(analysis)
+    joinable_tables = sorted(by_table)
+    filled: Counter = Counter()
+    seen_pairs: set[tuple[int, int]] = set()
+    labeled: list[LabeledPair] = []
+    schema_cache: dict[int, tuple] = {}
+    counts_cache: dict = {}
+
+    target_total = per_subbucket * len(SIZE_BUCKETS) * len(KEY_COMBOS)
+    attempts_budget = max_attempts or target_total * 60
+    attempts = 0
+    while (
+        joinable_tables
+        and len(labeled) < target_total
+        and attempts < attempts_budget
+    ):
+        attempts += 1
+        t1 = rng.choice(joinable_tables)
+        column_id = rng.choice(by_table[t1])
+        neighbors = analysis.column_neighbors.get(column_id, [])
+        if not neighbors:
+            continue
+        # Group neighbor columns by their table, pick a table uniformly,
+        # then the highest-overlap column within it.
+        neighbor_tables: dict[int, list[int]] = defaultdict(list)
+        for other in neighbors:
+            neighbor_tables[profiles[other].table_index].append(other)
+        t2 = rng.choice(sorted(neighbor_tables))
+        best = max(
+            neighbor_tables[t2],
+            key=lambda other: _pair_jaccard(analysis, column_id, other),
+        )
+        left, right = sorted((column_id, best))
+        if (left, right) in seen_pairs:
+            continue
+        if _same_schema(analysis, t1, t2, schema_cache):
+            continue
+        bucket = size_bucket(profiles[column_id].num_rows)
+        if bucket is None:
+            continue
+        combo = key_combination(profiles[left], profiles[right])
+        if filled[(bucket, combo)] >= per_subbucket:
+            continue
+        pair = _find_pair(analysis, left, right)
+        if pair is None:
+            continue
+        seen_pairs.add((left, right))
+        filled[(bucket, combo)] += 1
+        judgment = oracle.judge(analysis, pair)
+        labeled.append(
+            LabeledPair(
+                pair=pair,
+                label=judgment.label,
+                pattern=judgment.pattern,
+                same_dataset=(
+                    analysis.tables[t1].dataset_id
+                    == analysis.tables[t2].dataset_id
+                ),
+                key_combo=combo,
+                semantic_type=pair_semantic_type(
+                    profiles[left], profiles[right]
+                ),
+                size_bucket=bucket,
+                expansion_ratio=pair_expansion_ratio(
+                    analysis, pair, counts_cache
+                ),
+            )
+        )
+    plan = SamplePlan(
+        requested_per_subbucket=per_subbucket,
+        filled=filled,
+        attempts=attempts,
+    )
+    return labeled, plan
+
+
+def _joinable_columns_by_table(
+    analysis: JoinabilityAnalysis,
+) -> dict[int, list[int]]:
+    by_table: dict[int, list[int]] = defaultdict(list)
+    for column_id in analysis.column_neighbors:
+        by_table[analysis.profiles[column_id].table_index].append(column_id)
+    return {table: sorted(columns) for table, columns in by_table.items()}
+
+
+def _pair_jaccard(
+    analysis: JoinabilityAnalysis, left: int, right: int
+) -> float:
+    pair = _find_pair(analysis, *sorted((left, right)))
+    return pair.jaccard if pair else 0.0
+
+
+def _find_pair(
+    analysis: JoinabilityAnalysis, left: int, right: int
+) -> JoinablePair | None:
+    index = getattr(analysis, "_pair_index", None)
+    if index is None:
+        index = {(p.left, p.right): p for p in analysis.pairs}
+        analysis._pair_index = index  # lazy cache on the analysis object
+    return index.get((left, right))
+
+
+def _same_schema(
+    analysis: JoinabilityAnalysis,
+    t1: int,
+    t2: int,
+    cache: dict[int, tuple],
+) -> bool:
+    return _schema_of(analysis, t1, cache) == _schema_of(analysis, t2, cache)
+
+
+def _schema_of(
+    analysis: JoinabilityAnalysis, table_index: int, cache: dict[int, tuple]
+) -> tuple:
+    schema = cache.get(table_index)
+    if schema is None:
+        table = analysis.tables[table_index].clean
+        assert table is not None
+        schema = tuple(
+            (name.lower(), dtype.value) for name, dtype in table.schema()
+        )
+        cache[table_index] = schema
+    return schema

@@ -1,0 +1,106 @@
+"""Signal-based filtering of accidental joins (the paper's takeaway).
+
+§5.3's summary: joins between tables in the same dataset, on key
+columns, with data types other than incremental integers, are far more
+likely to be useful.  The paper proposes these properties as *signals*
+for data-integration systems to filter value-overlap suggestions.  This
+module implements that filter and evaluates it against the labeling
+oracle — the "research direction" the paper points at, made concrete.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .coltypes import SemanticType
+from .labeling import KEY_KEY, JoinLabel, LabeledPair
+
+
+@dataclasses.dataclass(frozen=True)
+class SignalWeights:
+    """Scoring weights for the usefulness signals."""
+
+    same_dataset: float = 2.0
+    key_key: float = 1.5
+    one_key: float = 0.5
+    non_incremental_type: float = 1.0
+    low_expansion: float = 1.0
+    #: Score at or above which a pair is predicted useful.
+    threshold: float = 3.0
+
+
+DEFAULT_WEIGHTS = SignalWeights()
+
+
+def usefulness_score(
+    pair: LabeledPair, weights: SignalWeights = DEFAULT_WEIGHTS
+) -> float:
+    """Score a joinable pair from its value-free signals only."""
+    score = 0.0
+    if pair.same_dataset:
+        score += weights.same_dataset
+    if pair.key_combo == KEY_KEY:
+        score += weights.key_key
+    elif pair.key_combo != "nonkey-nonkey":
+        score += weights.one_key
+    if pair.semantic_type is not SemanticType.INCREMENTAL_INTEGER:
+        score += weights.non_incremental_type
+    if pair.expansion_ratio <= 1.2:
+        score += weights.low_expansion
+    return score
+
+
+def predict_useful(
+    pair: LabeledPair, weights: SignalWeights = DEFAULT_WEIGHTS
+) -> bool:
+    """The filter's verdict for one pair."""
+    return usefulness_score(pair, weights) >= weights.threshold
+
+
+@dataclasses.dataclass(frozen=True)
+class SignalEvaluation:
+    """Precision/recall of the signal filter against oracle labels."""
+
+    total: int
+    predicted_useful: int
+    actually_useful: int
+    true_positives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of predicted-useful pairs that are truly useful."""
+        if not self.predicted_useful:
+            return 0.0
+        return self.true_positives / self.predicted_useful
+
+    @property
+    def recall(self) -> float:
+        """Fraction of truly useful pairs the filter keeps."""
+        if not self.actually_useful:
+            return 0.0
+        return self.true_positives / self.actually_useful
+
+    @property
+    def baseline_precision(self) -> float:
+        """Precision of suggesting *every* high-overlap pair (the
+        value-overlap-only strategy the paper critiques)."""
+        if not self.total:
+            return 0.0
+        return self.actually_useful / self.total
+
+
+def evaluate_signals(
+    labeled: list[LabeledPair], weights: SignalWeights = DEFAULT_WEIGHTS
+) -> SignalEvaluation:
+    """Evaluate the signal filter over an oracle-labeled sample."""
+    predicted = [p for p in labeled if predict_useful(p, weights)]
+    useful = [p for p in labeled if p.label is JoinLabel.USEFUL]
+    true_positives = sum(
+        1 for p in predicted if p.label is JoinLabel.USEFUL
+    )
+    return SignalEvaluation(
+        total=len(labeled),
+        predicted_useful=len(predicted),
+        actually_useful=len(useful),
+        true_positives=true_positives,
+    )

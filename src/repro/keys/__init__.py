@@ -1,0 +1,19 @@
+"""Candidate-key discovery (paper §4.1)."""
+
+from .candidates import (
+    NO_KEY,
+    KeyReport,
+    KeySizeDistribution,
+    find_min_key,
+    key_size_distribution,
+    single_key_columns,
+)
+
+__all__ = [
+    "NO_KEY",
+    "KeyReport",
+    "KeySizeDistribution",
+    "find_min_key",
+    "key_size_distribution",
+    "single_key_columns",
+]

@@ -1,0 +1,36 @@
+"""Attribute-closure computation over a set of FDs.
+
+Used to test superkey-ness symbolically and by the decomposition tests
+to verify losslessness conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..fd.model import FD
+
+
+def attribute_closure(
+    attributes: Iterable[str], fds: Iterable[FD]
+) -> frozenset[str]:
+    """The closure of *attributes* under *fds* (textbook fixpoint)."""
+    closure = set(attributes)
+    fd_list = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fd_list:
+            if fd.rhs not in closure and fd.lhs <= closure:
+                closure.add(fd.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def is_superkey(
+    attributes: Iterable[str],
+    all_attributes: Iterable[str],
+    fds: Iterable[FD],
+) -> bool:
+    """Whether *attributes* determine every attribute under *fds*."""
+    return set(all_attributes) <= attribute_closure(attributes, fds)

@@ -1,0 +1,36 @@
+"""CKAN-style portal substrate: catalog model, metadata API, fetch layer.
+
+The corpus generator (:mod:`repro.generator`) populates a
+:class:`Portal` + :class:`BlobStore` pair; the ingestion pipeline
+(:mod:`repro.ingest`) then crawls them through :class:`CkanApi` and
+:class:`HttpClient`, exactly mirroring the paper's experimental setup.
+"""
+
+from .ckan import CkanApi, CkanApiError
+from .compress import compressed_size, compression_ratio
+from .disk import export_portal, import_portal
+from .http import HttpClient, HttpError, HttpResponse
+from .magic import detect_mime, is_csv
+from .models import Dataset, MetadataKind, Portal, Resource
+from .store import BlobStore, FailureMode, StoredBlob
+
+__all__ = [
+    "BlobStore",
+    "CkanApi",
+    "CkanApiError",
+    "Dataset",
+    "FailureMode",
+    "HttpClient",
+    "HttpError",
+    "HttpResponse",
+    "MetadataKind",
+    "Portal",
+    "Resource",
+    "StoredBlob",
+    "compressed_size",
+    "compression_ratio",
+    "export_portal",
+    "import_portal",
+    "detect_mime",
+    "is_csv",
+]

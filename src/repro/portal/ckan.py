@@ -1,0 +1,67 @@
+"""A CKAN-shaped metadata API over a :class:`~repro.portal.models.Portal`.
+
+The paper's crawl starts from the CKAN REST API: list all packages, show
+each package's metadata, and use the resources' ``format``/``url`` fields
+to find CSV files (§2.2).  This module exposes the same three calls with
+CKAN's JSON field names so the ingestion pipeline reads like a real
+crawler.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .models import Dataset, Portal, Resource
+
+
+class CkanApiError(KeyError):
+    """Raised when a package id is unknown (CKAN's "Not found" answer)."""
+
+
+class CkanApi:
+    """Read-only CKAN action-API facade."""
+
+    def __init__(self, portal: Portal):
+        self._portal = portal
+        self._by_id = {d.dataset_id: d for d in portal.datasets}
+
+    @property
+    def portal_code(self) -> str:
+        """Short code of the portal behind this API (e.g. ``"CA"``)."""
+        return self._portal.code
+
+    def package_list(self) -> list[str]:
+        """All dataset ids, as CKAN's ``package_list`` action returns."""
+        return [d.dataset_id for d in self._portal.datasets]
+
+    def package_show(self, dataset_id: str) -> dict[str, Any]:
+        """Metadata dict for one dataset, with CKAN's field names."""
+        dataset = self._by_id.get(dataset_id)
+        if dataset is None:
+            raise CkanApiError(dataset_id)
+        return _package_dict(dataset)
+
+    def package_search_all(self) -> list[dict[str, Any]]:
+        """Metadata for every dataset (one bulk call, as crawlers batch)."""
+        return [_package_dict(d) for d in self._portal.datasets]
+
+
+def _package_dict(dataset: Dataset) -> dict[str, Any]:
+    return {
+        "id": dataset.dataset_id,
+        "title": dataset.title,
+        "notes": dataset.description,
+        "groups": [{"name": dataset.topic}],
+        "organization": {"title": dataset.organization},
+        "metadata_created": dataset.published.isoformat(),
+        "resources": [_resource_dict(r) for r in dataset.resources],
+    }
+
+
+def _resource_dict(resource: Resource) -> dict[str, Any]:
+    return {
+        "id": resource.resource_id,
+        "name": resource.name,
+        "format": resource.declared_format,
+        "url": resource.url,
+    }

@@ -1,0 +1,116 @@
+"""Disk export/import of a simulated portal.
+
+Lets users materialize a generated portal as ordinary files — one CSV
+per resource plus a JSON catalog — so the corpus can be inspected with
+external tools (or re-crawled later without regenerating), and load it
+back into the in-memory substrate.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+
+from .models import Dataset, MetadataKind, Portal, Resource
+from .store import BlobStore, FailureMode
+
+CATALOG_FILENAME = "catalog.json"
+BLOB_DIRECTORY = "resources"
+
+
+def export_portal(
+    portal: Portal, store: BlobStore, directory: str | pathlib.Path
+) -> pathlib.Path:
+    """Write *portal*'s catalog and blobs under *directory*.
+
+    Successful blobs become files under ``resources/<resource_id>``;
+    failures are recorded in the catalog so a re-crawl reproduces the
+    same downloadability outcomes.
+    """
+    root = pathlib.Path(directory)
+    blob_dir = root / BLOB_DIRECTORY
+    blob_dir.mkdir(parents=True, exist_ok=True)
+
+    catalog: dict = {"code": portal.code, "name": portal.name, "datasets": []}
+    for dataset in portal.datasets:
+        entry = {
+            "id": dataset.dataset_id,
+            "title": dataset.title,
+            "description": dataset.description,
+            "topic": dataset.topic,
+            "organization": dataset.organization,
+            "published": dataset.published.isoformat(),
+            "metadata_kind": dataset.metadata_kind.value,
+            "resources": [],
+        }
+        for resource in dataset.resources:
+            blob = store.get(resource.url)
+            resource_entry = {
+                "id": resource.resource_id,
+                "name": resource.name,
+                "format": resource.declared_format,
+                "url": resource.url,
+                "failure": None,
+            }
+            if blob is None:
+                resource_entry["failure"] = FailureMode.NOT_FOUND.name
+            elif blob.failure is not None:
+                resource_entry["failure"] = blob.failure.name
+            else:
+                (blob_dir / resource.resource_id).write_bytes(blob.content)
+            entry["resources"].append(resource_entry)
+        catalog["datasets"].append(entry)
+
+    catalog_path = root / CATALOG_FILENAME
+    catalog_path.write_text(
+        json.dumps(catalog, indent=2, ensure_ascii=False), encoding="utf-8"
+    )
+    return catalog_path
+
+
+def import_portal(
+    directory: str | pathlib.Path,
+) -> tuple[Portal, BlobStore]:
+    """Load a portal previously written by :func:`export_portal`."""
+    root = pathlib.Path(directory)
+    catalog = json.loads(
+        (root / CATALOG_FILENAME).read_text(encoding="utf-8")
+    )
+    blob_dir = root / BLOB_DIRECTORY
+    store = BlobStore()
+    datasets: list[Dataset] = []
+    for entry in catalog["datasets"]:
+        resources: list[Resource] = []
+        for resource_entry in entry["resources"]:
+            resource = Resource(
+                resource_id=resource_entry["id"],
+                name=resource_entry["name"],
+                declared_format=resource_entry["format"],
+                url=resource_entry["url"],
+            )
+            resources.append(resource)
+            failure = resource_entry.get("failure")
+            if failure is not None:
+                store.put_failure(resource.url, FailureMode[failure])
+            else:
+                store.put(
+                    resource.url,
+                    (blob_dir / resource.resource_id).read_bytes(),
+                )
+        datasets.append(
+            Dataset(
+                dataset_id=entry["id"],
+                title=entry["title"],
+                description=entry["description"],
+                topic=entry["topic"],
+                organization=entry["organization"],
+                published=datetime.date.fromisoformat(entry["published"]),
+                metadata_kind=MetadataKind(entry["metadata_kind"]),
+                resources=tuple(resources),
+            )
+        )
+    portal = Portal(
+        code=catalog["code"], name=catalog["name"], datasets=datasets
+    )
+    return portal, store

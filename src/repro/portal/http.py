@@ -1,0 +1,66 @@
+"""Simulated HTTP client over a :class:`~repro.portal.store.BlobStore`.
+
+The paper categorizes a resource as *downloadable* iff the HTTP request
+for its URL succeeds with status 200 (§2.2).  This client reproduces that
+contract: known URLs yield 200 + bytes, failure-marked URLs yield their
+recorded status, and unknown URLs yield 404.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .store import BlobStore, FailureMode
+
+
+class HttpError(Exception):
+    """Raised for transport-level failures (timeouts)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class HttpResponse:
+    """Minimal response object: status code plus body bytes."""
+
+    status: int
+    content: bytes
+    url: str
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request succeeded (HTTP 200)."""
+        return self.status == 200
+
+
+class HttpClient:
+    """Fetches resource URLs from the portal's blob store."""
+
+    def __init__(self, store: BlobStore):
+        self._store = store
+        self.requests_made = 0
+
+    def fetch(self, url: str) -> HttpResponse:
+        """GET *url*.
+
+        Raises :class:`HttpError` for simulated timeouts, otherwise
+        always returns a response (possibly a 4xx/5xx with empty body).
+        """
+        self.requests_made += 1
+        blob = self._store.get(url)
+        if blob is None:
+            return HttpResponse(status=404, content=b"", url=url)
+        if blob.failure is FailureMode.TIMEOUT:
+            raise HttpError(f"timed out fetching {url}")
+        if blob.failure is not None:
+            return HttpResponse(status=blob.failure.value, content=b"", url=url)
+        return HttpResponse(status=200, content=blob.content, url=url)
+
+    def try_fetch(self, url: str) -> HttpResponse:
+        """Like :meth:`fetch` but mapping timeouts to a status-0 response.
+
+        The ingestion pipeline treats any non-200 outcome, including a
+        timeout, as "not downloadable", so it prefers this variant.
+        """
+        try:
+            return self.fetch(url)
+        except HttpError:
+            return HttpResponse(status=0, content=b"", url=url)

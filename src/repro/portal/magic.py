@@ -1,0 +1,76 @@
+"""Content-based file type sniffing (the study's libmagic substitute).
+
+The ingestion pipeline must verify that a resource *declared* as CSV is
+actually CSV (paper §2.2 step 1).  This module recognizes the formats
+that actually show up behind "CSV" links in OGDPs: real CSV text, HTML
+error pages, PDFs, legacy and zipped Excel files, JSON, and XML.
+"""
+
+from __future__ import annotations
+
+_SIGNATURES: tuple[tuple[bytes, str], ...] = (
+    (b"%PDF-", "application/pdf"),
+    (b"PK\x03\x04", "application/zip"),
+    (b"\xd0\xcf\x11\xe0", "application/vnd.ms-excel"),
+    (b"\x1f\x8b", "application/gzip"),
+)
+
+
+def detect_mime(payload: bytes) -> str:
+    """Return a MIME type guess for *payload*.
+
+    Binary signatures win first; then the head of the text is inspected
+    for HTML/JSON/XML markers; anything that still looks like delimited
+    text is called ``text/csv``; the fallback is ``text/plain``.
+    """
+    if not payload:
+        return "application/x-empty"
+    for signature, mime in _SIGNATURES:
+        if payload.startswith(signature):
+            return mime
+    head = payload[:4096].lstrip()
+    lowered = head[:256].lower()
+    if lowered.startswith((b"<!doctype html", b"<html", b"<head", b"<body")):
+        return "text/html"
+    if lowered.startswith(b"<?xml") or lowered.startswith(b"<rdf"):
+        return "text/xml"
+    if lowered.startswith((b"{", b"[")):
+        return "application/json"
+    if _looks_like_csv(head):
+        return "text/csv"
+    return "text/plain"
+
+
+def is_csv(payload: bytes) -> bool:
+    """Shortcut: does *payload* sniff as CSV?"""
+    return detect_mime(payload) == "text/csv"
+
+
+def _looks_like_csv(head: bytes) -> bool:
+    """Heuristic for delimited text: printable lines sharing separators.
+
+    At least one comma/semicolon/tab per line on average, over the first
+    few lines, and no NUL bytes.  Single-column CSVs are admitted when
+    the text is short printable lines.
+    """
+    if b"\x00" in head:
+        return False
+    try:
+        text = head.decode("utf-8", errors="strict")
+    except UnicodeDecodeError:
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 can't fail
+            return False
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return False
+    sample = lines[:20]
+    separator_lines = sum(
+        1 for line in sample if ("," in line or ";" in line or "\t" in line)
+    )
+    if separator_lines >= max(1, len(sample) // 2):
+        return True
+    # A single-column CSV: short-ish plain lines without markup.
+    plain = sum(1 for line in sample if len(line) < 200 and "<" not in line)
+    return plain == len(sample) and len(sample) > 1

@@ -1,0 +1,90 @@
+"""Domain model of an open government data portal (OGDP).
+
+Mirrors CKAN's structure as described in the paper's §2.1: a portal is a
+set of *datasets*; each dataset owns *resource files*; resources carry a
+declared format and a URL from which the actual bytes are fetched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import enum
+from typing import Iterator
+
+
+class MetadataKind(enum.Enum):
+    """How a dataset's data dictionary is published (paper Table 3)."""
+
+    STRUCTURED = "structured"
+    UNSTRUCTURED = "unstructured"
+    OUTSIDE_PORTAL = "outside portal"
+    LACKING = "lacking"
+
+
+@dataclasses.dataclass(frozen=True)
+class Resource:
+    """One downloadable file attached to a dataset.
+
+    ``declared_format`` is what the publisher *says* the file is — the
+    ingestion pipeline uses it to pick CSV candidates and then verifies
+    the claim against the bytes, exactly as the paper does with libmagic.
+    """
+
+    resource_id: str
+    name: str
+    declared_format: str
+    url: str
+
+    @property
+    def claims_csv(self) -> bool:
+        """Whether the publisher declared this resource as CSV."""
+        return self.declared_format.strip().lower() == "csv"
+
+
+@dataclasses.dataclass(frozen=True)
+class Dataset:
+    """A CKAN dataset ("package"): metadata plus a list of resources."""
+
+    dataset_id: str
+    title: str
+    description: str
+    topic: str
+    organization: str
+    published: datetime.date
+    metadata_kind: MetadataKind
+    resources: tuple[Resource, ...]
+
+    @property
+    def csv_resources(self) -> tuple[Resource, ...]:
+        """Resources whose declared format is CSV."""
+        return tuple(r for r in self.resources if r.claims_csv)
+
+
+@dataclasses.dataclass
+class Portal:
+    """A whole OGDP: an identifier plus its dataset catalog."""
+
+    code: str
+    name: str
+    datasets: list[Dataset] = dataclasses.field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self.datasets)
+
+    @property
+    def num_datasets(self) -> int:
+        """Number of datasets in the catalog."""
+        return len(self.datasets)
+
+    @property
+    def num_tables(self) -> int:
+        """Total number of declared-CSV resources across all datasets."""
+        return sum(len(d.csv_resources) for d in self.datasets)
+
+    def dataset(self, dataset_id: str) -> Dataset:
+        """Look up a dataset by id."""
+        for candidate in self.datasets:
+            if candidate.dataset_id == dataset_id:
+                return candidate
+        raise KeyError(dataset_id)

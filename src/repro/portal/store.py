@@ -1,0 +1,66 @@
+"""Blob store backing the simulated HTTP layer.
+
+The corpus generator writes each resource's bytes (or a failure mode)
+under its URL; the HTTP client reads them back.  Keeping the store as an
+explicit object — rather than attaching bytes to :class:`Resource` —
+preserves the paper's separation between catalog metadata (what CKAN
+says) and the fetch outcome (what the web actually returns).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class FailureMode(enum.Enum):
+    """Why fetching a URL fails, mirroring what OGDP crawls encounter."""
+
+    NOT_FOUND = 404
+    GONE = 410
+    SERVER_ERROR = 500
+    TIMEOUT = 0  # no HTTP status: the connection never completed
+
+
+@dataclasses.dataclass
+class StoredBlob:
+    """Bytes (or a designated failure) stored under one URL."""
+
+    content: bytes = b""
+    failure: FailureMode | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the blob holds successful content."""
+        return self.failure is None
+
+
+class BlobStore:
+    """URL-keyed storage for simulated resource files."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, StoredBlob] = {}
+
+    def put(self, url: str, content: bytes) -> None:
+        """Store successful *content* under *url*."""
+        self._blobs[url] = StoredBlob(content=content)
+
+    def put_failure(self, url: str, failure: FailureMode) -> None:
+        """Mark *url* as failing with the given mode."""
+        self._blobs[url] = StoredBlob(failure=failure)
+
+    def get(self, url: str) -> StoredBlob | None:
+        """The blob stored under *url*, or None for an unknown URL."""
+        return self._blobs.get(url)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def total_bytes(self) -> int:
+        """Sum of stored content sizes over successful blobs."""
+        return sum(
+            len(blob.content) for blob in self._blobs.values() if blob.ok
+        )

@@ -1,0 +1,59 @@
+"""Portal profiling analyses (paper §3 and §4.1) plus automatic
+data-dictionary generation (§3.4's research question)."""
+
+from .dictionary import (
+    ColumnDictionaryEntry,
+    DataDictionary,
+    build_dictionary,
+)
+from .growth import GrowthCurve, growth_curve
+from .metadata import SAMPLE_SIZE, MetadataStats, metadata_stats
+from .nulls import NULL_RATIO_EDGES, NullStats, null_stats
+from .sizes import (
+    PortalSizeStats,
+    SizePercentilePoint,
+    portal_size_stats,
+    size_percentile_curve,
+)
+from .tablesize import (
+    ShapeDistribution,
+    TableSizeStats,
+    shape_distribution,
+    table_size_stats,
+)
+from .uniqueness import (
+    SCORE_EDGES,
+    ColumnUniqueness,
+    UniquenessGroupStats,
+    UniquenessStats,
+    column_profiles,
+    uniqueness_stats,
+)
+
+__all__ = [
+    "ColumnDictionaryEntry",
+    "ColumnUniqueness",
+    "DataDictionary",
+    "GrowthCurve",
+    "MetadataStats",
+    "NULL_RATIO_EDGES",
+    "NullStats",
+    "PortalSizeStats",
+    "SAMPLE_SIZE",
+    "SCORE_EDGES",
+    "ShapeDistribution",
+    "SizePercentilePoint",
+    "TableSizeStats",
+    "UniquenessGroupStats",
+    "UniquenessStats",
+    "build_dictionary",
+    "column_profiles",
+    "growth_curve",
+    "metadata_stats",
+    "null_stats",
+    "portal_size_stats",
+    "shape_distribution",
+    "size_percentile_curve",
+    "table_size_stats",
+    "uniqueness_stats",
+]

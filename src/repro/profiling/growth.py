@@ -1,0 +1,69 @@
+"""Portal growth analysis (paper §3.1 and Figure 2).
+
+Attributes each readable table's bytes to its dataset's publication
+year and reports the cumulative size curve.  The paper could only chart
+UK this way — the other portals' bulk-ingest dates produce step
+functions — and ``is_steplike`` reproduces that diagnosis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ingest.pipeline import IngestReport
+from ..portal.models import Portal
+
+
+@dataclasses.dataclass(frozen=True)
+class GrowthCurve:
+    """Cumulative portal size by publication year (Figure 2)."""
+
+    portal_code: str
+    years: list[int]
+    cumulative_bytes: list[float]
+    #: Number of datasets first published in each year (same order as
+    #: ``years``); used for the step-function diagnosis.
+    datasets_per_year: list[int]
+
+    @property
+    def is_steplike(self) -> bool:
+        """Whether publications concentrate on bulk-ingest dates.
+
+        True for bulk-ingested portals — the paper's reason for charting
+        only UK.  Diagnosed on dataset *counts* rather than bytes, since
+        a single huge table can dominate a year's bytes without implying
+        a bulk migration.
+        """
+        total = sum(self.datasets_per_year)
+        if not total:
+            return False
+        return max(self.datasets_per_year) > 0.4 * total
+
+
+def growth_curve(portal: Portal, report: IngestReport) -> GrowthCurve:
+    """Cumulative readable-table bytes by dataset publication year."""
+    published_by_dataset = {d.dataset_id: d.published for d in portal.datasets}
+    per_year: dict[int, float] = {}
+    for ingested in report.tables:
+        published = published_by_dataset.get(ingested.dataset_id)
+        if published is None:
+            continue
+        per_year[published.year] = (
+            per_year.get(published.year, 0.0) + ingested.raw_size_bytes
+        )
+    dataset_counts: dict[int, int] = {}
+    for dataset in portal.datasets:
+        year = dataset.published.year
+        dataset_counts[year] = dataset_counts.get(year, 0) + 1
+    years = sorted(per_year)
+    cumulative: list[float] = []
+    running = 0.0
+    for year in years:
+        running += per_year[year]
+        cumulative.append(running)
+    return GrowthCurve(
+        portal_code=portal.code,
+        years=years,
+        cumulative_bytes=cumulative,
+        datasets_per_year=[dataset_counts.get(year, 0) for year in years],
+    )

@@ -1,0 +1,77 @@
+"""Null-value analysis (paper §3.3 and Figure 4).
+
+Null ratios are computed over the *cleaned* tables: the paper removes
+trailing-empty-column artifacts before analysis, so those columns must
+not inflate the genuine missing-data picture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.stats import fraction, histogram, mean
+from ..ingest.pipeline import IngestReport
+
+#: Bucket edges for Figure 4's null-ratio distributions.
+NULL_RATIO_EDGES = (0.0, 0.1, 0.25, 0.5, 0.75, 0.99)
+
+
+@dataclasses.dataclass(frozen=True)
+class NullStats:
+    """One portal's null-value summary (§3.3 headline numbers)."""
+
+    portal_code: str
+    total_columns: int
+    columns_with_nulls: int
+    columns_half_empty: int
+    columns_entirely_null: int
+    column_ratio_histogram: list[int]
+    table_ratio_histogram: list[int]
+
+    @property
+    def frac_columns_with_nulls(self) -> float:
+        """Fraction of columns containing at least one null."""
+        return fraction(self.columns_with_nulls, self.total_columns)
+
+    @property
+    def frac_columns_half_empty(self) -> float:
+        """Fraction of columns at least half null."""
+        return fraction(self.columns_half_empty, self.total_columns)
+
+    @property
+    def frac_columns_entirely_null(self) -> float:
+        """Fraction of columns that are entirely null."""
+        return fraction(self.columns_entirely_null, self.total_columns)
+
+
+def null_stats(report: IngestReport) -> NullStats:
+    """Compute the §3.3 null statistics for one portal."""
+    column_ratios: list[float] = []
+    table_ratios: list[float] = []
+    with_nulls = half_empty = entirely = 0
+    for ingested in report.clean_tables:
+        table = ingested.clean
+        assert table is not None
+        per_table: list[float] = []
+        for column in table.columns:
+            ratio = column.null_ratio
+            column_ratios.append(ratio)
+            per_table.append(ratio)
+            if ratio > 0.0:
+                with_nulls += 1
+            if ratio >= 0.5:
+                half_empty += 1
+            if column.is_entirely_null:
+                entirely += 1
+        if per_table:
+            table_ratios.append(mean(per_table))
+    edges = list(NULL_RATIO_EDGES)
+    return NullStats(
+        portal_code=report.portal_code,
+        total_columns=len(column_ratios),
+        columns_with_nulls=with_nulls,
+        columns_half_empty=half_empty,
+        columns_entirely_null=entirely,
+        column_ratio_histogram=histogram(column_ratios, edges),
+        table_ratio_histogram=histogram(table_ratios, edges),
+    )

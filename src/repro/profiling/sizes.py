@@ -1,0 +1,96 @@
+"""Portal-size statistics (paper Table 1 and Figure 1).
+
+Counts datasets/tables/columns, sums raw and compressed sizes, and
+computes the percentile cut-off/cumulative size curves of Figure 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.stats import mean, percentile
+from ..ingest.pipeline import IngestReport
+from ..portal.compress import compressed_size
+from ..portal.models import Portal
+from ..portal.store import BlobStore
+
+
+@dataclasses.dataclass(frozen=True)
+class PortalSizeStats:
+    """One portal's row of the paper's Table 1."""
+
+    portal_code: str
+    total_datasets: int
+    avg_tables_per_dataset: float
+    max_tables_per_dataset: int
+    total_tables: int
+    downloadable_tables: int
+    readable_tables: int
+    total_columns: int
+    total_size_bytes: int
+    total_compressed_bytes: int
+    largest_table_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw over compressed size (the paper's ~1:5 observation)."""
+        if not self.total_compressed_bytes:
+            return 1.0
+        return self.total_size_bytes / self.total_compressed_bytes
+
+
+def portal_size_stats(
+    portal: Portal, report: IngestReport, store: BlobStore
+) -> PortalSizeStats:
+    """Compute Table 1's statistics for one portal."""
+    per_dataset = list(report.tables_per_dataset.values())
+    sizes = [t.raw_size_bytes for t in report.tables]
+    compressed_total = 0
+    for ingested in report.tables:
+        blob = store.get(ingested.url)
+        if blob is not None and blob.ok:
+            compressed_total += compressed_size(blob.content)
+    return PortalSizeStats(
+        portal_code=report.portal_code,
+        total_datasets=portal.num_datasets,
+        avg_tables_per_dataset=mean(per_dataset),
+        max_tables_per_dataset=max(per_dataset, default=0),
+        total_tables=report.total_declared_tables,
+        downloadable_tables=report.downloadable_tables,
+        readable_tables=report.readable_tables,
+        total_columns=sum(t.raw.num_columns for t in report.tables),
+        total_size_bytes=sum(sizes),
+        total_compressed_bytes=compressed_total,
+        largest_table_bytes=max(sizes, default=0),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SizePercentilePoint:
+    """One point of Figure 1: a percentile's cut-off & cumulative size."""
+
+    percentile: float
+    cutoff_bytes: float
+    cumulative_bytes: float
+
+
+def size_percentile_curve(
+    report: IngestReport, step: int = 5
+) -> list[SizePercentilePoint]:
+    """Figure 1's curves: for each percentile of table size (ascending),
+    the cut-off table size and the cumulative portal size below it."""
+    sizes = sorted(t.raw_size_bytes for t in report.tables)
+    if not sizes:
+        return []
+    points: list[SizePercentilePoint] = []
+    for q in range(step, 101, step):
+        cutoff = percentile(sizes, float(q))
+        cumulative = float(sum(s for s in sizes if s <= cutoff))
+        points.append(
+            SizePercentilePoint(
+                percentile=float(q),
+                cutoff_bytes=cutoff,
+                cumulative_bytes=cumulative,
+            )
+        )
+    return points

@@ -1,0 +1,67 @@
+"""Table-shape statistics (paper Table 2 and Figure 3)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.stats import geometric_buckets, histogram, mean, median
+from ..ingest.pipeline import IngestReport
+
+
+@dataclasses.dataclass(frozen=True)
+class TableSizeStats:
+    """One portal's row of the paper's Table 2."""
+
+    portal_code: str
+    avg_columns: float
+    median_columns: float
+    max_columns: int
+    avg_rows: float
+    median_rows: float
+    max_rows: int
+
+
+def table_size_stats(report: IngestReport) -> TableSizeStats:
+    """Column/row count statistics over the portal's readable tables.
+
+    Follows the paper in computing these over *readable* tables (the
+    width cutoff applies to later analyses, not to Table 2 — its
+    max-column figures are exactly the malformed wide tables).
+    """
+    columns = [t.raw.num_columns for t in report.tables]
+    rows = [t.raw.num_rows for t in report.tables]
+    return TableSizeStats(
+        portal_code=report.portal_code,
+        avg_columns=mean(columns),
+        median_columns=median(columns),
+        max_columns=max(columns, default=0),
+        avg_rows=mean(rows),
+        median_rows=median(rows),
+        max_rows=max(rows, default=0),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ShapeDistribution:
+    """Figure 3's histograms for one portal."""
+
+    portal_code: str
+    row_bucket_edges: list[float]
+    row_counts: list[int]
+    column_bucket_edges: list[float]
+    column_counts: list[int]
+
+
+def shape_distribution(report: IngestReport) -> ShapeDistribution:
+    """Log-bucketed distributions of rows and columns per table."""
+    rows = [t.raw.num_rows for t in report.tables]
+    columns = [t.raw.num_columns for t in report.tables]
+    row_edges = geometric_buckets(max(rows, default=1))
+    column_edges = [2.0, 5.0, 10.0, 20.0, 50.0, 100.0]
+    return ShapeDistribution(
+        portal_code=report.portal_code,
+        row_bucket_edges=row_edges,
+        row_counts=histogram(rows, row_edges),
+        column_bucket_edges=column_edges,
+        column_counts=histogram(columns, column_edges),
+    )

@@ -1,0 +1,120 @@
+"""Value-repetition analysis (paper §4.1, Table 4 and Figure 5).
+
+Computes per-column unique value counts and uniqueness scores, grouped
+by the paper's broad text/number type split, over the cleaned tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.stats import geometric_buckets, histogram, mean, median
+from ..dataframe import Column
+from ..ingest.pipeline import IngestReport
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnUniqueness:
+    """Per-column uniqueness facts carried into later analyses."""
+
+    table_index: int
+    column_name: str
+    is_text: bool
+    num_values: int
+    num_unique: int
+    uniqueness_score: float
+    is_key: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class UniquenessGroupStats:
+    """Table 4 statistics for one (portal, type-group) cell."""
+
+    num_columns: int
+    avg_unique: float
+    median_unique: float
+    max_unique: int
+    avg_score: float
+    median_score: float
+
+
+@dataclasses.dataclass(frozen=True)
+class UniquenessStats:
+    """One portal's column of the paper's Table 4 plus Figure 5 data."""
+
+    portal_code: str
+    text: UniquenessGroupStats
+    number: UniquenessGroupStats
+    all: UniquenessGroupStats
+    unique_count_histogram: list[int]
+    unique_count_edges: list[float]
+    score_histogram: list[int]
+
+    #: Fraction of columns with uniqueness score below 0.1 — the paper's
+    #: "values repeated more than 10 times on average" headline.
+    frac_score_below_0_1: float
+
+
+#: Bucket edges for Figure 5's uniqueness-score histogram.
+SCORE_EDGES = (0.01, 0.1, 0.25, 0.5, 0.75, 0.99)
+
+
+def column_profiles(report: IngestReport) -> list[ColumnUniqueness]:
+    """Per-column uniqueness profile over cleaned tables.
+
+    Entirely-null columns are profiled too (score 0.0), matching the
+    paper's treatment of them as maximally repetitive.
+    """
+    profiles: list[ColumnUniqueness] = []
+    for index, ingested in enumerate(report.clean_tables):
+        table = ingested.clean
+        assert table is not None
+        for column in table.columns:
+            profiles.append(_profile_column(index, column))
+    return profiles
+
+
+def _profile_column(table_index: int, column: Column) -> ColumnUniqueness:
+    return ColumnUniqueness(
+        table_index=table_index,
+        column_name=column.name,
+        is_text=column.dtype.is_text or column.dtype.value == "empty",
+        num_values=len(column),
+        num_unique=column.distinct_count,
+        uniqueness_score=column.uniqueness_score,
+        is_key=column.is_key,
+    )
+
+
+def uniqueness_stats(report: IngestReport) -> UniquenessStats:
+    """Compute Table 4 / Figure 5 statistics for one portal."""
+    profiles = column_profiles(report)
+    text = [p for p in profiles if p.is_text]
+    number = [p for p in profiles if not p.is_text]
+    uniques = [p.num_unique for p in profiles]
+    scores = [p.uniqueness_score for p in profiles]
+    unique_edges = geometric_buckets(max(uniques, default=1))
+    below = sum(1 for s in scores if s < 0.1)
+    return UniquenessStats(
+        portal_code=report.portal_code,
+        text=_group_stats(text),
+        number=_group_stats(number),
+        all=_group_stats(profiles),
+        unique_count_histogram=histogram(uniques, unique_edges),
+        unique_count_edges=unique_edges,
+        score_histogram=histogram(scores, list(SCORE_EDGES)),
+        frac_score_below_0_1=below / len(scores) if scores else 0.0,
+    )
+
+
+def _group_stats(profiles: list[ColumnUniqueness]) -> UniquenessGroupStats:
+    uniques = [p.num_unique for p in profiles]
+    scores = [p.uniqueness_score for p in profiles]
+    return UniquenessGroupStats(
+        num_columns=len(profiles),
+        avg_unique=mean(uniques),
+        median_unique=median(uniques),
+        max_unique=max(uniques, default=0),
+        avg_score=mean(scores),
+        median_score=median(scores),
+    )

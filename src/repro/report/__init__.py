@@ -1,0 +1,15 @@
+"""Text rendering of reproduced tables and figures."""
+
+from .letters import LETTERS, LetterValues, letter_values, render_letter_values
+from .render import mib, percent, render_bar_chart, render_table
+
+__all__ = [
+    "LETTERS",
+    "LetterValues",
+    "letter_values",
+    "mib",
+    "percent",
+    "render_bar_chart",
+    "render_letter_values",
+    "render_table",
+]

@@ -1,0 +1,80 @@
+"""Letter-value summaries (the paper's Figure 8 boxen plots).
+
+A letter-value plot extends the box plot with successive "letter"
+quantile pairs: F (fourths), E (eighths), D (sixteenths), ... — well
+suited to heavy-tailed distributions like join expansion ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..core.stats import percentile
+
+#: Letter names in order of increasing depth.
+LETTERS = ("F", "E", "D", "C", "B", "A")
+
+
+@dataclasses.dataclass(frozen=True)
+class LetterValues:
+    """Letter-value summary of one distribution."""
+
+    count: int
+    median: float
+    #: (letter, lower quantile, upper quantile) triples, F outward.
+    boxes: tuple[tuple[str, float, float], ...]
+    minimum: float
+    maximum: float
+
+    @property
+    def fourths(self) -> tuple[float, float]:
+        """The F box (1st and 3rd quartiles)."""
+        return self.boxes[0][1], self.boxes[0][2]
+
+
+def letter_values(
+    values: Sequence[float], max_letters: int = 4
+) -> LetterValues:
+    """Compute letter values of *values* (up to *max_letters* boxes).
+
+    The depth stops early when a box would contain fewer than 8 points,
+    following the standard stopping rule for letter-value plots.
+    """
+    if not values:
+        return LetterValues(
+            count=0, median=0.0, boxes=(), minimum=0.0, maximum=0.0
+        )
+    ordered = sorted(values)
+    boxes: list[tuple[str, float, float]] = []
+    tail = 25.0  # percent in each tail for the F box
+    for letter in LETTERS[:max_letters]:
+        expected_points = len(ordered) * tail / 100.0
+        if expected_points < 4:
+            break
+        boxes.append(
+            (
+                letter,
+                percentile(ordered, tail),
+                percentile(ordered, 100.0 - tail),
+            )
+        )
+        tail /= 2.0
+    return LetterValues(
+        count=len(ordered),
+        median=percentile(ordered, 50.0),
+        boxes=tuple(boxes),
+        minimum=float(ordered[0]),
+        maximum=float(ordered[-1]),
+    )
+
+
+def render_letter_values(title: str, summary: LetterValues) -> str:
+    """Textual rendering of one letter-value summary."""
+    lines = [
+        f"{title}: n={summary.count}, median={summary.median:.2f}, "
+        f"min={summary.minimum:.2f}, max={summary.maximum:.2f}"
+    ]
+    for letter, low, high in summary.boxes:
+        lines.append(f"  {letter}-box: [{low:.2f}, {high:.2f}]")
+    return "\n".join(lines)

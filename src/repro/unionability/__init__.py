@@ -1,0 +1,47 @@
+"""Unionability analysis (paper §6)."""
+
+from .labeling import (
+    UNION_SAMPLE_SIZE,
+    LabeledUnionPair,
+    UnionLabel,
+    UnionLabelStats,
+    UnionOracle,
+    UnionPattern,
+    sample_union_pairs,
+    union_label_stats,
+)
+from .ranking import (
+    RankedPartner,
+    column_value_overlap,
+    name_affinity,
+    rank_union_partners,
+)
+from .schemas import (
+    Fingerprint,
+    UnionGroup,
+    UnionabilityAnalysis,
+    UnionabilityStats,
+    analyze_unionability,
+    schema_fingerprint,
+)
+
+__all__ = [
+    "Fingerprint",
+    "LabeledUnionPair",
+    "RankedPartner",
+    "UNION_SAMPLE_SIZE",
+    "UnionGroup",
+    "UnionLabel",
+    "UnionLabelStats",
+    "UnionOracle",
+    "UnionPattern",
+    "UnionabilityAnalysis",
+    "UnionabilityStats",
+    "analyze_unionability",
+    "column_value_overlap",
+    "name_affinity",
+    "rank_union_partners",
+    "sample_union_pairs",
+    "schema_fingerprint",
+    "union_label_stats",
+]

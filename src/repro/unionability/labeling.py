@@ -1,0 +1,169 @@
+"""Useful-vs-accidental labeling of unionable pairs (paper §6).
+
+The paper sampled 25 unionable pairs per portal (one schema uniformly
+at random, then a table pair within it) and found the overwhelming
+majority useful, with two accidental patterns: Singapore's standardized
+schemas shared by unrelated datasets, and verbatim duplicate tables in
+the US portal.  The oracle below reproduces that rubric from lineage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+
+from ..generator.lineage import PublicationStyle, TableLineage
+from .schemas import UnionabilityAnalysis, UnionGroup
+
+
+class UnionLabel(enum.Enum):
+    """The paper's two-way union judgment."""
+    USEFUL = "useful"
+    ACCIDENTAL = "accidental"
+
+
+class UnionPattern(enum.Enum):
+    """The paper's §6 publication patterns."""
+
+    PERIODIC = "periodically published tables"
+    PARTITIONED = "tables partitioned on a non-temporal attribute"
+    SAME_TOPIC_REPUBLICATION = "same statistics from different publishers"
+    STANDARDIZED_SCHEMA = "standardized schemas (SG)"
+    DUPLICATE = "duplicate tables"
+    UNKNOWN = "unknown provenance"
+
+
+@dataclasses.dataclass(frozen=True)
+class LabeledUnionPair:
+    """One sampled unionable pair with its judgment."""
+
+    left_resource: str
+    right_resource: str
+    label: UnionLabel
+    pattern: UnionPattern
+    same_dataset: bool
+
+
+class UnionOracle:
+    """Labels unionable pairs from generator lineage."""
+
+    def __init__(self, lineage_by_resource: dict[str, TableLineage]):
+        self._lineage = lineage_by_resource
+
+    @classmethod
+    def from_recorder(cls, recorder) -> "UnionOracle":
+        """Build an oracle from a lineage recorder."""
+        return cls({record.resource_id: record for record in recorder})
+
+    def judge(
+        self, left_resource: str, right_resource: str
+    ) -> tuple[UnionLabel, UnionPattern]:
+        """Label one unionable pair from lineage ground truth."""
+        left = self._lineage.get(left_resource)
+        right = self._lineage.get(right_resource)
+        if left is None or right is None:
+            return UnionLabel.USEFUL, UnionPattern.UNKNOWN
+        if (
+            left.duplicate_of == right.resource_id
+            or right.duplicate_of == left.resource_id
+            or (
+                left.duplicate_of is not None
+                and left.duplicate_of == right.duplicate_of
+            )
+        ):
+            # Unioning a table with its own verbatim copy only makes
+            # duplicate rows — the paper's US-specific accidental case.
+            return UnionLabel.ACCIDENTAL, UnionPattern.DUPLICATE
+        if left.family_id == right.family_id:
+            if left.period != right.period:
+                return UnionLabel.USEFUL, UnionPattern.PERIODIC
+            if left.partition_value != right.partition_value:
+                return UnionLabel.USEFUL, UnionPattern.PARTITIONED
+            return UnionLabel.USEFUL, UnionPattern.SAME_TOPIC_REPUBLICATION
+        # Different families sharing an exact schema.
+        sg_standard = PublicationStyle.SG_STANDARD in (left.style, right.style)
+        if sg_standard:
+            return UnionLabel.ACCIDENTAL, UnionPattern.STANDARDIZED_SCHEMA
+        if left.topic == right.topic:
+            # Same blueprint published by different organizations: rows
+            # are the same kind of measurement, so the union reads fine.
+            return UnionLabel.USEFUL, UnionPattern.SAME_TOPIC_REPUBLICATION
+        return UnionLabel.ACCIDENTAL, UnionPattern.STANDARDIZED_SCHEMA
+
+
+#: The paper's per-portal sample size.
+UNION_SAMPLE_SIZE = 25
+
+
+def sample_union_pairs(
+    analysis: UnionabilityAnalysis,
+    oracle: UnionOracle,
+    seed: int = 0,
+    sample_size: int = UNION_SAMPLE_SIZE,
+) -> list[LabeledUnionPair]:
+    """Sample and label unionable pairs per the paper's §6 procedure.
+
+    Pick a unionable schema uniformly at random, then a pair of its
+    tables uniformly at random; repeat *sample_size* times (schemas may
+    repeat when there are fewer schemas than samples, as in the paper's
+    smaller portals).
+    """
+    rng = random.Random(f"{seed}:{analysis.portal_code}:union-sample")
+    groups = analysis.unionable_groups()
+    if not groups:
+        return []
+    labeled: list[LabeledUnionPair] = []
+    seen: set[tuple[str, str]] = set()
+    attempts = 0
+    while len(labeled) < sample_size and attempts < sample_size * 40:
+        attempts += 1
+        group = rng.choice(groups)
+        left_index, right_index = rng.sample(group.table_indexes, 2)
+        left = analysis.tables[left_index]
+        right = analysis.tables[right_index]
+        key = tuple(sorted((left.resource_id, right.resource_id)))
+        if key in seen and len(seen) < _max_pairs(groups):
+            continue
+        seen.add(key)
+        label, pattern = oracle.judge(left.resource_id, right.resource_id)
+        labeled.append(
+            LabeledUnionPair(
+                left_resource=left.resource_id,
+                right_resource=right.resource_id,
+                label=label,
+                pattern=pattern,
+                same_dataset=left.dataset_id == right.dataset_id,
+            )
+        )
+    return labeled
+
+
+def _max_pairs(groups: list[UnionGroup]) -> int:
+    return sum(g.size * (g.size - 1) // 2 for g in groups)
+
+
+@dataclasses.dataclass(frozen=True)
+class UnionLabelStats:
+    """Aggregate of a labeled union sample."""
+
+    total: int
+    useful: int
+    pattern_counts: dict[UnionPattern, int]
+
+    @property
+    def frac_useful(self) -> float:
+        """Fraction of sampled pairs judged useful."""
+        return self.useful / self.total if self.total else 0.0
+
+
+def union_label_stats(labeled: list[LabeledUnionPair]) -> UnionLabelStats:
+    """Aggregate a labeled union sample into counts."""
+    pattern_counts: dict[UnionPattern, int] = {}
+    for pair in labeled:
+        pattern_counts[pair.pattern] = pattern_counts.get(pair.pattern, 0) + 1
+    return UnionLabelStats(
+        total=len(labeled),
+        useful=sum(1 for p in labeled if p.label is UnionLabel.USEFUL),
+        pattern_counts=pattern_counts,
+    )

@@ -1,0 +1,116 @@
+"""Ranking unionable partners (the paper's §6 open question).
+
+The paper ends its unionability section observing that many tables
+share a perfect schema with *several* candidates, and that systems
+should rank them: a housing table partitioned by (house type, council)
+should prefer partners that differ in only *one* of the two partition
+attributes over partners that differ in both.
+
+With exact-schema unionability every candidate has the same schema
+score, so the ranking has to come from *relatedness* signals.  This
+module ranks a union group's candidates for a given query table using
+value-based signals only:
+
+* **column-domain overlap** — for each shared column, the Jaccard
+  overlap of the two tables' value sets; partners that share, say, the
+  same council's values differ in fewer partition attributes;
+* **name affinity** — longest-common-token overlap of the table names
+  ("landings_2019" vs "landings_2020" share their stem);
+* **dataset locality** — partners under the same dataset first, same
+  organization next (periodic series usually live together).
+
+The lineage-based check in the tests confirms the intuition: partners
+from the query's own family outrank cross-family coincidences.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from ..joinability.index import normalize_value
+from .schemas import UnionabilityAnalysis, UnionGroup
+
+
+@dataclasses.dataclass(frozen=True)
+class RankedPartner:
+    """One union candidate with its relatedness evidence."""
+
+    table_index: int
+    value_overlap: float
+    name_affinity: float
+    same_dataset: bool
+    score: float
+
+
+_TOKEN_PATTERN = re.compile(r"[a-z]+|\d+")
+
+
+def _tokens(name: str) -> set[str]:
+    return set(_TOKEN_PATTERN.findall(name.lower()))
+
+
+def name_affinity(left: str, right: str) -> float:
+    """Token-level Jaccard similarity of two table names."""
+    a, b = _tokens(left), _tokens(right)
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def column_value_overlap(left, right) -> float:
+    """Mean per-column Jaccard overlap of two same-schema tables.
+
+    Only text-like columns discriminate (numeric measures differ by
+    construction), so numeric columns are skipped; if nothing remains,
+    the overlap is 0.
+    """
+    overlaps: list[float] = []
+    for l_col, r_col in zip(left.columns, right.columns):
+        if l_col.dtype.is_numeric or r_col.dtype.is_numeric:
+            continue
+        l_values = {normalize_value(v) for v in l_col.distinct_values()}
+        r_values = {normalize_value(v) for v in r_col.distinct_values()}
+        union = l_values | r_values
+        if not union:
+            continue
+        overlaps.append(len(l_values & r_values) / len(union))
+    return sum(overlaps) / len(overlaps) if overlaps else 0.0
+
+
+def rank_union_partners(
+    analysis: UnionabilityAnalysis,
+    group: UnionGroup,
+    query_index: int,
+) -> list[RankedPartner]:
+    """Rank the other members of *group* as union partners for the
+    query table, best first."""
+    if query_index not in group.table_indexes:
+        raise ValueError("query table is not a member of the union group")
+    query = analysis.tables[query_index]
+    assert query.clean is not None
+    ranked: list[RankedPartner] = []
+    for candidate_index in group.table_indexes:
+        if candidate_index == query_index:
+            continue
+        candidate = analysis.tables[candidate_index]
+        assert candidate.clean is not None
+        overlap = column_value_overlap(query.clean, candidate.clean)
+        affinity = name_affinity(query.name, candidate.name)
+        same_dataset = candidate.dataset_id == query.dataset_id
+        score = (
+            0.45 * overlap
+            + 0.35 * affinity
+            + (0.20 if same_dataset else 0.0)
+        )
+        ranked.append(
+            RankedPartner(
+                table_index=candidate_index,
+                value_overlap=overlap,
+                name_affinity=affinity,
+                same_dataset=same_dataset,
+                score=score,
+            )
+        )
+    ranked.sort(key=lambda p: (-p.score, p.table_index))
+    return ranked

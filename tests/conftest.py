@@ -1,0 +1,67 @@
+"""Shared fixtures.
+
+The expensive fixture is a small four-portal study (generation +
+ingestion); it is session-scoped and deterministic, so every integration
+test shares one corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study
+from repro.dataframe import Column, Table
+
+#: Scale used by integration tests: small enough to build in seconds,
+#: large enough that every analysis has material to chew on.
+TEST_SCALE = 0.18
+TEST_SEED = 3
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    """A shared small study over all four portals."""
+    return Study.build(StudyConfig(scale=TEST_SCALE, seed=TEST_SEED))
+
+
+@pytest.fixture(scope="session")
+def ca_portal(study):
+    return study.portal("CA")
+
+
+@pytest.fixture()
+def cities_table() -> Table:
+    """A small table with a planted FD (city -> province) and a key."""
+    return Table(
+        "cities",
+        [
+            Column("id", [1, 2, 3, 4, 5, 6]),
+            Column(
+                "city",
+                ["Waterloo", "Kitchener", "Toronto", "Guelph", "Waterloo",
+                 "Toronto"],
+            ),
+            Column("province", ["ON", "ON", "ON", "ON", "ON", "ON"]),
+            Column("population", [121, 257, 2794, 144, 121, 2794]),
+        ],
+    )
+
+
+@pytest.fixture()
+def fish_table() -> Table:
+    """Fact-style table: species x year grid with measures."""
+    rows = []
+    index = 0
+    for year in (2019, 2020, 2021):
+        for species, group in (
+            ("Cod", "Groundfish"),
+            ("Herring", "Pelagic"),
+            ("Lobster", "Shellfish"),
+            ("Haddock", "Groundfish"),
+        ):
+            index += 1
+            rows.append((species, group, year, (index * 7) % 10))
+    return Table.from_rows(
+        "landings", ["species", "species_group", "year", "tonnes"], rows
+    )

@@ -1,0 +1,50 @@
+"""Tests for the ogdp-repro command line interface."""
+
+import pytest
+
+from repro.experiments import clear_cache
+from repro.experiments.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "table01"])
+        assert args.experiment == "table01"
+        assert args.scale == 1.0
+        assert args.seed == 7
+
+    def test_run_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "figure08", "--scale", "0.2", "--seed", "3"]
+        )
+        assert args.scale == 0.2
+        assert args.seed == 3
+
+
+class TestMain:
+    def test_list_prints_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table01" in out and "figure08" in out
+
+    def test_run_single(self, capsys):
+        code = main(["run", "table03", "--scale", "0.08", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["run", "tableXX", "--scale", "0.08", "--seed", "2"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""Tests for core stats, configuration, and study orchestration."""
+
+import pytest
+
+from repro.core.config import DEFAULT_PORTALS, StudyConfig
+from repro.core.stats import (
+    format_count,
+    fraction,
+    geometric_buckets,
+    histogram,
+    mean,
+    median,
+    percentile,
+)
+from repro.core.study import Study
+
+
+class TestStats:
+    def test_mean_median_empty(self):
+        assert mean([]) == 0.0
+        assert median([]) == 0.0
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_percentile_interpolation(self):
+        values = [0, 10]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 10.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_percentile_single_value(self):
+        assert percentile([7], 33) == 7.0
+
+    def test_fraction_guard(self):
+        assert fraction(1, 0) == 0.0
+        assert fraction(1, 4) == 0.25
+
+    def test_histogram_buckets(self):
+        counts = histogram([0.5, 1, 5, 50, 500], [1, 10, 100])
+        assert counts == [2, 1, 1, 1]
+        assert sum(counts) == 5
+
+    def test_geometric_buckets(self):
+        assert geometric_buckets(500) == [1.0, 10.0, 100.0]
+        assert geometric_buckets(0.5) == [1.0]
+
+    def test_format_count(self):
+        assert format_count(447) == "447"
+        assert format_count(25_400_000) == "25.4M"
+        assert format_count(20_700) == "20.7K"
+        assert format_count(4.25) == "4.25"
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = StudyConfig()
+        assert config.portal_codes == DEFAULT_PORTALS
+        assert config.jaccard_threshold == 0.9
+        assert config.max_lhs == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StudyConfig(scale=0)
+        with pytest.raises(ValueError):
+            StudyConfig(jaccard_threshold=1.5)
+        with pytest.raises(ValueError):
+            StudyConfig(max_lhs=0)
+        with pytest.raises(ValueError):
+            StudyConfig(portal_codes=("XX",))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            StudyConfig().scale = 2.0
+
+
+class TestStudy:
+    def test_builds_requested_portals_only(self):
+        study = Study.build(
+            StudyConfig(scale=0.08, seed=2, portal_codes=("SG",))
+        )
+        assert study.codes == ("SG",)
+        assert study.portal("SG").code == "SG"
+
+    def test_full_study_shape(self, study):
+        assert set(study.codes) == {"SG", "CA", "UK", "US"}
+        for portal in study:
+            assert portal.report.readable_tables > 0
+
+    def test_caches_are_stable(self, study):
+        portal = study.portal("CA")
+        assert portal.joinability() is portal.joinability()
+        assert portal.unionability() is portal.unionability()
+        assert portal.labeled_join_sample() is portal.labeled_join_sample()
+
+    def test_filtered_tables_obey_paper_filter(self, study):
+        for portal in study:
+            for table in portal.filtered_tables():
+                assert 10 <= table.num_rows <= 10_000
+                assert 5 <= table.num_columns <= 20
+
+    def test_single_key_fraction_bounds(self, study):
+        for portal in study:
+            assert 0.0 <= portal.single_key_fraction() <= 1.0
+
+
+class TestExperimentCache:
+    def test_get_study_caches(self):
+        from repro.experiments import clear_cache, get_study
+
+        clear_cache()
+        a = get_study(scale=0.08, seed=2)
+        b = get_study(scale=0.08, seed=2)
+        assert a is b
+        clear_cache()
+        c = get_study(scale=0.08, seed=2)
+        assert c is not a
+        clear_cache()

@@ -1,0 +1,88 @@
+"""Unit tests for repro.dataframe.column."""
+
+import pytest
+
+from repro.dataframe import Column, DataType
+
+
+class TestBasics:
+    def test_len_iter_getitem(self):
+        column = Column("c", [1, 2, 3])
+        assert len(column) == 3
+        assert list(column) == [1, 2, 3]
+        assert column[1] == 2
+
+    def test_equality_by_name_and_values(self):
+        assert Column("c", [1]) == Column("c", [1])
+        assert Column("c", [1]) != Column("d", [1])
+        assert Column("c", [1]) != Column("c", [2])
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column("c", [1]))
+
+    def test_dtype_inferred_and_cached(self):
+        column = Column("c", [1, 2])
+        assert column.dtype is DataType.INTEGER
+        assert column.dtype is DataType.INTEGER  # cached path
+
+    def test_dtype_can_be_provided(self):
+        column = Column("c", ["1"], dtype=DataType.TEXT)
+        assert column.dtype is DataType.TEXT
+
+
+class TestNullStats:
+    def test_null_count_and_ratio(self):
+        column = Column("c", [1, None, 3, None])
+        assert column.null_count == 2
+        assert column.null_ratio == 0.5
+
+    def test_empty_column_ratio_zero(self):
+        assert Column("c", []).null_ratio == 0.0
+
+    def test_entirely_null(self):
+        assert Column("c", [None, None]).is_entirely_null
+        assert not Column("c", [None, 1]).is_entirely_null
+        # Zero rows counts as entirely null (nothing contradicts it).
+        assert Column("c", []).is_entirely_null
+
+
+class TestUniqueness:
+    def test_distinct_excludes_nulls(self):
+        column = Column("c", [1, 1, 2, None])
+        assert column.distinct_values() == frozenset({1, 2})
+        assert column.distinct_count == 2
+
+    def test_uniqueness_score_definition(self):
+        # |set(c)| / |c| with nulls in the denominator (paper §4.1).
+        column = Column("c", [1, 1, 2, None])
+        assert column.uniqueness_score == pytest.approx(2 / 4)
+
+    def test_key_requires_no_nulls_and_no_repeats(self):
+        assert Column("c", [1, 2, 3]).is_key
+        assert not Column("c", [1, 2, 2]).is_key
+        assert not Column("c", [1, 2, None]).is_key
+        assert not Column("c", []).is_key
+
+    def test_value_counts(self):
+        column = Column("c", ["a", "b", "a", None])
+        assert column.value_counts() == {"a": 2, "b": 1}
+
+
+class TestDerivation:
+    def test_take_reorders(self):
+        column = Column("c", [10, 20, 30])
+        taken = column.take([2, 0])
+        assert taken.values == [30, 10]
+        assert taken.name == "c"
+
+    def test_take_empty(self):
+        assert Column("c", [1]).take([]).values == []
+
+    def test_renamed_shares_data_and_caches(self):
+        column = Column("c", [1, 1, 2])
+        _ = column.distinct_count  # warm the cache
+        renamed = column.renamed("d")
+        assert renamed.name == "d"
+        assert renamed.values == column.values
+        assert renamed.distinct_count == 2

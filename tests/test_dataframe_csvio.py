@@ -1,0 +1,102 @@
+"""Unit tests for repro.dataframe.csvio."""
+
+import pytest
+
+from repro.dataframe import (
+    Column,
+    EmptyTableError,
+    ParseError,
+    Table,
+    decode_bytes,
+    read_csv,
+    read_raw_rows,
+    rows_to_table,
+    write_csv,
+)
+
+
+class TestDecodeBytes:
+    def test_utf8(self):
+        assert decode_bytes("héllo".encode("utf-8")) == "héllo"
+
+    def test_utf8_bom_stripped(self):
+        assert decode_bytes(b"\xef\xbb\xbfa,b") == "a,b"
+
+    def test_latin1_fallback(self):
+        assert decode_bytes(b"caf\xe9") == "café"
+
+
+class TestReadRawRows:
+    def test_basic(self):
+        rows = read_raw_rows("a,b\n1,2\n")
+        assert rows == [["a", "b"], ["1", "2"]]
+
+    def test_quoted_fields(self):
+        rows = read_raw_rows('a,b\n"x,y",2\n')
+        assert rows[1] == ["x,y", "2"]
+
+    def test_blank_lines_dropped(self):
+        rows = read_raw_rows("a\n\n\n1\n")
+        assert rows == [["a"], ["1"]]
+
+    def test_max_rows(self):
+        rows = read_raw_rows("a\n1\n2\n3\n", max_rows=2)
+        assert len(rows) == 2
+
+
+class TestRowsToTable:
+    def test_header_at_offset(self):
+        rows = [["Title"], ["a", "b"], ["1", "2"]]
+        table = rows_to_table("t", rows, header_index=1)
+        assert table.column_names == ("a", "b")
+        assert table.row(0) == (1, 2)
+
+    def test_width_override(self):
+        rows = [["a", "b"], ["1", "2", "junk"], ["3"]]
+        table = rows_to_table("t", rows, header_index=0, num_columns=2)
+        assert table.num_columns == 2
+        assert table.row(1) == (3, None)
+
+    def test_blank_header_cells_named(self):
+        table = rows_to_table("t", [["a", "", "c"], ["1", "2", "3"]], 0)
+        assert table.column_names == ("a", "column_2", "c")
+
+    def test_errors(self):
+        with pytest.raises(EmptyTableError):
+            rows_to_table("t", [], 0)
+        with pytest.raises(ParseError):
+            rows_to_table("t", [["a"]], 5)
+        with pytest.raises(EmptyTableError):
+            rows_to_table("t", [[]], 0)
+
+
+class TestReadWriteRoundTrip:
+    def test_read_csv_types(self):
+        table = read_csv("name,count,rate\nWaterloo,5,0.25\nGuelph,,0.5\n")
+        assert table.column("count").values == [5, None]
+        assert table.column("rate").values == [0.25, 0.5]
+
+    def test_roundtrip_preserves_values(self):
+        table = Table(
+            "t",
+            [
+                Column("i", [1, None, 3]),
+                Column("f", [1.5, 2.5, None]),
+                Column("b", [True, False, None]),
+                Column("s", ["a,b", 'q"uote', ""]),
+            ],
+        )
+        back = read_csv(write_csv(table))
+        assert back.column("i").values == [1, None, 3]
+        assert back.column("f").values == [1.5, 2.5, None]
+        assert back.column("b").values == [True, False, None]
+        # "" round-trips to None: empty cells are nulls by convention.
+        assert back.column("s").values == ["a,b", 'q"uote', None]
+
+    def test_write_csv_header(self):
+        table = Table("t", [Column("a", [1])])
+        assert write_csv(table).splitlines()[0] == "a"
+
+    def test_empty_input_raises(self):
+        with pytest.raises(EmptyTableError):
+            read_csv("")

@@ -1,0 +1,138 @@
+"""Unit tests for repro.dataframe.ops (joins, unions, group-by)."""
+
+import pytest
+
+from repro.dataframe import (
+    Column,
+    SchemaError,
+    Table,
+    distinct_count,
+    group_by,
+    inner_join,
+    join_output_size,
+    union_all,
+)
+
+
+@pytest.fixture()
+def facts():
+    return Table(
+        "facts",
+        [
+            Column("city", ["Waterloo", "Toronto", "Waterloo", "Ottawa"]),
+            Column("value", [1, 2, 3, 4]),
+        ],
+    )
+
+
+@pytest.fixture()
+def dims():
+    return Table(
+        "dims",
+        [
+            Column("city", ["Waterloo", "Toronto", "Guelph"]),
+            Column("province", ["ON", "ON", "ON"]),
+        ],
+    )
+
+
+class TestInnerJoin:
+    def test_basic_join(self, facts, dims):
+        joined = inner_join(facts, dims, "city", "city")
+        assert joined.num_rows == 3  # Ottawa has no match
+        assert joined.column_names == ("city", "value", "province")
+
+    def test_join_multiplicity(self):
+        left = Table("l", [Column("k", [1, 1, 2])])
+        right = Table("r", [Column("k", [1, 1, 1, 2])])
+        joined = inner_join(left, right, "k", "k")
+        assert joined.num_rows == 2 * 3 + 1 * 1
+
+    def test_nulls_never_match(self):
+        left = Table("l", [Column("k", [None, 1])])
+        right = Table("r", [Column("k", [None, 1])])
+        assert inner_join(left, right, "k", "k").num_rows == 1
+
+    def test_name_clash_gets_prefixed(self):
+        left = Table("l", [Column("k", [1]), Column("v", [10])])
+        right = Table("r", [Column("k", [1]), Column("v", [20])])
+        joined = inner_join(left, right, "k", "k")
+        assert joined.column_names == ("k", "v", "r.v")
+        assert joined.row(0) == (1, 10, 20)
+
+    def test_empty_result(self, facts):
+        other = Table("o", [Column("city", ["Nowhere"])])
+        assert inner_join(facts, other, "city", "city").num_rows == 0
+
+
+class TestJoinOutputSize:
+    def test_matches_materialized_join(self, facts, dims):
+        expected = inner_join(facts, dims, "city", "city").num_rows
+        assert join_output_size(facts, dims, "city", "city") == expected
+
+    def test_quadratic_case(self):
+        left = Table("l", [Column("k", ["a"] * 10)])
+        right = Table("r", [Column("k", ["a"] * 7)])
+        assert join_output_size(left, right, "k", "k") == 70
+
+    def test_null_keys_ignored(self):
+        left = Table("l", [Column("k", [None, None, 1])])
+        right = Table("r", [Column("k", [None, 1])])
+        assert join_output_size(left, right, "k", "k") == 1
+
+
+class TestUnionAll:
+    def test_concatenates(self, dims):
+        doubled = union_all(dims, dims)
+        assert doubled.num_rows == 6
+        assert doubled.column_names == dims.column_names
+
+    def test_requires_identical_names(self, facts, dims):
+        with pytest.raises(SchemaError):
+            union_all(facts, dims)
+
+
+class TestGroupBy:
+    def test_aggregates(self, facts):
+        grouped = group_by(
+            facts,
+            ["city"],
+            {
+                "total": ("value", "sum"),
+                "n": ("value", "count"),
+                "biggest": ("value", "max"),
+            },
+        )
+        by_city = {row[0]: row[1:] for row in grouped.iter_rows()}
+        assert by_city["Waterloo"] == (4, 2, 3)
+        assert by_city["Ottawa"] == (4, 1, 4)
+
+    def test_groups_in_first_seen_order(self, facts):
+        grouped = group_by(facts, ["city"], {"n": ("value", "count")})
+        assert [r[0] for r in grouped.iter_rows()] == [
+            "Waterloo", "Toronto", "Ottawa",
+        ]
+
+    def test_mean_ignores_nulls_and_text(self):
+        table = Table("t", [Column("g", [1, 1, 1]), Column("v", [2, None, "x"])])
+        grouped = group_by(table, ["g"], {"m": ("v", "mean")})
+        assert grouped.row(0) == (1, 2.0)
+
+    def test_distinct_count_aggregate(self):
+        table = Table("t", [Column("g", [1, 1]), Column("v", ["a", "a"])])
+        grouped = group_by(table, ["g"], {"d": ("v", "distinct_count")})
+        assert grouped.row(0) == (1, 1)
+
+    def test_unknown_aggregate_rejected(self, facts):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            group_by(facts, ["city"], {"x": ("value", "median")})
+
+
+class TestDistinctCount:
+    def test_counts_tuples(self, facts):
+        assert distinct_count(facts, ["city"]) == 3
+        assert distinct_count(facts, ["city", "value"]) == 4
+
+    def test_nulls_count_as_values(self):
+        table = Table("t", [Column("a", [None, None, 1])])
+        assert distinct_count(table, ["a"]) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for repro.dataframe.table."""
+
+import pytest
+
+from repro.dataframe import (
+    Column,
+    ColumnNotFoundError,
+    DataType,
+    SchemaError,
+    Table,
+)
+
+
+def make(name="t"):
+    return Table(
+        name,
+        [
+            Column("a", [1, 2, 3, 2]),
+            Column("b", ["x", "y", "z", "y"]),
+            Column("c", [1.0, None, 3.0, 4.0]),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", [1]), Column("b", [1, 2])])
+
+    def test_empty_table(self):
+        table = Table.empty("t", ["a", "b"])
+        assert table.num_rows == 0
+        assert table.num_columns == 2
+
+    def test_from_rows_pads_and_truncates(self):
+        table = Table.from_rows("t", ["a", "b"], [(1,), (1, 2, 3)])
+        assert table.row(0) == (1, None)
+        assert table.row(1) == (1, 2)
+
+    def test_duplicate_names_allowed_first_wins(self):
+        table = Table("t", [Column("a", [1]), Column("a", [2])])
+        assert table.column("a")[0] == 1
+
+
+class TestAccess:
+    def test_shape(self):
+        table = make()
+        assert table.num_rows == 4
+        assert table.num_columns == 3
+        assert len(table) == 4
+
+    def test_column_by_name_and_position(self):
+        table = make()
+        assert table.column("b").name == "b"
+        assert table.column(1).name == "b"
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ColumnNotFoundError):
+            make().column("nope")
+        with pytest.raises(ColumnNotFoundError):
+            make().column(9)
+
+    def test_rows(self):
+        table = make()
+        assert table.row(0) == (1, "x", 1.0)
+        assert list(table.iter_rows())[1] == (2, "y", None)
+
+    def test_schema(self):
+        assert make().schema() == (
+            ("a", DataType.INTEGER),
+            ("b", DataType.TEXT),
+            ("c", DataType.FLOAT),
+        )
+
+    def test_equality_ignores_name(self):
+        assert make("x") == make("y")
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(make())
+
+
+class TestOperations:
+    def test_project_order(self):
+        projected = make().project(["c", "a"])
+        assert projected.column_names == ("c", "a")
+        assert projected.num_rows == 4
+
+    def test_drop(self):
+        dropped = make().drop(["b"])
+        assert dropped.column_names == ("a", "c")
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(ColumnNotFoundError):
+            make().drop(["zzz"])
+
+    def test_select(self):
+        kept = make().select(lambda row: row[0] == 2)
+        assert kept.num_rows == 2
+        assert all(row[0] == 2 for row in kept.iter_rows())
+
+    def test_take_and_head(self):
+        table = make()
+        assert table.take([3, 0]).row(0) == table.row(3)
+        assert table.head(2).num_rows == 2
+        assert table.head(99).num_rows == 4
+
+    def test_distinct_keeps_first(self):
+        table = Table("t", [Column("a", [1, 1, 2]), Column("b", [9, 9, 9])])
+        assert table.distinct().num_rows == 2
+
+    def test_sort_by_nulls_last(self):
+        table = Table("t", [Column("a", [3, None, 1])])
+        assert [r[0] for r in table.sort_by(["a"]).iter_rows()] == [1, 3, None]
+
+    def test_sort_by_mixed_types_is_total(self):
+        table = Table("t", [Column("a", ["b", 2, None, 1.5, "a", True])])
+        ordered = [r[0] for r in table.sort_by(["a"]).iter_rows()]
+        assert ordered == [True, 1.5, 2, "a", "b", None]
+
+    def test_rename_columns(self):
+        renamed = make().rename_columns({"a": "alpha"})
+        assert renamed.column_names == ("alpha", "b", "c")
+
+    def test_with_name(self):
+        assert make().with_name("other").name == "other"
+
+
+class TestPresentation:
+    def test_to_text_contains_header_and_rows(self):
+        text = make().to_text()
+        assert "a" in text.splitlines()[0]
+        assert "Waterloo" not in text
+
+    def test_to_text_truncates(self):
+        table = Table("t", [Column("a", list(range(100)))])
+        text = table.to_text(max_rows=5)
+        assert "95 more rows" in text

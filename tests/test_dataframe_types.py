@@ -1,0 +1,75 @@
+"""Unit tests for repro.dataframe.types."""
+
+import pytest
+
+from repro.dataframe.types import (
+    NULL_TOKENS,
+    DataType,
+    is_null,
+    is_null_text,
+    non_null,
+    normalize_null_text,
+)
+
+
+class TestNullTokens:
+    def test_paper_null_spellings_present(self):
+        # The exact manual list from §3.3.
+        for token in ("n/a", "n/d", "nan", "null", "-", "..."):
+            assert token in NULL_TOKENS
+
+    def test_empty_string_is_null(self):
+        assert is_null_text("")
+
+    def test_case_insensitive(self):
+        assert is_null_text("N/A")
+        assert is_null_text("NULL")
+        assert is_null_text("NaN")
+
+    def test_whitespace_stripped(self):
+        assert is_null_text("  n/a  ")
+        assert is_null_text("   ")
+
+    def test_regular_values_are_not_null(self):
+        for text in ("0", "none?", "na", "--", "x", "nil"):
+            assert not is_null_text(text)
+
+    def test_normalize_maps_null_to_none(self):
+        assert normalize_null_text("null") is None
+        assert normalize_null_text("Ontario") == "Ontario"
+
+
+class TestIsNull:
+    def test_none_is_null(self):
+        assert is_null(None)
+
+    def test_values_are_not_null(self):
+        for value in (0, 0.0, False, "", "x"):
+            assert not is_null(value)
+
+    def test_non_null_filters_preserving_order(self):
+        assert non_null([1, None, 2, None, 3]) == [1, 2, 3]
+        assert non_null([None, None]) == []
+
+
+class TestDataType:
+    def test_numeric_grouping(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.TEXT.is_numeric
+        assert not DataType.BOOLEAN.is_numeric
+        assert not DataType.EMPTY.is_numeric
+
+    def test_text_grouping_includes_boolean(self):
+        # The Table 4 split groups booleans with text.
+        assert DataType.TEXT.is_text
+        assert DataType.BOOLEAN.is_text
+        assert not DataType.INTEGER.is_text
+
+    def test_empty_is_neither(self):
+        assert not DataType.EMPTY.is_text
+        assert not DataType.EMPTY.is_numeric
+
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_values_roundtrip(self, dtype):
+        assert DataType(dtype.value) is dtype

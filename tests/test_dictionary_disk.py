@@ -1,0 +1,111 @@
+"""Tests for data-dictionary generation and portal disk round-trip."""
+
+from repro.ingest import ingest_portal
+from repro.portal import CkanApi, HttpClient
+from repro.portal.disk import export_portal, import_portal
+from repro.profiling.dictionary import build_dictionary
+
+
+class TestDataDictionary:
+    def test_entries_cover_all_columns(self, cities_table):
+        dictionary = build_dictionary(cities_table)
+        assert [e.name for e in dictionary.entries] == list(
+            cities_table.column_names
+        )
+
+    def test_key_flagged(self, cities_table):
+        dictionary = build_dictionary(cities_table)
+        assert dictionary.entry("id").is_key
+        assert "key" in dictionary.entry("id").description
+
+    def test_fd_documented_both_ways(self, fish_table):
+        dictionary = build_dictionary(fish_table)
+        assert "species_group" in dictionary.entry("species").determines
+        assert "species" in dictionary.entry("species_group").determined_by
+
+    def test_examples_are_distinct_non_null(self, cities_table):
+        entry = build_dictionary(cities_table).entry("city")
+        assert len(entry.example_values) == len(set(entry.example_values))
+        assert all(entry.example_values)
+
+    def test_null_ratio_reported(self):
+        from repro.dataframe import Column, Table
+
+        table = Table(
+            "t",
+            [Column("a", [1, 2, 3, 4]), Column("b", [None, None, None, "x"])],
+        )
+        entry = build_dictionary(table).entry("b")
+        assert entry.null_ratio == 0.75
+        assert "75% missing" in entry.description
+
+    def test_render(self, fish_table):
+        text = build_dictionary(fish_table).to_text()
+        assert text.startswith("data dictionary: landings")
+        assert "species" in text
+
+    def test_on_corpus_table(self, study):
+        table = study.portal("CA").filtered_tables()[0]
+        dictionary = build_dictionary(table)
+        assert len(dictionary.entries) == table.num_columns
+        assert dictionary.num_rows == table.num_rows
+
+    def test_unknown_column(self, cities_table):
+        import pytest
+
+        with pytest.raises(KeyError):
+            build_dictionary(cities_table).entry("nope")
+
+
+class TestDiskRoundTrip:
+    def test_export_import_preserves_crawl(self, study, tmp_path):
+        original = study.portal("SG").generated
+        export_portal(original.portal, original.store, tmp_path)
+        portal, store = import_portal(tmp_path)
+
+        assert portal.code == original.portal.code
+        assert portal.num_datasets == original.portal.num_datasets
+
+        before = ingest_portal(
+            CkanApi(original.portal), HttpClient(original.store)
+        )
+        after = ingest_portal(CkanApi(portal), HttpClient(store))
+        assert after.total_declared_tables == before.total_declared_tables
+        assert after.downloadable_tables == before.downloadable_tables
+        assert after.readable_tables == before.readable_tables
+
+    def test_blob_bytes_identical(self, study, tmp_path):
+        original = study.portal("CA").generated
+        export_portal(original.portal, original.store, tmp_path)
+        _, store = import_portal(tmp_path)
+        checked = 0
+        for dataset in original.portal.datasets:
+            for resource in dataset.resources:
+                blob = original.store.get(resource.url)
+                if blob is not None and blob.ok:
+                    loaded = store.get(resource.url)
+                    assert loaded is not None and loaded.ok
+                    assert loaded.content == blob.content
+                    checked += 1
+        assert checked > 10
+
+    def test_failures_preserved(self, study, tmp_path):
+        original = study.portal("CA").generated
+        export_portal(original.portal, original.store, tmp_path)
+        _, store = import_portal(tmp_path)
+        for dataset in original.portal.datasets:
+            for resource in dataset.resources:
+                blob = original.store.get(resource.url)
+                if blob is not None and blob.failure is not None:
+                    loaded = store.get(resource.url)
+                    assert loaded is not None
+                    assert loaded.failure is not None
+
+    def test_catalog_is_valid_json(self, study, tmp_path):
+        import json
+
+        original = study.portal("UK").generated
+        path = export_portal(original.portal, original.store, tmp_path)
+        catalog = json.loads(path.read_text(encoding="utf-8"))
+        assert catalog["code"] == "UK"
+        assert catalog["datasets"]

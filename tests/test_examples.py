@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Each example builds its own small study, so these are the slowest tests
+in the suite — but they are exactly what keeps the README's commands
+honest.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("portal_report.py", ["SG"]),
+    ("normalization_explorer.py", []),
+    ("join_discovery.py", []),
+    ("benchmark_export.py", []),
+    ("data_lake_search.py", ["fisheries"]),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args", EXAMPLES, ids=[name for name, _ in EXAMPLES]
+)
+def test_example_runs(script, args, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=tmp_path,  # exports (ground_truth/) land in a temp dir
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), f"{script} printed nothing"
+
+
+def test_examples_list_is_complete():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == {name for name, _ in EXAMPLES}

@@ -1,0 +1,179 @@
+"""Integration tests: every experiment runs and reports sane data."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_nineteen_experiments(self):
+        ids = experiment_ids()
+        assert len(ids) == 19
+        assert [i for i in ids if i.startswith("table")] == [
+            f"table{n:02d}" for n in range(1, 12)
+        ]
+        assert [i for i in ids if i.startswith("figure")] == [
+            f"figure{n:02d}" for n in range(1, 9)
+        ]
+
+    def test_unknown_experiment(self, study):
+        with pytest.raises(KeyError):
+            run_experiment("table99", study)
+
+
+@pytest.mark.parametrize("experiment_id", list(EXPERIMENTS))
+def test_experiment_runs(study, experiment_id):
+    result = run_experiment(experiment_id, study)
+    assert result.experiment_id == experiment_id
+    assert result.title
+    assert len(result.text) > 50
+    assert "paper" in result.data
+
+
+class TestHeadlineFindings:
+    """The paper's qualitative findings must hold on the reproduction."""
+
+    def test_table01_uk_has_most_declared_tables(self, study):
+        data = run_experiment("table01", study).data
+        totals = {c: data[c]["total_tables"] for c in ("SG", "CA", "UK", "US")}
+        assert totals["UK"] == max(totals.values())
+        assert totals["SG"] == min(totals.values())
+
+    def test_table01_compression_around_five(self, study):
+        data = run_experiment("table01", study).data
+        for code in ("SG", "CA", "US"):
+            assert 2.5 < data[code]["compression_ratio"] < 12.0
+
+    def test_table02_sg_narrow_us_long(self, study):
+        data = run_experiment("table02", study).data
+        assert data["SG"]["median_columns"] <= min(
+            data[c]["median_columns"] for c in ("CA", "UK", "US")
+        )
+        medians = sorted(
+            data[c]["median_rows"] for c in ("SG", "CA", "UK", "US")
+        )
+        assert data["US"]["median_rows"] >= medians[-2]
+
+    def test_table03_sg_structured_everywhere(self, study):
+        data = run_experiment("table03", study).data
+        assert data["SG"]["structured"] > 0.9
+        for code in ("CA", "UK", "US"):
+            assert data[code]["lacking"] > 0.4
+
+    def test_table04_text_repeats_more_than_numbers(self, study):
+        data = run_experiment("table04", study).data
+        for code in ("CA", "UK", "US"):
+            assert (
+                data[code]["text"]["median_score"]
+                <= data[code]["number"]["median_score"]
+            )
+
+    def test_table05_majority_have_fds(self, study):
+        data = run_experiment("table05", study).data
+        for code in ("CA", "UK", "US"):
+            assert data[code]["frac_with_fd"] > 0.5
+
+    def test_table05_decomposition_plausible(self, study):
+        data = run_experiment("table05", study).data
+        for code in ("CA", "UK", "US"):
+            assert 2.0 <= data[code]["avg_fragments"] <= 6.0
+            assert data[code]["uniqueness_gain"] >= 1.0
+
+    def test_table06_nonkey_joinable_majority(self, study):
+        data = run_experiment("table06", study).data
+        for code in ("CA", "UK", "US"):
+            assert data[code]["frac_key_joinable"] < 0.5
+            assert 0.2 < data[code]["frac_joinable_tables"] <= 1.0
+
+    def test_table07_majority_accidental(self, study):
+        data = run_experiment("table07", study).data
+        for code in ("CA", "UK", "US"):
+            assert data[code]["frac_accidental"] > 0.5
+
+    def test_table08_intra_more_useful(self, study):
+        data = run_experiment("table08", study).data
+        for code in ("CA", "UK", "US"):
+            groups = data.get(code, {})
+            if "inter" in groups and "intra" in groups:
+                assert (
+                    groups["intra"]["frac_useful"]
+                    >= groups["inter"]["frac_useful"]
+                )
+
+    def test_table09_nonkey_nonkey_least_useful(self, study):
+        # Pool the three portals' samples: per-portal cells hold ~17
+        # pairs at test scale, too few for a stable comparison.
+        from repro.joinability import JoinLabel, KEY_KEY, NONKEY_NONKEY
+
+        pooled = []
+        for code in ("CA", "UK", "US"):
+            pooled.extend(study.portal(code).labeled_join_sample())
+
+        def useful_rate(combo):
+            cell = [p for p in pooled if p.key_combo == combo]
+            if not cell:
+                return None
+            return sum(
+                1 for p in cell if p.label is JoinLabel.USEFUL
+            ) / len(cell)
+
+        nonkey = useful_rate(NONKEY_NONKEY)
+        keyed = useful_rate(KEY_KEY)
+        assert nonkey is not None and keyed is not None
+        assert nonkey <= keyed + 0.15
+
+    def test_table10_incremental_overwhelmingly_accidental(self, study):
+        data = run_experiment("table10", study).data
+        for code in ("CA", "UK", "US"):
+            groups = data.get(code, {})
+            cell = groups.get("incremental integer")
+            if cell and cell["n"] >= 5:
+                assert cell["frac_useful"] <= 0.25
+
+    def test_table11_unionability_prevalent_and_useful(self, study):
+        data = run_experiment("table11", study).data
+        for code in ("SG", "CA", "UK", "US"):
+            assert data[code]["frac_unionable_tables"] > 0.15
+        for code in ("CA", "UK"):
+            assert data[code]["sample_frac_useful"] >= 0.8
+
+    def test_figure01_top_decile_dominates(self, study):
+        data = run_experiment("figure01", study).data
+        assert data["US"]["frac_below_p90"] < 0.8
+
+    def test_figure02_only_uk_chartable(self, study):
+        data = run_experiment("figure02", study).data
+        assert not data["UK"]["is_steplike"]
+        assert data["CA"]["is_steplike"]
+        assert data["US"]["is_steplike"]
+
+    def test_figure04_sg_cleanest(self, study):
+        data = run_experiment("figure04", study).data
+        assert data["SG"]["frac_with_nulls"] < 0.15
+        for code in ("CA", "UK", "US"):
+            assert data[code]["frac_with_nulls"] > 0.3
+
+    def test_figure06_no_key_tables_exist(self, study):
+        data = run_experiment("figure06", study).data
+        assert any(
+            data[code]["frac_no_key"] > 0 for code in ("CA", "UK", "US")
+        )
+        # US publishes single keys often (the paper's closing note): it
+        # must not be the portal with the fewest keyed tables.
+        assert data["US"]["frac_no_single_key_all_tables"] < max(
+            data[c]["frac_no_single_key_all_tables"]
+            for c in ("SG", "CA", "UK")
+        )
+
+    def test_figure08_heavy_tail(self, study):
+        data = run_experiment("figure08", study).data
+        # US has by far the most pairs at any scale; the heavy-tail
+        # check is only statistically stable there.
+        assert data["US"]["max"] > 3 * data["US"]["median"]
+        for code in ("CA", "UK"):
+            assert data[code]["max"] >= data[code]["median"]
+
+    def test_results_deterministic(self, study):
+        first = run_experiment("table07", study).data
+        second = run_experiment("table07", study).data
+        assert first == second

@@ -1,0 +1,74 @@
+"""Unit tests for repro.fd.partitions."""
+
+from repro.dataframe import Column, Table
+from repro.fd.partitions import (
+    cardinality,
+    encode_columns,
+    partition_of,
+    refine,
+    refined_cardinality,
+)
+
+
+class TestEncode:
+    def test_dense_ids(self):
+        table = Table("t", [Column("a", ["x", "y", "x", None, None])])
+        (vector,) = encode_columns(table)
+        assert vector[0] == vector[2]
+        assert vector[3] == vector[4]
+        assert len(set(vector)) == 3
+
+    def test_bool_distinct_from_int(self):
+        table = Table("t", [Column("a", [True, 1, 0, False])])
+        (vector,) = encode_columns(table)
+        assert len(set(vector)) == 4
+
+    def test_int_and_equal_float_distinct(self):
+        # 1 and 1.0 compare equal in Python but are different cells in
+        # FD semantics (different spellings in the CSV).
+        table = Table("t", [Column("a", [1, 1.0])])
+        (vector,) = encode_columns(table)
+        assert len(set(vector)) == 2
+
+
+class TestRefine:
+    def test_refinement(self):
+        labels = [0, 0, 1, 1]
+        column = [0, 1, 0, 0]
+        refined = refine(labels, column)
+        assert cardinality(refined) == 3
+        assert refined[2] == refined[3]
+
+    def test_refined_cardinality_matches(self):
+        labels = [0, 0, 1, 1, 2]
+        column = [5, 6, 5, 5, 5]
+        assert refined_cardinality(labels, column) == cardinality(
+            refine(labels, column)
+        )
+
+    def test_refinement_never_coarsens(self):
+        labels = [0, 1, 2]
+        column = [9, 9, 9]
+        assert cardinality(refine(labels, column)) == 3
+
+
+class TestPartitionOf:
+    def test_multi_column(self):
+        table = Table(
+            "t",
+            [
+                Column("a", [1, 1, 2, 2]),
+                Column("b", ["x", "y", "x", "x"]),
+            ],
+        )
+        encoded = encode_columns(table)
+        labels = partition_of(encoded, [0, 1])
+        assert cardinality(labels) == 3
+
+    def test_empty_set_is_single_class(self):
+        table = Table("t", [Column("a", [1, 2, 3])])
+        encoded = encode_columns(table)
+        assert cardinality(partition_of(encoded, [])) == 1
+
+    def test_cardinality_empty(self):
+        assert cardinality([]) == 0

@@ -1,0 +1,196 @@
+"""Unit tests for repro.generator.corruption."""
+
+import random
+
+import pytest
+
+from repro.dataframe import read_csv
+from repro.generator.corruption import (
+    CorruptionKnobs,
+    corrupt_and_serialize,
+    masquerade_payload,
+)
+from repro.generator.denormalize import TableDraft
+from repro.generator.lineage import ColumnLineage, ColumnRole
+from repro.portal.magic import detect_mime
+
+
+def draft(n_rows=50):
+    return TableDraft(
+        name="sample",
+        columns=[
+            ("id", list(range(1, n_rows + 1))),
+            ("city", [f"City {i % 7}" for i in range(n_rows)]),
+            ("amount", [round(i * 1.5, 2) for i in range(n_rows)]),
+        ],
+        lineage_columns=[
+            ColumnLineage("id", "id.fam.t", ColumnRole.ID),
+            ColumnLineage("city", "geo.city.CA", ColumnRole.GEO),
+            ColumnLineage("amount", "measure.fam.amount", ColumnRole.MEASURE),
+        ],
+        subtable_kind="fact",
+    )
+
+
+CLEAN = CorruptionKnobs(
+    column_null_probability=0.0,
+    full_null_probability=0.0,
+    trailing_empty_probability=0.0,
+    preamble_probability=0.0,
+    unnamed_header_probability=0.0,
+    wide_malformed_probability=0.0,
+    transpose_probability=0.0,
+)
+
+
+class TestCleanSerialization:
+    def test_roundtrips(self):
+        outcome = corrupt_and_serialize(draft(), CLEAN, random.Random(1), "Org")
+        table = read_csv(outcome.payload.decode("utf-8"))
+        assert table.num_rows == 50
+        assert table.column_names == ("id", "city", "amount")
+        assert table.column("id").values[:3] == [1, 2, 3]
+
+    def test_floats_keep_decimal_point(self):
+        outcome = corrupt_and_serialize(draft(), CLEAN, random.Random(1), "Org")
+        text = outcome.payload.decode("utf-8")
+        assert "3.0" in text  # 2*1.5 serialized with its decimal point
+
+    def test_sniffs_as_csv(self):
+        outcome = corrupt_and_serialize(draft(), CLEAN, random.Random(1), "Org")
+        assert detect_mime(outcome.payload) == "text/csv"
+
+
+class TestNullInjection:
+    def test_unprotected_columns_get_nulls(self):
+        import dataclasses
+
+        knobs = dataclasses.replace(
+            CLEAN, column_null_probability=1.0, heavy_null_probability=0.0
+        )
+        outcome = corrupt_and_serialize(draft(200), knobs, random.Random(2), "Org")
+        table = read_csv(outcome.payload.decode("utf-8"))
+        assert table.column("amount").null_count > 0
+
+    def test_protected_id_column_damped(self):
+        import dataclasses
+
+        knobs = dataclasses.replace(CLEAN, column_null_probability=1.0)
+        counts = []
+        for seed in range(20):
+            outcome = corrupt_and_serialize(
+                draft(50), knobs, random.Random(seed), "Org"
+            )
+            table = read_csv(outcome.payload.decode("utf-8"))
+            counts.append(table.column("id").null_count)
+        # 0.15 damping: most runs leave the id column untouched.
+        assert sum(1 for c in counts if c == 0) >= 10
+
+    def test_full_null_column(self):
+        import dataclasses
+
+        knobs = dataclasses.replace(CLEAN, full_null_probability=1.0)
+        outcome = corrupt_and_serialize(draft(), knobs, random.Random(3), "Org")
+        table = read_csv(outcome.payload.decode("utf-8"))
+        assert table.column("amount").is_entirely_null
+
+
+class TestStructuralDefects:
+    def test_trailing_empty_columns(self):
+        import dataclasses
+
+        knobs = dataclasses.replace(CLEAN, trailing_empty_probability=1.0)
+        outcome = corrupt_and_serialize(draft(), knobs, random.Random(4), "Org")
+        table = read_csv(outcome.payload.decode("utf-8"))
+        assert table.num_columns > 3
+        assert table.column(table.num_columns - 1).is_entirely_null
+
+    def test_preamble_rows(self):
+        import dataclasses
+
+        knobs = dataclasses.replace(CLEAN, preamble_probability=1.0)
+        outcome = corrupt_and_serialize(draft(), knobs, random.Random(5), "Org")
+        assert outcome.preamble_rows >= 1
+        first_line = outcome.payload.decode("utf-8").splitlines()[0]
+        assert first_line.startswith("Table:")
+
+    def test_wide_malformed_exceeds_cutoff(self):
+        import dataclasses
+
+        knobs = dataclasses.replace(CLEAN, wide_malformed_probability=1.0)
+        outcome = corrupt_and_serialize(draft(), knobs, random.Random(6), "Org")
+        assert outcome.wide_malformed
+        header = outcome.payload.decode("utf-8").splitlines()[0]
+        assert header.count(",") + 1 > 100
+
+    def test_transpose(self):
+        import dataclasses
+
+        knobs = dataclasses.replace(CLEAN, transpose_probability=1.0)
+        outcome = corrupt_and_serialize(draft(10), knobs, random.Random(7), "Org")
+        assert outcome.transposed
+        lines = outcome.payload.decode("utf-8").splitlines()
+        assert len(lines) == 3  # columns became rows
+
+    def test_unnamed_header_cell(self):
+        import dataclasses
+
+        knobs = dataclasses.replace(CLEAN, unnamed_header_probability=1.0)
+        outcome = corrupt_and_serialize(draft(), knobs, random.Random(8), "Org")
+        assert outcome.header_has_unnamed
+
+
+class TestMasquerade:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_csv(self, seed):
+        payload = masquerade_payload(random.Random(seed))
+        assert detect_mime(payload) != "text/csv"
+
+
+class TestGroupConsistentAttributeNulls:
+    def test_attribute_nulls_respect_fd_groups(self):
+        """Null injection on an FD-attribute column must hit whole
+        parent-value groups, never individual cells (which would break
+        the planted FD under nulls-as-values semantics)."""
+        import dataclasses
+
+        from repro.dataframe import read_csv
+
+        cities = [f"City{i % 6}" for i in range(60)]
+        provinces = [f"P{i % 6}" for i in range(60)]
+        fd_draft = TableDraft(
+            name="t",
+            columns=[("city", cities), ("province", provinces)],
+            lineage_columns=[
+                ColumnLineage("city", "geo.city.CA", ColumnRole.GEO),
+                ColumnLineage(
+                    "province", "geo.region.CA", ColumnRole.ATTRIBUTE,
+                    fd_parent="city",
+                ),
+            ],
+            subtable_kind="fact",
+        )
+        knobs = dataclasses.replace(
+            CLEAN, column_null_probability=1.0, heavy_null_probability=0.0
+        )
+        saw_nulls = False
+        for seed in range(12):
+            outcome = corrupt_and_serialize(
+                fd_draft, knobs, random.Random(seed), "Org"
+            )
+            table = read_csv(outcome.payload.decode("utf-8"))
+            city = table.column("city").values
+            province = table.column("province").values
+            if any(v is None for v in province):
+                saw_nulls = True
+            mapping = {}
+            for c, p in zip(city, province):
+                if c is None:
+                    # A nulled *parent* cell legitimately breaks the
+                    # strict FD (real missing keys do too); the
+                    # guarantee is only about attribute-side nulls.
+                    continue
+                assert mapping.setdefault(c, p) == p, (
+                    "attribute nulls broke the city -> province FD"
+                )
+        assert saw_nulls

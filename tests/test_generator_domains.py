@@ -1,0 +1,104 @@
+"""Unit tests for repro.generator.domains."""
+
+import random
+
+import pytest
+
+from repro.generator.domains import (
+    Domain,
+    DomainKind,
+    DomainRegistry,
+    code_domain,
+    incremental_domain,
+    measure_domain,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return DomainRegistry("CA", random.Random(1))
+
+
+class TestRegistry:
+    def test_portal_geo_domains_exist(self, registry):
+        assert "geo.region.CA" in registry
+        assert "geo.city.CA" in registry
+        assert "geo.point.CA" in registry
+
+    def test_shared_domains(self, registry):
+        for name in ("time.year", "cat.species.fish", "cat.age_group",
+                     "str.person"):
+            assert name in registry
+
+    def test_region_vocab_matches_portal(self):
+        ca = DomainRegistry("CA", random.Random(1))
+        us = DomainRegistry("US", random.Random(1))
+        assert "Ontario" in ca.get("geo.region.CA").values
+        assert "California" in us.get("geo.region.US").values
+
+    def test_unknown_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_names_sorted(self, registry):
+        names = registry.names()
+        assert names == sorted(names)
+
+
+class TestClosedDomainDraw:
+    def test_full_draw_preserves_order(self, registry):
+        domain = registry.get("cat.age_group")
+        assert domain.draw(random.Random(0), 999) == list(domain.values)
+
+    def test_partial_draw_distinct(self, registry):
+        domain = registry.get("geo.region.CA")
+        drawn = domain.draw(random.Random(0), 5)
+        assert len(drawn) == 5
+        assert len(set(drawn)) == 5
+        assert all(v in domain.values for v in drawn)
+
+
+class TestOpenDomains:
+    def test_incremental(self):
+        domain = incremental_domain("fam1.t")
+        assert domain.kind is DomainKind.INCREMENTAL
+        assert domain.draw(random.Random(0), 5) == [1, 2, 3, 4, 5]
+        assert not domain.is_closed
+
+    def test_incremental_scoped_names_differ(self):
+        assert incremental_domain("a").name != incremental_domain("b").name
+
+    def test_code_domain(self):
+        domain = code_domain("fam.F", "F")
+        codes = domain.draw(random.Random(0), 10)
+        assert len(set(codes)) == 10
+        assert all(c.startswith("F-") for c in codes)
+
+    def test_measure_domain_distinct_ints(self):
+        domain = measure_domain("count", 0, 100, integral=True)
+        values = domain.draw(random.Random(0), 20)
+        assert len(set(values)) == 20
+        assert all(isinstance(v, int) for v in values)
+
+    def test_person_names_format(self, registry):
+        names = registry.get("str.person").draw(random.Random(0), 15)
+        assert len(set(names)) == 15
+        assert all(", " in n for n in names)
+
+    def test_point_domain_format(self, registry):
+        points = registry.get("geo.point.CA").values
+        assert all(p.startswith("POINT (") for p in points)
+        assert len(set(points)) == len(points)
+
+
+class TestDeterminism:
+    def test_same_seed_same_registry(self):
+        a = DomainRegistry("UK", random.Random(42))
+        b = DomainRegistry("UK", random.Random(42))
+        assert a.get("geo.point.UK").values == b.get("geo.point.UK").values
+
+    def test_draws_deterministic(self):
+        domain = Domain("d", DomainKind.CATEGORICAL, tuple(range(50)))
+        assert domain.draw(random.Random(5), 10) == domain.draw(
+            random.Random(5), 10
+        )

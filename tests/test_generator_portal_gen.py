@@ -1,0 +1,120 @@
+"""Unit/integration tests for repro.generator.portal_gen."""
+
+import pytest
+
+from repro.generator import generate_portal
+from repro.generator.lineage import PublicationStyle
+from repro.generator.profiles import (
+    ALL_PROFILES,
+    CA_PROFILE,
+    SG_PROFILE,
+    US_PROFILE,
+)
+from repro.portal import MetadataKind
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return generate_portal(CA_PROFILE, seed=5, scale=0.25)
+
+
+class TestGeneration:
+    def test_table_target_reached(self, ca):
+        target = round(CA_PROFILE.table_target * 0.25)
+        assert len(ca.lineage) >= target
+
+    def test_lineage_covers_stored_csv_tables(self, ca):
+        from repro.portal.magic import detect_mime
+
+        for dataset in ca.portal.datasets:
+            for resource in dataset.csv_resources:
+                blob = ca.store.get(resource.url)
+                assert blob is not None
+                if blob.ok and detect_mime(blob.content) == "text/csv":
+                    # Masquerading payloads (declared CSV, actually
+                    # HTML/PDF) are deliberately lineage-free.
+                    lineage = ca.lineage.maybe_get(resource.resource_id)
+                    assert lineage is not None
+                    assert lineage.dataset_id == dataset.dataset_id
+
+    def test_undownloadable_resources_recorded_as_failures(self, ca):
+        failures = 0
+        for dataset in ca.portal.datasets:
+            for resource in dataset.csv_resources:
+                blob = ca.store.get(resource.url)
+                if blob is not None and not blob.ok:
+                    failures += 1
+        # CA's downloadable rate is 0.41: the majority must fail.
+        assert failures > len(ca.lineage)
+
+    def test_plain_datasets_have_no_csv(self, ca):
+        plain = [
+            d for d in ca.portal.datasets if d.dataset_id.startswith("ca-doc-")
+        ]
+        assert plain, "CA profile should generate document-only datasets"
+        assert all(not d.csv_resources for d in plain)
+
+    def test_metadata_kinds_follow_mix(self, ca):
+        kinds = {d.metadata_kind for d in ca.portal.datasets}
+        assert MetadataKind.LACKING in kinds
+
+    def test_publication_dates_in_window(self, ca):
+        years = {d.published.year for d in ca.portal.datasets}
+        assert years <= set(range(2017, 2023))
+
+    def test_determinism(self):
+        a = generate_portal(SG_PROFILE, seed=11, scale=0.2)
+        b = generate_portal(SG_PROFILE, seed=11, scale=0.2)
+        assert [d.dataset_id for d in a.portal.datasets] == [
+            d.dataset_id for d in b.portal.datasets
+        ]
+        urls = [
+            r.url for d in a.portal.datasets for r in d.resources
+        ]
+        for url in urls[:50]:
+            blob_a, blob_b = a.store.get(url), b.store.get(url)
+            assert (blob_a is None) == (blob_b is None)
+            if blob_a is not None and blob_a.ok:
+                assert blob_a.content == b.store.get(url).content
+
+    def test_different_seeds_differ(self):
+        a = generate_portal(SG_PROFILE, seed=1, scale=0.2)
+        b = generate_portal(SG_PROFILE, seed=2, scale=0.2)
+        a_bytes = a.store.total_bytes()
+        assert a_bytes != b.store.total_bytes()
+
+
+class TestDuplicates:
+    def test_us_duplicates_recorded(self):
+        us = generate_portal(US_PROFILE, seed=5, scale=0.3)
+        duplicates = [
+            record for record in us.lineage if record.duplicate_of is not None
+        ]
+        assert duplicates
+        for record in duplicates:
+            assert record.style is PublicationStyle.DUPLICATE
+            original = us.lineage.maybe_get(record.duplicate_of)
+            assert original is not None
+            # Same bytes published under a different dataset.
+            assert record.dataset_id != original.dataset_id
+
+    def test_sg_has_no_duplicates(self):
+        sg = generate_portal(SG_PROFILE, seed=5, scale=0.3)
+        assert all(r.duplicate_of is None for r in sg.lineage)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.code)
+    def test_style_weights_valid(self, profile):
+        assert profile.style_weights
+        assert all(w > 0 for w in profile.style_weights.values())
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.code)
+    def test_metadata_mix_sums_to_one(self, profile):
+        assert sum(profile.metadata_mix) == pytest.approx(1.0)
+
+    def test_sg_is_cleanest(self):
+        sg = SG_PROFILE.corruption
+        ca = CA_PROFILE.corruption
+        assert sg.column_null_probability < ca.column_null_probability
+        assert sg.wide_malformed_probability == 0.0

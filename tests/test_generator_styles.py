@@ -1,0 +1,154 @@
+"""Unit tests for repro.generator.styles (publication styles)."""
+
+import random
+
+import pytest
+
+from repro.generator.base_tables import build_instance
+from repro.generator.domains import DomainRegistry
+from repro.generator.lineage import ColumnRole, PublicationStyle
+from repro.generator.schemas import blueprint_by_topic
+from repro.generator.styles import StyleKnobs, publish
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return DomainRegistry("CA", random.Random(4))
+
+
+def make_instance(registry, topic="fisheries_landings", rows=400, seed=2):
+    return build_instance(
+        blueprint_by_topic(topic), registry, random.Random(seed),
+        "ca-fam-0042", rows,
+    )
+
+
+def run_style(registry, style, knobs=None, **kwargs):
+    inst = make_instance(registry, **kwargs)
+    return publish(inst, style, random.Random(7), knobs or StyleKnobs())
+
+
+class TestDenormalizedSingle:
+    def test_one_dataset_one_table(self, registry):
+        datasets = run_style(registry, PublicationStyle.DENORMALIZED_SINGLE)
+        assert len(datasets) == 1
+        assert len(datasets[0].tables) == 1
+
+    def test_attributes_inlined(self, registry):
+        (dataset,) = run_style(registry, PublicationStyle.DENORMALIZED_SINGLE)
+        header = dataset.tables[0].header
+        assert "species_group" in header  # the planted FD target
+
+
+class TestSemiNormalized:
+    def test_entity_tables_published(self, registry):
+        (dataset,) = run_style(registry, PublicationStyle.SEMI_NORMALIZED)
+        kinds = {t.subtable_kind for t in dataset.tables}
+        assert "fact" in kinds
+        assert any(k.startswith("entity:") for k in kinds)
+
+    def test_link_columns_marked(self, registry):
+        (dataset,) = run_style(registry, PublicationStyle.SEMI_NORMALIZED)
+        fact = next(t for t in dataset.tables if t.subtable_kind == "fact")
+        entity = next(
+            t for t in dataset.tables if t.subtable_kind.startswith("entity:")
+        )
+        fact_links = {c.name for c in fact.lineage_columns if c.is_link}
+        entity_links = {c.name for c in entity.lineage_columns if c.is_link}
+        assert fact_links & entity_links
+
+    def test_aspect_table_when_forced(self, registry):
+        knobs = StyleKnobs(aspect_probability=1.0)
+        (dataset,) = run_style(
+            registry, PublicationStyle.SEMI_NORMALIZED, knobs=knobs
+        )
+        assert any(t.subtable_kind == "aspect" for t in dataset.tables)
+
+
+class TestPeriodic:
+    def test_same_schema_across_periods(self, registry):
+        knobs = StyleKnobs(
+            periodic_same_dataset_probability=1.0,
+            periodic_entities_probability=0.0,
+        )
+        (dataset,) = run_style(registry, PublicationStyle.PERIODIC, knobs=knobs)
+        facts = [t for t in dataset.tables if t.subtable_kind == "fact"]
+        assert len(facts) >= 2
+        headers = {tuple(t.header) for t in facts}
+        assert len(headers) == 1
+
+    def test_axis_column_dropped_and_period_set(self, registry):
+        knobs = StyleKnobs(periodic_same_dataset_probability=1.0)
+        (dataset,) = run_style(registry, PublicationStyle.PERIODIC, knobs=knobs)
+        fact = next(t for t in dataset.tables if t.subtable_kind == "fact")
+        assert "year" not in fact.header
+        assert fact.period is not None
+
+    def test_separate_datasets_variant(self, registry):
+        knobs = StyleKnobs(periodic_same_dataset_probability=0.0)
+        datasets = run_style(registry, PublicationStyle.PERIODIC, knobs=knobs)
+        assert len(datasets) >= 2
+        assert len({d.title for d in datasets}) == len(datasets)
+
+
+class TestPartitioned:
+    def test_partition_value_recorded(self, registry):
+        (dataset,) = run_style(registry, PublicationStyle.PARTITIONED)
+        assert len(dataset.tables) >= 2
+        values = {t.partition_value for t in dataset.tables}
+        assert len(values) == len(dataset.tables)
+        fact = dataset.tables[0]
+        assert "province" not in fact.header  # the partition axis
+
+
+class TestSgStandard:
+    def test_standard_schema(self, registry):
+        knobs = StyleKnobs(
+            sg_shared_hierarchy_probability=1.0,
+            sg_with_level2_probability=1.0,
+            sg_with_level3_probability=0.0,
+        )
+        (dataset,) = run_style(registry, PublicationStyle.SG_STANDARD, knobs=knobs)
+        table = dataset.tables[0]
+        assert table.header[:3] == ["level_1", "level_2", "year"]
+        assert table.header[3] in ("value", "amount", "count", "rate")
+        assert table.subtable_kind == "melted"
+
+    def test_level2_determines_level1(self, registry):
+        knobs = StyleKnobs(
+            sg_shared_hierarchy_probability=1.0,
+            sg_with_level2_probability=1.0,
+            sg_with_level3_probability=0.0,
+        )
+        (dataset,) = run_style(registry, PublicationStyle.SG_STANDARD, knobs=knobs)
+        table = dataset.tables[0]
+        columns = dict(table.columns)
+        mapping = {}
+        for level2, level1 in zip(columns["level_2"], columns["level_1"]):
+            assert mapping.setdefault(level2, level1) == level1
+
+    def test_lineage_marks_level_fd(self, registry):
+        knobs = StyleKnobs(sg_with_level2_probability=1.0,
+                           sg_with_level3_probability=0.0)
+        (dataset,) = run_style(registry, PublicationStyle.SG_STANDARD, knobs=knobs)
+        level2 = dataset.tables[0].lineage_columns[1]
+        assert level2.role is ColumnRole.LEVEL
+        assert level2.fd_parent == "level_1"
+
+
+class TestExtras:
+    def test_extra_columns_stable_per_family(self, registry):
+        knobs = StyleKnobs(extra_column_range=(3, 3))
+        inst = make_instance(registry)
+        first = publish(inst, PublicationStyle.DENORMALIZED_SINGLE,
+                        random.Random(1), knobs)
+        second = publish(inst, PublicationStyle.DENORMALIZED_SINGLE,
+                         random.Random(99), knobs)
+        extras_a = [c for c in first[0].tables[0].header
+                    if c in ("status", "last_updated", "notes", "source",
+                             "data_quality", "pct_of_total", "suppressed")]
+        extras_b = [c for c in second[0].tables[0].header
+                    if c in ("status", "last_updated", "notes", "source",
+                             "data_quality", "pct_of_total", "suppressed")]
+        assert extras_a == extras_b  # selection keyed by family, not rng
+        assert len(extras_a) == 3

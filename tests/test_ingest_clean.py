@@ -1,0 +1,76 @@
+"""Unit tests for repro.ingest.clean."""
+
+from repro.dataframe import Column, Table
+from repro.ingest.clean import (
+    WIDE_TABLE_CUTOFF,
+    clean_table,
+    drop_trailing_empty_columns,
+)
+
+
+def with_trailing(n_trailing: int) -> Table:
+    columns = [Column("a", [1, 2]), Column("b", ["x", None])]
+    for i in range(n_trailing):
+        columns.append(Column(f"empty{i}", [None, None]))
+    return Table("t", columns)
+
+
+class TestTrailingColumns:
+    def test_trailing_run_removed(self):
+        trimmed, removed = drop_trailing_empty_columns(with_trailing(3))
+        assert removed == 3
+        assert trimmed.column_names == ("a", "b")
+
+    def test_no_trailing(self):
+        trimmed, removed = drop_trailing_empty_columns(with_trailing(0))
+        assert removed == 0
+        assert trimmed.num_columns == 2
+
+    def test_interior_empty_column_kept(self):
+        table = Table(
+            "t",
+            [
+                Column("a", [1]),
+                Column("mid", [None]),
+                Column("b", [2]),
+            ],
+        )
+        trimmed, removed = drop_trailing_empty_columns(table)
+        assert removed == 0
+        assert trimmed.column_names == ("a", "mid", "b")
+
+    def test_entirely_empty_table(self):
+        table = Table("t", [Column("a", [None]), Column("b", [None])])
+        trimmed, removed = drop_trailing_empty_columns(table)
+        assert removed == 2
+        assert trimmed.num_columns == 0
+
+
+class TestWideCutoff:
+    def test_cutoff_value_is_the_papers(self):
+        assert WIDE_TABLE_CUTOFF == 100
+
+    def test_narrow_table_survives(self):
+        outcome = clean_table(with_trailing(1))
+        assert outcome.table is not None
+        assert not outcome.dropped_as_wide
+        assert outcome.trailing_columns_removed == 1
+
+    def test_wide_table_dropped(self):
+        columns = [Column(f"c{i}", [1]) for i in range(150)]
+        outcome = clean_table(Table("wide", columns))
+        assert outcome.table is None
+        assert outcome.dropped_as_wide
+
+    def test_exactly_at_cutoff_survives(self):
+        columns = [Column(f"c{i}", [1]) for i in range(100)]
+        assert clean_table(Table("t", columns)).table is not None
+
+    def test_trailing_removal_can_save_a_table(self):
+        # 98 real columns + 5 trailing empties: trimming brings it
+        # under the cutoff, so the table is kept.
+        columns = [Column(f"c{i}", [1]) for i in range(98)]
+        columns += [Column("", [None]) for _ in range(5)]
+        outcome = clean_table(Table("t", columns))
+        assert outcome.table is not None
+        assert outcome.table.num_columns == 98

@@ -1,0 +1,120 @@
+"""Integration tests for the §2.2 pipeline over generated portals."""
+
+import pytest
+
+from repro.ingest.pipeline import FetchOutcome, ingest_portal
+from repro.portal import BlobStore, CkanApi, HttpClient
+from repro.portal.models import Dataset, MetadataKind, Portal, Resource
+from repro.portal.store import FailureMode
+
+import datetime
+
+
+def tiny_portal():
+    """A hand-built portal exercising every pipeline outcome."""
+    store = BlobStore()
+    resources = []
+
+    def add(rid, payload=None, failure=None, fmt="CSV"):
+        url = f"https://x/{rid}"
+        resources.append(Resource(rid, rid, fmt, url))
+        if failure is not None:
+            store.put_failure(url, failure)
+        elif payload is not None:
+            store.put(url, payload)
+
+    add("good", b"a,b\n1,2\n3,4\n")
+    add("preamble", b"Some Title\na,b,c\n1,2,3\n4,5,6\n")
+    add("broken", failure=FailureMode.NOT_FOUND)
+    add("timeout", failure=FailureMode.TIMEOUT)
+    add("html", b"<html><body>moved</body></html>")
+    add("empty", b"")
+    add("header-only", b"a,b\n")
+    add("wide", ("c," * 150 + "c\n" + "1," * 150 + "1\n").encode())
+    add("pdf-notes", b"%PDF-1.4", fmt="PDF")  # not a declared CSV
+
+    dataset = Dataset(
+        dataset_id="d1",
+        title="t",
+        description="",
+        topic="x",
+        organization="o",
+        published=datetime.date(2020, 1, 1),
+        metadata_kind=MetadataKind.LACKING,
+        resources=tuple(resources),
+    )
+    portal = Portal(code="XX", name="Test", datasets=[dataset])
+    return portal, store
+
+
+class TestPipelineOutcomes:
+    @pytest.fixture(scope="class")
+    def report(self):
+        portal, store = tiny_portal()
+        return ingest_portal(CkanApi(portal), HttpClient(store))
+
+    def test_declared_counts_csv_only(self, report):
+        assert report.total_declared_tables == 8  # pdf-notes excluded
+
+    def test_downloadable(self, report):
+        # broken + timeout are not downloadable.
+        assert report.downloadable_tables == 6
+
+    def test_outcomes(self, report):
+        assert report.outcome_counts[FetchOutcome.NOT_DOWNLOADABLE] == 2
+        # html page and the empty payload both fail the type sniff...
+        assert report.outcome_counts[FetchOutcome.NOT_CSV] == 2
+        # ...and a header-only file parses to zero data rows.
+        assert report.outcome_counts[FetchOutcome.UNPARSEABLE] == 1
+        assert report.outcome_counts[FetchOutcome.READABLE] == 3
+
+    def test_preamble_skipped(self, report):
+        table = next(t for t in report.tables if t.resource_id == "preamble")
+        assert table.header_index == 1
+        assert table.clean.column_names == ("a", "b", "c")
+
+    def test_wide_readable_but_not_analyzable(self, report):
+        table = next(t for t in report.tables if t.resource_id == "wide")
+        assert table.dropped_as_wide
+        assert table.clean is None
+        assert not table.analyzable
+        assert len(report.clean_tables) == 2
+
+    def test_raw_sizes_recorded(self, report):
+        assert all(t.raw_size_bytes > 0 for t in report.tables)
+
+    def test_tables_per_dataset(self, report):
+        assert report.tables_per_dataset == {"d1": 8}
+
+
+class TestPipelineOnGeneratedCorpus:
+    def test_readable_subset_of_downloadable(self, study):
+        for portal in study:
+            report = portal.report
+            assert report.readable_tables <= report.downloadable_tables
+            assert report.downloadable_tables <= report.total_declared_tables
+
+    def test_sg_nearly_fully_downloadable(self, study):
+        # SG's profile is 99% downloadable (2376/2399 in the paper), so
+        # at most a stray resource or two may fail.
+        report = study.portal("SG").report
+        assert (
+            report.downloadable_tables
+            >= 0.9 * report.total_declared_tables
+        )
+
+    def test_ca_downloadable_rate_matches_profile(self, study):
+        report = study.portal("CA").report
+        rate = report.downloadable_tables / report.total_declared_tables
+        assert 0.25 < rate < 0.60  # profile says 0.41
+
+    def test_clean_tables_within_width_cutoff(self, study):
+        for portal in study:
+            for ingested in portal.report.clean_tables:
+                assert ingested.clean.num_columns <= 100
+
+    def test_every_clean_table_nonempty(self, study):
+        for portal in study:
+            for ingested in portal.report.clean_tables:
+                assert ingested.clean.num_rows > 0
+                assert ingested.clean.num_columns > 0

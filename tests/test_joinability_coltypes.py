@@ -1,0 +1,78 @@
+"""Unit tests for repro.joinability.coltypes (Table 10's taxonomy)."""
+
+from repro.dataframe import Column
+from repro.joinability import SemanticType, classify_column
+
+
+class TestIntegers:
+    def test_incremental_sequence(self):
+        assert (
+            classify_column(Column("id", list(range(1, 200))))
+            is SemanticType.INCREMENTAL_INTEGER
+        )
+
+    def test_incremental_with_gaps(self):
+        values = [i for i in range(1, 150) if i % 10 != 0]
+        assert classify_column(Column("id", values)) is (
+            SemanticType.INCREMENTAL_INTEGER
+        )
+
+    def test_sparse_integers(self):
+        values = [13, 907, 5522, 19, 88_431, 242, 77, 1205, 950_001, 66]
+        assert classify_column(Column("c", values)) is SemanticType.INTEGER
+
+    def test_years_are_temporal_not_incremental(self):
+        # Dense runs of calendar years must not look like record ids.
+        years = list(range(1990, 2023)) * 3
+        assert classify_column(Column("year", years)) is SemanticType.TIMESTAMP
+
+    def test_negative_start_not_incremental(self):
+        values = list(range(-50, 50))
+        assert classify_column(Column("c", values)) is SemanticType.INTEGER
+
+    def test_floats_group_with_integers(self):
+        assert classify_column(Column("c", [1.5, 2.7, 3.14])) is (
+            SemanticType.INTEGER
+        )
+
+
+class TestText:
+    def test_iso_dates(self):
+        dates = [f"2020-01-{d:02d}" for d in range(1, 29)]
+        assert classify_column(Column("d", dates)) is SemanticType.TIMESTAMP
+
+    def test_year_months(self):
+        values = [f"2021-{m:02d}" for m in range(1, 13)]
+        assert classify_column(Column("d", values)) is SemanticType.TIMESTAMP
+
+    def test_wkt_points(self):
+        points = [f"POINT ({lon}.5 43.2)" for lon in range(-80, -60)]
+        assert classify_column(Column("p", points)) is SemanticType.GEOSPATIAL
+
+    def test_latlon_pairs(self):
+        values = [f"43.{i}, -80.{i}" for i in range(10, 40)]
+        assert classify_column(Column("p", values)) is SemanticType.GEOSPATIAL
+
+    def test_repeated_labels_are_categorical(self):
+        values = (["Theft", "Fraud", "Assault", "Arson"] * 30)
+        assert classify_column(Column("c", values)) is SemanticType.CATEGORICAL
+
+    def test_unique_reference_list_is_categorical(self):
+        # A species reference column: short digit-free closed list.
+        species = ["Cod", "Haddock", "Herring", "Halibut", "Mackerel",
+                   "Lobster", "Shrimp", "Scallop", "Capelin", "Redfish"]
+        assert classify_column(Column("c", species)) is (
+            SemanticType.CATEGORICAL
+        )
+
+    def test_high_cardinality_text_is_string(self):
+        values = [f"Project {i} on topic {i * 13}" for i in range(300)]
+        assert classify_column(Column("c", values)) is SemanticType.STRING
+
+    def test_booleans_are_categorical(self):
+        assert classify_column(Column("c", [True, False] * 10)) is (
+            SemanticType.CATEGORICAL
+        )
+
+    def test_empty_column_is_string(self):
+        assert classify_column(Column("c", [None, None])) is SemanticType.STRING

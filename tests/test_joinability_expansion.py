@@ -1,0 +1,68 @@
+"""Tests for expansion-ratio computation (§5.2 / Figure 8)."""
+
+import pytest
+
+from repro.dataframe import Column, Table, inner_join
+from repro.joinability import (
+    analyze_joinability,
+    expansion_stats,
+    pair_expansion_ratio,
+)
+from tests.test_joinability_pairs import wrap
+
+
+def analysis_for(tables, threshold=0.5):
+    return analyze_joinability("XX", tables, threshold=threshold)
+
+
+class TestExpansion:
+    def test_key_key_join_never_grows(self):
+        values = [f"v{i}" for i in range(30)]
+        left = Table("l", [Column("a", values)])
+        right = Table("r", [Column("b", list(values))])
+        analysis = analysis_for([wrap(left), wrap(right)])
+        (pair,) = analysis.pairs
+        assert pair_expansion_ratio(analysis, pair) == pytest.approx(1.0)
+
+    def test_nonkey_join_grows(self):
+        values = [f"v{i % 15}" for i in range(45)]  # each value x3
+        left = Table("l", [Column("a", list(values))])
+        right = Table("r", [Column("b", list(values))])
+        analysis = analysis_for([wrap(left), wrap(right)])
+        (pair,) = analysis.pairs
+        # 15 values x 3 x 3 = 135 output rows over 45 input rows.
+        assert pair_expansion_ratio(analysis, pair) == pytest.approx(3.0)
+
+    def test_matches_materialized_join(self):
+        import random
+
+        rng = random.Random(3)
+        left = Table(
+            "l", [Column("a", [f"v{rng.randint(0, 20)}" for _ in range(60)])]
+        )
+        right = Table(
+            "r", [Column("b", [f"v{rng.randint(0, 20)}" for _ in range(80)])]
+        )
+        analysis = analysis_for([wrap(left), wrap(right)], threshold=0.1)
+        (pair,) = analysis.pairs
+        ratio = pair_expansion_ratio(analysis, pair)
+        expected = inner_join(left, right, "a", "b").num_rows / 80
+        assert ratio == pytest.approx(expected)
+
+    def test_expansion_stats_cover_all_pairs(self, study):
+        portal = study.portal("CA")
+        analysis = portal.joinability()
+        stats = expansion_stats(analysis)
+        assert len(stats.ratios) == len(analysis.pairs)
+        assert all(r >= 0.0 for r in stats.ratios)
+
+    def test_key_pairs_bounded_by_one(self, study):
+        """Pairs with at least one key column cannot expand (paper §5.3)."""
+        portal = study.portal("US")
+        analysis = portal.joinability()
+        ratios = portal.expansion_ratios()
+        for pair, ratio in zip(analysis.pairs, ratios):
+            left = analysis.profiles[pair.left]
+            right = analysis.profiles[pair.right]
+            if left.is_key and right.is_key:
+                assert ratio <= 1.0 + 1e-9

@@ -1,0 +1,194 @@
+"""Tests for the lineage labeling oracle and sampling (§5.3)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.joinability import (
+    JoinLabel,
+    KEY_KEY,
+    KEY_NONKEY,
+    LineageOracle,
+    NONKEY_NONKEY,
+    breakdown,
+    breakdown_by,
+    key_combination,
+    pair_semantic_type,
+    stratified_sample,
+)
+from repro.joinability.coltypes import SemanticType
+from repro.joinability.index import ColumnProfile
+from repro.joinability.labeling import LabeledPair
+from repro.joinability.pairs import JoinablePair
+
+
+def profile(column_id=0, is_key=False, semantic=SemanticType.CATEGORICAL,
+            uniques=20, rows=20):
+    return ColumnProfile(
+        column_id=column_id,
+        table_index=column_id,
+        column_name=f"c{column_id}",
+        values=frozenset(f"v{i}" for i in range(uniques)),
+        is_key=is_key,
+        semantic_type=semantic,
+        num_rows=rows,
+    )
+
+
+class TestKeyCombination:
+    def test_combinations(self):
+        key = profile(is_key=True)
+        nonkey = profile(is_key=False)
+        assert key_combination(key, key) == KEY_KEY
+        assert key_combination(key, nonkey) == KEY_NONKEY
+        assert key_combination(nonkey, key) == KEY_NONKEY
+        assert key_combination(nonkey, nonkey) == NONKEY_NONKEY
+
+
+class TestPairSemanticType:
+    def test_equal_types(self):
+        a = profile(semantic=SemanticType.TIMESTAMP)
+        assert pair_semantic_type(a, a) is SemanticType.TIMESTAMP
+
+    def test_specific_beats_string(self):
+        a = profile(semantic=SemanticType.STRING)
+        b = profile(semantic=SemanticType.CATEGORICAL)
+        assert pair_semantic_type(a, b) is SemanticType.CATEGORICAL
+
+    def test_incremental_wins(self):
+        a = profile(semantic=SemanticType.INCREMENTAL_INTEGER)
+        b = profile(semantic=SemanticType.INTEGER)
+        assert pair_semantic_type(a, b) is SemanticType.INCREMENTAL_INTEGER
+
+
+class TestBreakdown:
+    def make(self, label, same_dataset=False):
+        return LabeledPair(
+            pair=JoinablePair(0, 1, 1.0, 10),
+            label=label,
+            pattern="p",
+            same_dataset=same_dataset,
+            key_combo=KEY_KEY,
+            semantic_type=SemanticType.CATEGORICAL,
+            size_bucket="10-100",
+            expansion_ratio=1.0,
+        )
+
+    def test_fractions(self):
+        labeled = [
+            self.make(JoinLabel.U_ACC),
+            self.make(JoinLabel.R_ACC),
+            self.make(JoinLabel.R_ACC),
+            self.make(JoinLabel.USEFUL),
+        ]
+        cell = breakdown(labeled)
+        assert cell.total == 4
+        assert cell.frac_u_acc == 0.25
+        assert cell.frac_r_acc == 0.5
+        assert cell.frac_useful == 0.25
+        assert cell.frac_accidental == 0.75
+
+    def test_breakdown_by(self):
+        labeled = [
+            self.make(JoinLabel.USEFUL, same_dataset=True),
+            self.make(JoinLabel.U_ACC, same_dataset=False),
+        ]
+        groups = breakdown_by(labeled, lambda p: p.same_dataset)
+        assert groups[True].useful == 1
+        assert groups[False].u_acc == 1
+
+    def test_empty_breakdown(self):
+        cell = breakdown([])
+        assert cell.total == 0
+        assert cell.frac_useful == 0.0
+
+
+class TestOracleOnCorpus:
+    @pytest.fixture(scope="class")
+    def labeled_ca(self, study):
+        return study.portal("CA").labeled_join_sample()
+
+    def test_sample_produced(self, labeled_ca):
+        assert len(labeled_ca) >= 20
+
+    def test_incremental_pairs_accidental(self, study):
+        """The paper's strongest signal: incremental-integer joins are
+        95-100% accidental."""
+        pairs = []
+        for code in ("CA", "UK", "US"):
+            pairs.extend(study.portal(code).labeled_join_sample())
+        incremental = [
+            p for p in pairs
+            if p.semantic_type is SemanticType.INCREMENTAL_INTEGER
+        ]
+        if incremental:
+            accidental = sum(1 for p in incremental if p.label.is_accidental)
+            assert accidental / len(incremental) >= 0.9
+
+    def test_majority_accidental(self, study):
+        for code in ("CA", "UK", "US"):
+            cell = breakdown(study.portal(code).labeled_join_sample())
+            assert cell.frac_accidental > 0.5
+
+    def test_intra_dataset_more_useful_than_inter(self, study):
+        pairs = []
+        for code in ("CA", "UK", "US"):
+            pairs.extend(study.portal(code).labeled_join_sample())
+        groups = breakdown_by(pairs, lambda p: p.same_dataset)
+        if True in groups and False in groups:
+            assert groups[True].frac_useful > groups[False].frac_useful
+
+    def test_inter_dataset_useful_pairs_never_u_acc_when_same_dataset(
+        self, labeled_ca
+    ):
+        for pair in labeled_ca:
+            if pair.same_dataset:
+                # Same-dataset tables are related by construction.
+                assert pair.label is not JoinLabel.U_ACC
+
+    def test_patterns_assigned(self, labeled_ca):
+        patterns = Counter(p.pattern for p in labeled_ca)
+        assert all(isinstance(k, str) and k for k in patterns)
+
+
+class TestStratifiedSampling:
+    def test_subbucket_cap_respected(self, study):
+        portal = study.portal("US")
+        oracle = LineageOracle.from_recorder(portal.generated.lineage)
+        labeled, plan = stratified_sample(
+            portal.joinability(), oracle, seed=1, per_subbucket=3
+        )
+        assert all(count <= 3 for count in plan.filled.values())
+        assert len(labeled) == sum(plan.filled.values())
+
+    def test_no_duplicate_pairs(self, study):
+        portal = study.portal("US")
+        oracle = LineageOracle.from_recorder(portal.generated.lineage)
+        labeled, _ = stratified_sample(portal.joinability(), oracle, seed=2)
+        keys = [(p.pair.left, p.pair.right) for p in labeled]
+        assert len(keys) == len(set(keys))
+
+    def test_same_schema_pairs_excluded(self, study):
+        from repro.unionability import schema_fingerprint
+
+        portal = study.portal("UK")
+        analysis = portal.joinability()
+        for labeled in portal.labeled_join_sample():
+            left = analysis.tables[
+                analysis.profiles[labeled.pair.left].table_index
+            ]
+            right = analysis.tables[
+                analysis.profiles[labeled.pair.right].table_index
+            ]
+            assert schema_fingerprint(left.clean) != schema_fingerprint(
+                right.clean
+            )
+
+    def test_deterministic(self, study):
+        portal = study.portal("CA")
+        oracle = LineageOracle.from_recorder(portal.generated.lineage)
+        a, _ = stratified_sample(portal.joinability(), oracle, seed=9)
+        b, _ = stratified_sample(portal.joinability(), oracle, seed=9)
+        assert [(p.pair.left, p.pair.right) for p in a] == [
+            (p.pair.left, p.pair.right) for p in b
+        ]

@@ -1,0 +1,150 @@
+"""Tests for join-search profiles, the inverted index, and pair stats."""
+
+import pytest
+
+from repro.dataframe import Column, Table
+from repro.ingest.pipeline import IngestedTable
+from repro.joinability import (
+    MIN_UNIQUE_VALUES,
+    analyze_joinability,
+    build_profiles,
+    find_joinable_pairs,
+    normalize_value,
+    profile_column,
+)
+
+
+def wrap(table: Table, dataset="d", resource=None) -> IngestedTable:
+    return IngestedTable(
+        portal_code="XX",
+        dataset_id=dataset,
+        resource_id=resource or table.name,
+        name=table.name,
+        url=f"https://x/{table.name}",
+        raw=table,
+        clean=table,
+        raw_size_bytes=100,
+        header_index=0,
+        trailing_columns_removed=0,
+        dropped_as_wide=False,
+    )
+
+
+def column_of(values, name="c"):
+    return Column(name, values)
+
+
+class TestNormalizeValue:
+    def test_int_float_collapse(self):
+        assert normalize_value(2020) == normalize_value(2020.0) == "2020"
+
+    def test_real_floats_keep_decimals(self):
+        assert normalize_value(2.5) == "2.5"
+
+    def test_strings_trimmed(self):
+        assert normalize_value("  Ontario ") == "Ontario"
+
+    def test_booleans(self):
+        assert normalize_value(True) == "true"
+
+
+class TestProfiles:
+    def test_eligibility_floor(self):
+        narrow = Table("a", [column_of(list(range(5)))])
+        wide = Table("b", [column_of(list(range(50)))])
+        profiles, total = build_profiles([wrap(narrow), wrap(wide)])
+        assert total == 2
+        assert len(profiles) == 1
+        assert profiles[0].num_unique == 50
+
+    def test_floor_is_papers_ten(self):
+        assert MIN_UNIQUE_VALUES == 10
+
+    def test_profile_key_flag(self):
+        table = Table("t", [column_of(list(range(30)), "k")])
+        profile = profile_column(0, 0, table.column("k"))
+        assert profile.is_key
+        assert profile.num_rows == 30
+
+
+class TestPairSearch:
+    def make_tables(self):
+        shared = [f"v{i}" for i in range(40)]
+        t1 = Table("t1", [Column("a", shared), Column("x", list(range(40)))])
+        t2 = Table("t2", [Column("b", list(shared))])
+        t3 = Table("t3", [Column("c", [f"w{i}" for i in range(40)])])
+        return [wrap(t, resource=f"r{i}") for i, t in enumerate((t1, t2, t3))]
+
+    def test_perfect_overlap_found(self):
+        profiles, _ = build_profiles(self.make_tables())
+        pairs = find_joinable_pairs(profiles, threshold=0.9)
+        matched = {
+            (profiles[p.left].column_name, profiles[p.right].column_name)
+            for p in pairs
+        }
+        assert ("a", "b") in matched
+        assert all("c" not in pair for pair in matched)
+
+    def test_jaccard_exact(self):
+        left = Table("l", [Column("a", [f"v{i}" for i in range(20)])])
+        right = Table("r", [Column("b", [f"v{i}" for i in range(18)])])
+        profiles, _ = build_profiles([wrap(left), wrap(right)])
+        pairs = find_joinable_pairs(profiles, threshold=0.5)
+        assert len(pairs) == 1
+        assert pairs[0].jaccard == pytest.approx(18 / 20)
+        assert pairs[0].overlap == 18
+
+    def test_threshold_excludes(self):
+        left = Table("l", [Column("a", [f"v{i}" for i in range(20)])])
+        right = Table("r", [Column("b", [f"v{i}" for i in range(12)])])
+        profiles, _ = build_profiles([wrap(left), wrap(right)])
+        assert find_joinable_pairs(profiles, threshold=0.9) == []
+
+    def test_same_table_pairs_excluded(self):
+        values = [f"v{i}" for i in range(30)]
+        table = Table("t", [Column("a", values), Column("b", list(values))])
+        profiles, _ = build_profiles([wrap(table)])
+        assert find_joinable_pairs(profiles, threshold=0.5) == []
+
+    def test_pairs_sorted_and_normalized(self):
+        profiles, _ = build_profiles(self.make_tables())
+        pairs = find_joinable_pairs(profiles, threshold=0.5)
+        assert all(p.left < p.right for p in pairs)
+        assert pairs == sorted(pairs, key=lambda p: (p.left, p.right))
+
+
+class TestAnalysisStats:
+    def test_stats_consistency(self):
+        shared = [f"v{i}" for i in range(40)]
+        tables = [
+            wrap(Table(f"t{i}", [Column("a", list(shared))]), resource=f"r{i}")
+            for i in range(4)
+        ]
+        analysis = analyze_joinability("XX", tables)
+        stats = analysis.stats
+        assert stats.total_pairs == 6  # C(4, 2)
+        assert stats.joinable_tables == 4
+        assert stats.frac_joinable_tables == 1.0
+        assert stats.median_table_degree == 3
+        assert stats.max_column_degree == 3
+        assert (
+            stats.key_joinable_columns + stats.nonkey_joinable_columns
+            == stats.joinable_columns
+        )
+
+    def test_on_generated_corpus(self, study):
+        for portal in study:
+            stats = portal.joinability().stats
+            assert stats.joinable_tables <= stats.total_tables
+            assert stats.joinable_columns <= stats.total_columns
+            assert stats.max_table_degree <= stats.total_tables - 1
+
+    def test_lower_threshold_is_superset(self, study):
+        portal = study.portal("CA")
+        strict = {
+            (p.left, p.right) for p in portal.joinability(0.9).pairs
+        }
+        loose = {
+            (p.left, p.right) for p in portal.joinability(0.7).pairs
+        }
+        assert strict <= loose

@@ -1,0 +1,109 @@
+"""Tests for the usefulness-signal filter (§5.3's takeaway)."""
+
+from repro.joinability import (
+    JoinLabel,
+    KEY_KEY,
+    NONKEY_NONKEY,
+    SemanticType,
+    SignalWeights,
+    evaluate_signals,
+    predict_useful,
+    usefulness_score,
+)
+from repro.joinability.labeling import LabeledPair
+from repro.joinability.pairs import JoinablePair
+
+
+def labeled(
+    label=JoinLabel.USEFUL,
+    same_dataset=True,
+    key_combo=KEY_KEY,
+    semantic=SemanticType.CATEGORICAL,
+    expansion=1.0,
+):
+    return LabeledPair(
+        pair=JoinablePair(0, 1, 1.0, 10),
+        label=label,
+        pattern="p",
+        same_dataset=same_dataset,
+        key_combo=key_combo,
+        semantic_type=semantic,
+        size_bucket="10-100",
+        expansion_ratio=expansion,
+    )
+
+
+class TestScoring:
+    def test_best_case_scores_high(self):
+        pair = labeled()
+        assert predict_useful(pair)
+        assert usefulness_score(pair) >= 5.0
+
+    def test_worst_case_scores_low(self):
+        pair = labeled(
+            same_dataset=False,
+            key_combo=NONKEY_NONKEY,
+            semantic=SemanticType.INCREMENTAL_INTEGER,
+            expansion=50.0,
+        )
+        assert not predict_useful(pair)
+        assert usefulness_score(pair) == 0.0
+
+    def test_each_signal_contributes(self):
+        base = usefulness_score(
+            labeled(same_dataset=False, key_combo=NONKEY_NONKEY,
+                    semantic=SemanticType.INCREMENTAL_INTEGER, expansion=10.0)
+        )
+        with_dataset = usefulness_score(
+            labeled(same_dataset=True, key_combo=NONKEY_NONKEY,
+                    semantic=SemanticType.INCREMENTAL_INTEGER, expansion=10.0)
+        )
+        assert with_dataset > base
+
+    def test_custom_weights(self):
+        weights = SignalWeights(same_dataset=10.0, threshold=9.0)
+        assert predict_useful(
+            labeled(same_dataset=True, key_combo=NONKEY_NONKEY,
+                    semantic=SemanticType.INCREMENTAL_INTEGER,
+                    expansion=99.0),
+            weights,
+        )
+
+
+class TestEvaluation:
+    def test_metrics(self):
+        sample = [
+            labeled(JoinLabel.USEFUL),                       # predicted, useful
+            labeled(JoinLabel.U_ACC),                        # predicted, not
+            labeled(JoinLabel.USEFUL, same_dataset=False,
+                    key_combo=NONKEY_NONKEY,
+                    semantic=SemanticType.INCREMENTAL_INTEGER,
+                    expansion=9.0),                          # missed useful
+            labeled(JoinLabel.U_ACC, same_dataset=False,
+                    key_combo=NONKEY_NONKEY,
+                    semantic=SemanticType.INCREMENTAL_INTEGER,
+                    expansion=9.0),                          # true negative
+        ]
+        evaluation = evaluate_signals(sample)
+        assert evaluation.total == 4
+        assert evaluation.predicted_useful == 2
+        assert evaluation.actually_useful == 2
+        assert evaluation.true_positives == 1
+        assert evaluation.precision == 0.5
+        assert evaluation.recall == 0.5
+        assert evaluation.baseline_precision == 0.5
+
+    def test_empty_sample(self):
+        evaluation = evaluate_signals([])
+        assert evaluation.precision == 0.0
+        assert evaluation.recall == 0.0
+
+    def test_filter_beats_baseline_on_corpus(self, study):
+        """The paper's proposed signals must outperform suggesting every
+        high-overlap pair, which is the whole point of §5.3."""
+        sample = []
+        for code in ("CA", "UK", "US"):
+            sample.extend(study.portal(code).labeled_join_sample())
+        evaluation = evaluate_signals(sample)
+        assert evaluation.total > 50
+        assert evaluation.precision > evaluation.baseline_precision

@@ -1,0 +1,118 @@
+"""Tests for pattern taxonomy, ground-truth export, and anecdotes."""
+
+import pytest
+
+from repro.dataframe import read_csv
+from repro.experiments.anecdotes import all_anecdotes
+from repro.experiments.export import (
+    export_ground_truth,
+    labeled_join_pairs_table,
+    labeled_union_pairs_table,
+)
+from repro.joinability import JoinLabel
+from repro.joinability.patterns import (
+    JoinPattern,
+    classify_pattern,
+    pattern_frequencies,
+    render_pattern_summary,
+)
+
+
+class TestPatternTaxonomy:
+    def test_every_oracle_pattern_mapped(self, study):
+        for code in ("CA", "UK", "US"):
+            for labeled in study.portal(code).labeled_join_sample():
+                assert isinstance(classify_pattern(labeled), JoinPattern)
+
+    def test_frequencies_partition_by_label(self, study):
+        sample = study.portal("UK").labeled_join_sample()
+        frequencies = pattern_frequencies(sample)
+        useful = sum(frequencies.useful.values())
+        accidental = sum(frequencies.accidental.values())
+        assert useful + accidental == len(sample)
+        assert useful == sum(
+            1 for p in sample if p.label is JoinLabel.USEFUL
+        )
+
+    def test_unrelated_common_domain_dominates_accidental(self, study):
+        pooled = []
+        for code in ("CA", "UK", "US"):
+            pooled.extend(study.portal(code).labeled_join_sample())
+        frequencies = pattern_frequencies(pooled)
+        # The paper's "most prevalent" accidental pattern.
+        dominant = frequencies.dominant_accidental
+        assert dominant in (
+            JoinPattern.UNRELATED_COMMON_DOMAIN,
+            JoinPattern.SEMI_NORMALIZED_NONKEY,
+            JoinPattern.TRANSACTION_TABLES,
+        )
+
+    def test_render(self, study):
+        sample = study.portal("CA").labeled_join_sample()
+        text = render_pattern_summary(pattern_frequencies(sample))
+        assert "useful join patterns:" in text
+        assert "accidental join patterns:" in text
+
+
+class TestGroundTruthExport:
+    def test_join_pairs_table_schema(self, study):
+        table = labeled_join_pairs_table(study)
+        assert table.num_rows > 50
+        assert "jaccard" in table.column_names
+        assert "SG" not in set(table.column("portal").values)
+        labels = set(table.column("label").values)
+        assert labels <= {"U-Acc", "R-Acc", "useful"}
+
+    def test_union_pairs_table(self, study):
+        table = labeled_union_pairs_table(study)
+        assert table.num_rows > 20
+        assert set(table.column("portal").values) <= {"SG", "CA", "UK", "US"}
+
+    def test_export_roundtrip(self, study, tmp_path):
+        written = export_ground_truth(study, tmp_path)
+        assert set(written) == {
+            "labeled_join_pairs", "labeled_union_pairs",
+        }
+        for path in written.values():
+            assert path.exists()
+            table = read_csv(path.read_text(encoding="utf-8"))
+            assert table.num_rows > 0
+
+    def test_export_deterministic(self, study, tmp_path):
+        first = export_ground_truth(study, tmp_path / "a")
+        second = export_ground_truth(study, tmp_path / "b")
+        for name in first:
+            assert (
+                first[name].read_text() == second[name].read_text()
+            )
+
+
+class TestAnecdotes:
+    @pytest.fixture(scope="class")
+    def anecdotes(self, study):
+        return {
+            code: all_anecdotes(study.portal(code))
+            for code in ("CA", "UK", "US")
+        }
+
+    def test_four_per_portal(self, anecdotes):
+        for items in anecdotes.values():
+            assert [a.number for a in items] == [1, 2, 3, 4]
+
+    def test_anecdote1_always_found(self, anecdotes):
+        for items in anecdotes.values():
+            first = items[0]
+            assert first.found
+            assert "joins" in first.text
+            assert "uniqueness" in first.text
+
+    def test_anecdote4_found_somewhere(self, anecdotes):
+        # Accidental key-key pairs (the incremental-integer trap) must
+        # exist in at least one portal's sample.
+        assert any(items[3].found for items in anecdotes.values())
+
+    def test_descriptions_are_printable(self, anecdotes):
+        for items in anecdotes.values():
+            for anecdote in items:
+                assert anecdote.text.strip()
+                assert anecdote.title

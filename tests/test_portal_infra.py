@@ -1,0 +1,152 @@
+"""Unit tests for the portal substrate: store, http, ckan, compress."""
+
+import datetime
+
+import pytest
+
+from repro.portal import (
+    BlobStore,
+    CkanApi,
+    CkanApiError,
+    Dataset,
+    FailureMode,
+    HttpClient,
+    HttpError,
+    MetadataKind,
+    Portal,
+    Resource,
+    compressed_size,
+    compression_ratio,
+)
+
+
+def make_portal() -> Portal:
+    resource = Resource("r1", "data", "CSV", "https://x/r1.csv")
+    pdf = Resource("r2", "notes", "PDF", "https://x/r2.pdf")
+    dataset = Dataset(
+        dataset_id="d1",
+        title="Fish",
+        description="fish data",
+        topic="fisheries",
+        organization="DFO",
+        published=datetime.date(2020, 1, 1),
+        metadata_kind=MetadataKind.LACKING,
+        resources=(resource, pdf),
+    )
+    return Portal(code="CA", name="Canada", datasets=[dataset])
+
+
+class TestModels:
+    def test_csv_resources_filter(self):
+        portal = make_portal()
+        dataset = portal.datasets[0]
+        assert [r.resource_id for r in dataset.csv_resources] == ["r1"]
+        assert portal.num_tables == 1
+        assert portal.num_datasets == 1
+
+    def test_claims_csv_case_insensitive(self):
+        assert Resource("r", "n", " csv ", "u").claims_csv
+        assert not Resource("r", "n", "CSV-DICT", "u").claims_csv
+
+    def test_dataset_lookup(self):
+        portal = make_portal()
+        assert portal.dataset("d1").title == "Fish"
+        with pytest.raises(KeyError):
+            portal.dataset("nope")
+
+
+class TestBlobStore:
+    def test_put_get(self):
+        store = BlobStore()
+        store.put("u", b"abc")
+        blob = store.get("u")
+        assert blob is not None and blob.ok and blob.content == b"abc"
+        assert "u" in store
+        assert len(store) == 1
+        assert store.total_bytes() == 3
+
+    def test_failures_not_counted_in_bytes(self):
+        store = BlobStore()
+        store.put_failure("u", FailureMode.NOT_FOUND)
+        assert store.total_bytes() == 0
+        assert not store.get("u").ok
+
+    def test_unknown_url(self):
+        assert BlobStore().get("nope") is None
+
+
+class TestHttpClient:
+    def test_fetch_success(self):
+        store = BlobStore()
+        store.put("u", b"data")
+        response = HttpClient(store).fetch("u")
+        assert response.ok and response.status == 200
+        assert response.content == b"data"
+
+    def test_fetch_404_for_unknown(self):
+        response = HttpClient(BlobStore()).fetch("u")
+        assert response.status == 404 and not response.ok
+
+    @pytest.mark.parametrize(
+        "mode,status",
+        [
+            (FailureMode.NOT_FOUND, 404),
+            (FailureMode.GONE, 410),
+            (FailureMode.SERVER_ERROR, 500),
+        ],
+    )
+    def test_fetch_failures(self, mode, status):
+        store = BlobStore()
+        store.put_failure("u", mode)
+        assert HttpClient(store).fetch("u").status == status
+
+    def test_timeout_raises_and_try_fetch_softens(self):
+        store = BlobStore()
+        store.put_failure("u", FailureMode.TIMEOUT)
+        client = HttpClient(store)
+        with pytest.raises(HttpError):
+            client.fetch("u")
+        assert client.try_fetch("u").status == 0
+
+    def test_request_counter(self):
+        client = HttpClient(BlobStore())
+        client.try_fetch("a")
+        client.try_fetch("b")
+        assert client.requests_made == 2
+
+
+class TestCkanApi:
+    def test_package_list_and_show(self):
+        api = CkanApi(make_portal())
+        assert api.package_list() == ["d1"]
+        package = api.package_show("d1")
+        assert package["title"] == "Fish"
+        assert package["resources"][0]["format"] == "CSV"
+        assert package["organization"]["title"] == "DFO"
+
+    def test_unknown_package(self):
+        with pytest.raises(CkanApiError):
+            CkanApi(make_portal()).package_show("nope")
+
+    def test_search_all(self):
+        packages = CkanApi(make_portal()).package_search_all()
+        assert len(packages) == 1
+        assert packages[0]["id"] == "d1"
+
+
+class TestCompression:
+    def test_repetitive_data_compresses_well(self):
+        payload = b"Ontario,2020,100\n" * 1000
+        assert compression_ratio(payload) > 5.0
+
+    def test_random_data_compresses_poorly(self):
+        import os
+
+        payload = os.urandom(4096)
+        assert compression_ratio(payload) < 1.2
+
+    def test_compressed_size_positive(self):
+        assert compressed_size(b"abc") > 0
+
+    def test_empty_ratio_is_one(self):
+        assert compression_ratio(b"") == 1.0

@@ -1,0 +1,55 @@
+"""Unit tests for repro.portal.magic (file sniffing)."""
+
+from repro.portal.magic import detect_mime, is_csv
+
+
+class TestBinarySignatures:
+    def test_pdf(self):
+        assert detect_mime(b"%PDF-1.4\nrest") == "application/pdf"
+
+    def test_zip(self):
+        assert detect_mime(b"PK\x03\x04data") == "application/zip"
+
+    def test_legacy_excel(self):
+        assert detect_mime(b"\xd0\xcf\x11\xe0junk") == "application/vnd.ms-excel"
+
+    def test_gzip(self):
+        assert detect_mime(b"\x1f\x8bxyz") == "application/gzip"
+
+    def test_empty(self):
+        assert detect_mime(b"") == "application/x-empty"
+
+
+class TestTextDetection:
+    def test_html(self):
+        assert detect_mime(b"<!DOCTYPE html><html></html>") == "text/html"
+        assert detect_mime(b"  <html><body>x</body></html>") == "text/html"
+
+    def test_xml(self):
+        assert detect_mime(b"<?xml version='1.0'?><r/>") == "text/xml"
+
+    def test_json(self):
+        assert detect_mime(b'{"a": 1}') == "application/json"
+        assert detect_mime(b"[1,2,3]") == "application/json"
+
+    def test_csv(self):
+        assert is_csv(b"a,b,c\n1,2,3\n4,5,6\n")
+
+    def test_semicolon_csv(self):
+        assert is_csv(b"a;b\n1;2\n")
+
+    def test_tab_separated(self):
+        assert is_csv(b"a\tb\n1\t2\n")
+
+    def test_single_column_csv(self):
+        assert is_csv(b"name\nWaterloo\nGuelph\n")
+
+    def test_nul_bytes_not_csv(self):
+        assert not is_csv(b"a,b\x00c\n")
+
+    def test_prose_is_plain_text(self):
+        prose = ("The quick brown fox jumps over the lazy dog " * 10).encode()
+        assert detect_mime(prose) == "text/plain"
+
+    def test_latin1_csv(self):
+        assert is_csv("région,valeur\nQuébec,1\n".encode("latin-1"))

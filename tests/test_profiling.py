@@ -1,0 +1,173 @@
+"""Tests for the repro.profiling analyses (§3, §4.1)."""
+
+import pytest
+
+from repro.profiling import (
+    growth_curve,
+    metadata_stats,
+    null_stats,
+    portal_size_stats,
+    shape_distribution,
+    size_percentile_curve,
+    table_size_stats,
+    uniqueness_stats,
+)
+
+
+class TestPortalSizes:
+    def test_counts_consistent(self, study):
+        for portal in study:
+            stats = portal_size_stats(
+                portal.generated.portal, portal.report, portal.generated.store
+            )
+            assert stats.readable_tables == len(portal.report.tables)
+            assert stats.downloadable_tables >= stats.readable_tables
+            assert stats.total_tables >= stats.downloadable_tables
+            assert stats.total_size_bytes >= stats.largest_table_bytes
+
+    def test_compression_ratio_in_plausible_band(self, study):
+        # The paper reports ~1:5 average compression on OGDP CSVs.
+        for portal in study:
+            stats = portal_size_stats(
+                portal.generated.portal, portal.report, portal.generated.store
+            )
+            assert 2.0 < stats.compression_ratio < 15.0
+
+    def test_percentile_curve_monotone(self, study):
+        for portal in study:
+            points = size_percentile_curve(portal.report)
+            cutoffs = [p.cutoff_bytes for p in points]
+            cumulative = [p.cumulative_bytes for p in points]
+            assert cutoffs == sorted(cutoffs)
+            assert cumulative == sorted(cumulative)
+
+    def test_top_decile_dominates(self, study):
+        # Figure 1's headline: most bytes live in the largest tables.
+        portal = study.portal("US")
+        points = size_percentile_curve(portal.report, step=10)
+        total = points[-1].cumulative_bytes
+        below_p90 = points[-2].cumulative_bytes
+        assert below_p90 < 0.75 * total
+
+
+class TestTableSizes:
+    def test_stats_ordering(self, study):
+        for portal in study:
+            stats = table_size_stats(portal.report)
+            assert stats.median_columns <= stats.avg_columns * 2
+            assert stats.max_rows >= stats.median_rows
+            assert stats.max_columns >= stats.median_columns
+
+    def test_us_has_long_tables(self, study):
+        # At full scale US has the largest median; at test scale the
+        # ordering is noisy, so require US in the top two.
+        rows = {
+            p.code: table_size_stats(p.report).median_rows for p in study
+        }
+        assert rows["US"] >= sorted(rows.values())[-2]
+
+    def test_sg_narrowest(self, study):
+        cols = {
+            p.code: table_size_stats(p.report).median_columns for p in study
+        }
+        assert cols["SG"] == min(cols.values())
+
+    def test_shape_distribution_sums(self, study):
+        for portal in study:
+            dist = shape_distribution(portal.report)
+            assert sum(dist.row_counts) == len(portal.report.tables)
+            assert sum(dist.column_counts) == len(portal.report.tables)
+
+
+class TestNulls:
+    def test_histogram_total(self, study):
+        for portal in study:
+            stats = null_stats(portal.report)
+            assert sum(stats.column_ratio_histogram) == stats.total_columns
+
+    def test_orderings(self, study):
+        for portal in study:
+            stats = null_stats(portal.report)
+            assert stats.columns_entirely_null <= stats.columns_half_empty
+            assert stats.columns_half_empty <= stats.columns_with_nulls
+
+    def test_sg_cleanest(self, study):
+        fractions = {
+            p.code: null_stats(p.report).frac_columns_with_nulls for p in study
+        }
+        assert fractions["SG"] == min(fractions.values())
+        assert fractions["SG"] < 0.15
+
+    def test_non_sg_nulls_prevalent(self, study):
+        for code in ("CA", "UK", "US"):
+            stats = null_stats(study.portal(code).report)
+            assert stats.frac_columns_with_nulls > 0.3
+
+
+class TestMetadata:
+    def test_fractions_sum_to_one(self, study):
+        for portal in study:
+            stats = metadata_stats(portal.generated.portal, seed=1)
+            total = (
+                stats.structured + stats.unstructured
+                + stats.outside_portal + stats.lacking
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_sg_structured(self, study):
+        stats = metadata_stats(study.portal("SG").generated.portal, seed=1)
+        assert stats.structured > 0.9
+
+    def test_us_never_structured(self, study):
+        stats = metadata_stats(study.portal("US").generated.portal, seed=1)
+        assert stats.structured == 0.0
+
+    def test_sample_capped(self, study):
+        stats = metadata_stats(
+            study.portal("CA").generated.portal, sample_size=10, seed=1
+        )
+        assert stats.sample_size == 10
+
+    def test_deterministic_given_seed(self, study):
+        portal = study.portal("CA").generated.portal
+        assert metadata_stats(portal, seed=3) == metadata_stats(portal, seed=3)
+
+
+class TestUniqueness:
+    def test_group_sizes_add_up(self, study):
+        for portal in study:
+            stats = uniqueness_stats(portal.report)
+            assert (
+                stats.text.num_columns + stats.number.num_columns
+                == stats.all.num_columns
+            )
+
+    def test_scores_bounded(self, study):
+        for portal in study:
+            stats = uniqueness_stats(portal.report)
+            assert 0.0 <= stats.all.avg_score <= 1.0
+            assert 0.0 <= stats.frac_score_below_0_1 <= 1.0
+
+    def test_median_unique_far_below_median_rows(self, study):
+        # The paper's headline repetition finding.
+        for code in ("CA", "UK", "US"):
+            portal = study.portal(code)
+            uniq = uniqueness_stats(portal.report)
+            rows = table_size_stats(portal.report)
+            assert uniq.all.median_unique < rows.median_rows
+
+
+class TestGrowth:
+    def test_cumulative_monotone(self, study):
+        for portal in study:
+            curve = growth_curve(portal.generated.portal, portal.report)
+            assert curve.cumulative_bytes == sorted(curve.cumulative_bytes)
+            assert len(curve.years) == len(curve.cumulative_bytes)
+
+    def test_uk_smooth_others_steplike(self, study):
+        shapes = {
+            p.code: growth_curve(p.generated.portal, p.report).is_steplike
+            for p in study
+        }
+        assert not shapes["UK"]
+        assert shapes["CA"] and shapes["US"]

@@ -1,0 +1,41 @@
+"""Tests for the EXPERIMENTS.md reporting generator."""
+
+from repro.experiments.reporting import (
+    _comparison_rows,
+    _fmt,
+    render_experiments_markdown,
+)
+
+
+class TestFormatting:
+    def test_fmt_variants(self):
+        assert _fmt(True) == "yes"
+        assert _fmt(False) == "no"
+        assert _fmt(0.1372) == "0.137"
+        assert _fmt(447.0) == "447.0"
+        assert _fmt(14913) == "14,913"
+        assert _fmt("x") == "x"
+
+    def test_comparison_rows_per_portal(self):
+        paper = {"frac": {"CA": 0.5, "UK": 0.25}}
+        measured = {"CA": {"frac": 0.51}, "UK": {}}
+        rows = _comparison_rows(paper, measured)
+        assert rows[0] == "| frac (CA) | 0.500 | 0.510 |"
+        assert rows[1] == "| frac (UK) | 0.250 | — |"
+
+    def test_scalar_metrics_deferred_to_text(self):
+        rows = _comparison_rows({"note": 5.0}, {})
+        assert rows == ["| note | 5.000 | see text |"]
+
+
+class TestRenderMarkdown:
+    def test_full_render_on_small_study(self, study):
+        text = render_experiments_markdown(study)
+        # One section per experiment, plus header and deviations.
+        for n in range(1, 12):
+            assert f"## table{n:02d} —" in text
+        for n in range(1, 9):
+            assert f"## figure{n:02d} —" in text
+        assert "| metric | paper | measured |" in text
+        assert "## Known deviations" in text
+        assert f"scale {study.config.scale}" in text

@@ -1,0 +1,142 @@
+"""Tests for the dataset-search facade (repro.search)."""
+
+import pytest
+
+from repro.search import DataLake, TextIndex, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_and_split(self):
+        assert tokenize("COVID-19 Daily Cases") == ["covid", "19", "daily",
+                                                    "cases"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("statistics of the fisheries") == ["fisheries"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestTextIndex:
+    def build(self):
+        index = TextIndex()
+        index.add("d1", "commercial fisheries landings by species")
+        index.add("d2", "income tax filings by bracket")
+        index.add("d3", "fisheries vessel registrations")
+        return index
+
+    def test_basic_search(self):
+        hits = self.build().search("fisheries")
+        assert {h.doc_id for h in hits} == {"d1", "d3"}
+
+    def test_multi_term_coverage_preferred(self):
+        hits = self.build().search("fisheries landings")
+        assert hits[0].doc_id == "d1"
+        assert set(hits[0].matched_terms) == {"fisheries", "landings"}
+
+    def test_no_match(self):
+        assert self.build().search("volcanoes") == []
+
+    def test_limit(self):
+        assert len(self.build().search("by", limit=1)) <= 1
+
+    def test_duplicate_doc_rejected(self):
+        index = TextIndex()
+        index.add("d1", "x")
+        with pytest.raises(ValueError):
+            index.add("d1", "y")
+
+    def test_len(self):
+        assert len(self.build()) == 3
+
+
+class TestDataLake:
+    @pytest.fixture(scope="class")
+    def lake(self, study):
+        return DataLake(study)
+
+    def test_search_finds_topical_datasets(self, lake):
+        hits = lake.search("fisheries landings", limit=8)
+        assert hits
+        assert any("Fisheries" in h.title for h in hits)
+
+    def test_search_covers_multiple_portals(self, lake):
+        # Every portal publishes from the same blueprint pool, so a
+        # common topic should surface hits from several portals.
+        hits = lake.search("waste collection", limit=40)
+        assert len({h.portal_code for h in hits}) >= 2
+
+    def test_suggest_joins_ranked(self, lake, study):
+        portal = study.portal("US")
+        analysis = portal.joinability()
+        # Pick a table that definitely has joinable partners.
+        table_index = next(iter(analysis.table_neighbors))
+        resource = analysis.tables[table_index].resource_id
+        suggestions = lake.suggest_joins("US", resource, limit=5)
+        assert suggestions
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+        for suggestion in suggestions:
+            assert 0.0 < suggestion.jaccard <= 1.0
+            assert suggestion.partner_resource != resource
+
+    def test_suggest_joins_unknown_resource(self, lake):
+        with pytest.raises(KeyError):
+            lake.suggest_joins("US", "nope")
+
+    def test_suggest_unions(self, lake, study):
+        portal = study.portal("UK")
+        analysis = portal.unionability()
+        group = max(analysis.unionable_groups(), key=lambda g: g.size)
+        resource = analysis.tables[group.table_indexes[0]].resource_id
+        suggestions = lake.suggest_unions("UK", resource, limit=5)
+        assert suggestions
+        assert len(suggestions) <= min(5, group.size - 1)
+        relatedness = [s.relatedness for s in suggestions]
+        assert relatedness == sorted(relatedness, reverse=True)
+
+    def test_suggest_unions_solo_table(self, lake, study):
+        portal = study.portal("UK")
+        analysis = portal.unionability()
+        solo = next(
+            (g for g in analysis.groups if g.size == 1), None
+        )
+        if solo is not None:
+            resource = analysis.tables[solo.table_indexes[0]].resource_id
+            assert lake.suggest_unions("UK", resource) == []
+
+
+class TestBringYourOwnTable:
+    @pytest.fixture(scope="class")
+    def lake(self, study):
+        return DataLake(study)
+
+    def test_external_column_finds_partners(self, lake, study):
+        from repro.dataframe import Column, Table
+        from repro.generator.vocab import CA_PROVINCES
+
+        external = Table(
+            "my_upload", [Column("region", list(CA_PROVINCES))]
+        )
+        hits = lake.find_joinable_for_column(external, "region", k=8)
+        assert hits
+        assert hits[0].overlap > 5
+        # Provinces live in the CA portal's shared geo domain.
+        assert any(h.portal_code == "CA" for h in hits)
+        overlaps = [h.overlap for h in hits]
+        assert overlaps == sorted(overlaps, reverse=True)
+
+    def test_unmatchable_column_returns_nothing(self, lake):
+        from repro.dataframe import Column, Table
+
+        external = Table(
+            "odd", [Column("x", [f"zzz-{i}" for i in range(30)])]
+        )
+        assert lake.find_joinable_for_column(external, "x", k=5) == []
+
+    def test_unknown_column_raises(self, lake):
+        from repro.dataframe import Column, Table
+
+        external = Table("t", [Column("a", [1])])
+        with pytest.raises(Exception):
+            lake.find_joinable_for_column(external, "missing")

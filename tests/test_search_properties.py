@@ -1,0 +1,121 @@
+"""Property-based cross-checks for key discovery and join search."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import Column, Table
+from repro.ingest.pipeline import IngestedTable
+from repro.joinability.index import build_profiles
+from repro.joinability.pairs import find_joinable_pairs
+from repro.keys import NO_KEY, find_min_key
+
+
+@st.composite
+def key_tables(draw):
+    n_cols = draw(st.integers(1, 4))
+    n_rows = draw(st.integers(1, 18))
+    columns = [
+        Column(
+            f"c{i}",
+            draw(
+                st.lists(
+                    st.one_of(st.integers(0, 5), st.none()),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            ),
+        )
+        for i in range(n_cols)
+    ]
+    return Table("t", columns)
+
+
+def brute_force_min_key(table: Table, max_size: int = 3) -> int:
+    """Reference implementation: try every column combination."""
+    names = list(table.column_names)
+    # Size 1 uses the stricter single-key rule (no nulls).
+    if any(table.column(n).is_key for n in names):
+        return 1
+    for size in range(2, max_size + 1):
+        for combo in combinations(names, size):
+            seen = set()
+            cols = [table.column(n) for n in combo]
+            ok = True
+            for i in range(table.num_rows):
+                key = tuple(c[i] for c in cols)
+                if key in seen:
+                    ok = False
+                    break
+                seen.add(key)
+            if ok:
+                return size
+    return NO_KEY
+
+
+@given(key_tables())
+@settings(max_examples=100, deadline=None)
+def test_min_key_matches_brute_force(table):
+    assert find_min_key(table).min_key_size == brute_force_min_key(table)
+
+
+@st.composite
+def column_sets(draw):
+    n_columns = draw(st.integers(2, 5))
+    pool = [f"v{i}" for i in range(25)]
+    tables = []
+    for i in range(n_columns):
+        values = draw(
+            st.lists(st.sampled_from(pool), min_size=12, max_size=40)
+        )
+        table = Table(f"t{i}", [Column("c", values)])
+        tables.append(
+            IngestedTable(
+                portal_code="XX",
+                dataset_id=f"d{i}",
+                resource_id=f"r{i}",
+                name=f"t{i}",
+                url=f"u{i}",
+                raw=table,
+                clean=table,
+                raw_size_bytes=1,
+                header_index=0,
+                trailing_columns_removed=0,
+                dropped_as_wide=False,
+            )
+        )
+    return tables
+
+
+@given(column_sets(), st.sampled_from([0.5, 0.7, 0.9]))
+@settings(max_examples=60, deadline=None)
+def test_join_search_matches_brute_force(tables, threshold):
+    profiles, _ = build_profiles(tables, min_unique=2)
+    found = {
+        (p.left, p.right): p.jaccard
+        for p in find_joinable_pairs(profiles, threshold=threshold)
+    }
+    # Brute force over every cross-table profile pair.
+    expected = {}
+    for a, b in combinations(profiles, 2):
+        if a.table_index == b.table_index:
+            continue
+        union = a.values | b.values
+        jaccard = len(a.values & b.values) / len(union) if union else 0.0
+        if jaccard >= threshold:
+            expected[(a.column_id, b.column_id)] = jaccard
+    assert set(found) == set(expected)
+    for key, jaccard in expected.items():
+        assert abs(found[key] - jaccard) < 1e-12
+
+
+@given(column_sets())
+@settings(max_examples=40, deadline=None)
+def test_pair_jaccard_symmetric_and_bounded(tables):
+    profiles, _ = build_profiles(tables, min_unique=2)
+    for pair in find_joinable_pairs(profiles, threshold=0.0):
+        assert 0.0 < pair.jaccard <= 1.0
+        assert pair.overlap <= min(
+            profiles[pair.left].num_unique, profiles[pair.right].num_unique
+        )

@@ -1,0 +1,27 @@
+"""Tests for the supplementary size-bucket experiment."""
+
+from repro.experiments import supplementary
+
+
+class TestSupplementary:
+    def test_runs(self, study):
+        result = supplementary.run(study)
+        assert result.experiment_id == "supplementary01"
+        assert "paper" in result.data
+        assert "size bucket" in result.title
+
+    def test_buckets_cover_sample(self, study):
+        result = supplementary.run(study)
+        for code in ("CA", "UK", "US"):
+            groups = result.data.get(code, {})
+            total = sum(cell["n"] for cell in groups.values())
+            assert total == len(study.portal(code).labeled_join_sample())
+
+    def test_no_strong_size_correlation(self, study):
+        """The paper's finding: usefulness does not track table size.
+        We allow wide noise at test scale but the spread must not be
+        total (0 -> 1) in every bucket."""
+        result = supplementary.run(study)
+        spreads = result.data["per_bucket_useful_spread"]
+        if spreads:
+            assert min(spreads) < 1.0

@@ -1,0 +1,159 @@
+"""Tests for unionability analysis (§6 / Table 11)."""
+
+from repro.dataframe import Column, Table
+from repro.unionability import (
+    UnionLabel,
+    UnionOracle,
+    UnionPattern,
+    analyze_unionability,
+    sample_union_pairs,
+    schema_fingerprint,
+    union_label_stats,
+)
+from tests.test_joinability_pairs import wrap
+
+
+class TestFingerprint:
+    def test_names_and_types(self):
+        a = Table("a", [Column("x", [1]), Column("y", ["s"])])
+        b = Table("b", [Column("x", [9]), Column("y", ["t"])])
+        assert schema_fingerprint(a) == schema_fingerprint(b)
+
+    def test_case_insensitive_names(self):
+        a = Table("a", [Column("City", ["x"])])
+        b = Table("b", [Column("city", ["y"])])
+        assert schema_fingerprint(a) == schema_fingerprint(b)
+
+    def test_type_mismatch_differs(self):
+        a = Table("a", [Column("x", [1])])
+        b = Table("b", [Column("x", ["1x"])])
+        assert schema_fingerprint(a) != schema_fingerprint(b)
+
+    def test_order_matters(self):
+        a = Table("a", [Column("x", [1]), Column("y", [2])])
+        b = Table("b", [Column("y", [1]), Column("x", [2])])
+        assert schema_fingerprint(a) != schema_fingerprint(b)
+
+
+class TestAnalysis:
+    def make_tables(self):
+        def t(name, names, dataset):
+            return wrap(
+                Table(name, [Column(n, [1, 2]) for n in names]),
+                dataset=dataset,
+                resource=name,
+            )
+
+        return [
+            t("a1", ["x", "y"], "d1"),
+            t("a2", ["x", "y"], "d1"),
+            t("a3", ["x", "y"], "d2"),
+            t("b1", ["p"], "d3"),
+            t("b2", ["p"], "d3"),
+            t("solo", ["q", "r", "s"], "d4"),
+        ]
+
+    def test_stats(self):
+        analysis = analyze_unionability("XX", self.make_tables())
+        stats = analysis.stats
+        assert stats.total_tables == 6
+        assert stats.unionable_tables == 5
+        assert stats.unique_schemas == 3
+        assert stats.unionable_schemas == 2
+        assert stats.unionable_schemas_single_dataset == 1  # the b group
+        assert stats.max_degree == 2
+        assert stats.frac_unionable_tables == 5 / 6
+
+    def test_groups(self):
+        analysis = analyze_unionability("XX", self.make_tables())
+        groups = analysis.unionable_groups()
+        sizes = sorted(g.size for g in groups)
+        assert sizes == [2, 3]
+
+    def test_empty(self):
+        stats = analyze_unionability("XX", []).stats
+        assert stats.total_tables == 0
+        assert stats.frac_unionable_tables == 0.0
+
+
+class TestOracle:
+    def test_on_corpus_patterns(self, study):
+        for code in ("CA", "UK"):
+            portal = study.portal(code)
+            labeled = portal.labeled_union_sample()
+            if not labeled:
+                continue
+            stats = union_label_stats(labeled)
+            # The paper: CA/UK unionable samples are ~all useful.
+            assert stats.frac_useful >= 0.85
+
+    def test_us_duplicates_accidental(self, study):
+        portal = study.portal("US")
+        oracle = UnionOracle.from_recorder(portal.generated.lineage)
+        duplicates = [
+            record
+            for record in portal.generated.lineage
+            if record.duplicate_of is not None
+        ]
+        for record in duplicates:
+            label, pattern = oracle.judge(
+                record.resource_id, record.duplicate_of
+            )
+            assert label is UnionLabel.ACCIDENTAL
+            assert pattern is UnionPattern.DUPLICATE
+
+    def test_periodic_pairs_useful(self, study):
+        portal = study.portal("UK")
+        oracle = UnionOracle.from_recorder(portal.generated.lineage)
+        by_family: dict[tuple, list] = {}
+        for record in portal.generated.lineage:
+            if record.period is not None and record.subtable_kind == "fact":
+                by_family.setdefault(
+                    (record.family_id, record.table_name.rsplit("_", 1)[0]),
+                    [],
+                ).append(record)
+        checked = 0
+        for records in by_family.values():
+            if len(records) >= 2 and records[0].period != records[1].period:
+                label, pattern = oracle.judge(
+                    records[0].resource_id, records[1].resource_id
+                )
+                assert label is UnionLabel.USEFUL
+                assert pattern is UnionPattern.PERIODIC
+                checked += 1
+        assert checked > 0
+
+    def test_unknown_resources_default_useful(self):
+        oracle = UnionOracle({})
+        label, pattern = oracle.judge("x", "y")
+        assert label is UnionLabel.USEFUL
+        assert pattern is UnionPattern.UNKNOWN
+
+
+class TestSampling:
+    def test_sample_size_and_determinism(self, study):
+        portal = study.portal("CA")
+        oracle = UnionOracle.from_recorder(portal.generated.lineage)
+        a = sample_union_pairs(portal.unionability(), oracle, seed=4,
+                               sample_size=10)
+        b = sample_union_pairs(portal.unionability(), oracle, seed=4,
+                               sample_size=10)
+        assert len(a) <= 10
+        assert [(p.left_resource, p.right_resource) for p in a] == [
+            (p.left_resource, p.right_resource) for p in b
+        ]
+
+    def test_pairs_share_schema(self, study):
+        portal = study.portal("UK")
+        analysis = portal.unionability()
+        by_resource = {
+            t.resource_id: t.clean for t in analysis.tables
+        }
+        for pair in portal.labeled_union_sample():
+            left = by_resource[pair.left_resource]
+            right = by_resource[pair.right_resource]
+            assert schema_fingerprint(left) == schema_fingerprint(right)
+
+    def test_no_groups_no_sample(self):
+        analysis = analyze_unionability("XX", [])
+        assert sample_union_pairs(analysis, UnionOracle({}), seed=1) == []
