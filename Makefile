@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench-smoke bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check src tests
+
+# One full-scale figure benchmark as a smoke test of the pipeline
+# (figure01 profiles table sizes, so it exercises generator -> ingest
+# -> profiling end to end without the expensive join/FD stages).
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_bench_figure01.py --benchmark-disable -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

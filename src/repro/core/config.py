@@ -35,10 +35,25 @@ class StudyConfig:
     union_sample_size: int = 25
     #: Table 3 metadata sample size per portal.
     metadata_sample_size: int = 100
+    #: Crawl retry budget (see :mod:`repro.resilience`).  0 reproduces
+    #: the paper's single-shot crawl bit-for-bit; > 0 also enables the
+    #: per-host circuit breaker and token-bucket rate limiter.
+    max_retries: int = 0
+    #: Directory for per-portal crawl journals; None disables
+    #: checkpointing entirely.
+    checkpoint_dir: str | None = None
+    #: When False, existing crawl journals are discarded and the crawl
+    #: starts fresh (every resource is re-fetched); checkpoints are
+    #: still written for the new run.
+    resume: bool = True
 
     def __post_init__(self):
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
         if not 0.0 < self.jaccard_threshold <= 1.0:
             raise ValueError(
                 f"jaccard_threshold must be in (0, 1], got "

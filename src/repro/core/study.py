@@ -11,11 +11,20 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING
 
+import pathlib
+
 from ..generator.portal_gen import GeneratedPortal, generate_portal
 from ..generator.profiles import PROFILES_BY_CODE
 from ..ingest.pipeline import IngestReport, ingest_portal
 from ..portal.ckan import CkanApi
 from ..portal.http import HttpClient
+from ..resilience import (
+    BreakerConfig,
+    CrawlJournal,
+    RateLimitConfig,
+    ResilientHttpClient,
+    RetryPolicy,
+)
 from .config import StudyConfig
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep imports acyclic
@@ -192,15 +201,29 @@ class Study:
 
     @classmethod
     def build(cls, config: StudyConfig) -> "Study":
-        """Generate and ingest every configured portal."""
+        """Generate and ingest every configured portal.
+
+        The crawl honours the config's resilience knobs: a positive
+        ``max_retries`` routes fetches through
+        :class:`~repro.resilience.client.ResilientHttpClient` (retries
+        plus circuit breaking and rate limiting), and ``checkpoint_dir``
+        journals per-resource outcomes so an interrupted build resumes
+        without re-fetching completed resources.
+        """
         portals: dict[str, PortalStudy] = {}
         for code in config.portal_codes:
             generated = generate_portal(
                 PROFILES_BY_CODE[code], seed=config.seed, scale=config.scale
             )
-            report = ingest_portal(
-                CkanApi(generated.portal), HttpClient(generated.store)
-            )
+            client = _build_client(HttpClient(generated.store), config)
+            journal = _open_journal(config, code)
+            try:
+                report = ingest_portal(
+                    CkanApi(generated.portal), client, journal=journal
+                )
+            finally:
+                if journal is not None:
+                    journal.close()
             portals[code] = PortalStudy(
                 config=config, generated=generated, report=report
             )
@@ -217,3 +240,32 @@ class Study:
     def codes(self) -> tuple[str, ...]:
         """Portal codes in configuration order."""
         return tuple(self.portals)
+
+
+def _build_client(
+    transport: HttpClient, config: StudyConfig
+) -> HttpClient | ResilientHttpClient:
+    """The crawl client the config asks for.
+
+    ``max_retries == 0`` returns the bare transport client: one
+    ``try_fetch`` per resource, reproducing the seed crawl bit-for-bit.
+    """
+    if config.max_retries == 0:
+        return transport
+    return ResilientHttpClient(
+        transport,
+        policy=RetryPolicy(max_retries=config.max_retries),
+        breaker_config=BreakerConfig(),
+        rate_limit=RateLimitConfig(),
+        seed=config.seed,
+    )
+
+
+def _open_journal(config: StudyConfig, code: str) -> CrawlJournal | None:
+    """The portal's crawl journal, honouring the resume flag."""
+    if config.checkpoint_dir is None:
+        return None
+    path = pathlib.Path(config.checkpoint_dir) / f"crawl-{code}.jsonl"
+    if not config.resume and path.exists():
+        path.unlink()
+    return CrawlJournal(path)

@@ -17,6 +17,15 @@ from .corpus import get_study
 from .registry import experiment_ids, run_all, run_experiment
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -40,7 +49,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=7, help="master seed (default 7)"
     )
+    run_parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=0,
+        help=(
+            "crawl retry budget per resource (default 0 = the paper's "
+            "single-shot crawl); > 0 also enables circuit breaking and "
+            "rate limiting"
+        ),
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for resumable crawl journals (default: off)",
+    )
+    run_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="discard existing crawl journals and re-fetch everything",
+    )
     return parser
+
+
+def config_from_args(args: argparse.Namespace) -> StudyConfig:
+    """Translate parsed ``run`` arguments into a study configuration."""
+    return StudyConfig(
+        scale=args.scale,
+        seed=args.seed,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=not args.no_resume,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,8 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in experiment_ids():
             print(experiment_id)
         return 0
-    config = StudyConfig(scale=args.scale, seed=args.seed)
-    study = get_study(config=config)
+    study = get_study(config=config_from_args(args))
     if args.experiment == "all":
         for result in run_all(study):
             print(result.text)

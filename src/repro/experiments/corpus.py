@@ -38,6 +38,9 @@ def get_study(
         config.join_sample_per_subbucket,
         config.union_sample_size,
         config.metadata_sample_size,
+        config.max_retries,
+        config.checkpoint_dir,
+        config.resume,
     )
     study = _CACHE.get(key)
     if study is None:

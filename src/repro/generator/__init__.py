@@ -28,6 +28,7 @@ from .profiles import (
     SG_PROFILE,
     UK_PROFILE,
     US_PROFILE,
+    flaky_profile,
 )
 from .schemas import BLUEPRINTS, TopicBlueprint, blueprint_by_topic
 from .styles import DraftDataset, StyleKnobs, publish
@@ -59,6 +60,7 @@ __all__ = [
     "blueprint_by_topic",
     "build_instance",
     "corrupt_and_serialize",
+    "flaky_profile",
     "generate_corpus",
     "generate_portal",
     "publish",

@@ -19,7 +19,7 @@ import math
 import random
 
 from ..portal.models import Dataset, MetadataKind, Portal, Resource
-from ..portal.store import BlobStore, FailureMode
+from ..portal.store import BlobStore, FailureMode, TransientFault
 from . import vocab
 from .base_tables import build_instance
 from .corruption import corrupt_and_serialize, masquerade_payload
@@ -171,7 +171,23 @@ def _materialize_dataset(
             outcome = corrupt_and_serialize(
                 table_draft, profile.corruption, rng, organization
             )
-            store.put(url, outcome.payload)
+            # The rate guards short-circuit so the calibrated profiles
+            # (rates 0.0) draw no extra random numbers: the default
+            # corpus stays bit-for-bit identical across versions.
+            if (
+                profile.transient_rate > 0
+                and rng.random() < profile.transient_rate
+            ):
+                store.put_transient(url, outcome.payload, _transient_fault(rng))
+            elif (
+                profile.truncated_rate > 0
+                and len(outcome.payload) > 2
+                and rng.random() < profile.truncated_rate
+            ):
+                keep = max(1, int(len(outcome.payload) * rng.uniform(0.5, 0.9)))
+                store.put_truncated(url, outcome.payload, truncate_at=keep)
+            else:
+                store.put(url, outcome.payload)
             if not outcome.transposed:
                 readable += 1
             lineage.record(
@@ -433,6 +449,24 @@ def _failure_mode(rng: random.Random) -> FailureMode:
          FailureMode.TIMEOUT),
         weights=(0.6, 0.1, 0.2, 0.1),
     )[0]
+
+
+def _transient_fault(rng: random.Random) -> TransientFault:
+    """A fault that clears after 1–3 attempts, as flaky portals behave."""
+    mode = rng.choices(
+        (FailureMode.RATE_LIMITED, FailureMode.UNAVAILABLE,
+         FailureMode.TIMEOUT),
+        weights=(0.4, 0.35, 0.25),
+    )[0]
+    failures = rng.randint(1, 3)
+    retry_after = (
+        round(rng.uniform(0.5, 4.0), 3)
+        if mode is not FailureMode.TIMEOUT
+        else None
+    )
+    return TransientFault(
+        mode=mode, failures=failures, retry_after=retry_after
+    )
 
 
 def _publication_date(

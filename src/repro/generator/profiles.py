@@ -78,6 +78,15 @@ class PortalProfile:
     #: Multiplier on open-domain entity cardinalities (bigger portals
     #: publish bigger registries: more schools, parks, facilities).
     entity_cardinality_scale: float = 1.0
+    #: Probability a downloadable resource is behind a *transient* fault
+    #: (timeout / 429 / 503 for its first attempts, then success).  Kept
+    #: at 0.0 in the calibrated profiles so the default corpus stays
+    #: bit-for-bit identical to the seed; raise it (see
+    #: :func:`flaky_profile`) to exercise the resilient crawl layer.
+    transient_rate: float = 0.0
+    #: Probability a downloadable resource's body is truncated short of
+    #: its declared content length.  0.0 in the calibrated profiles.
+    truncated_rate: float = 0.0
 
 
 SG_PROFILE = PortalProfile(
@@ -265,6 +274,24 @@ US_PROFILE = PortalProfile(
     measure_resolutions=((1000, 0.20), (5000, 0.30), (100_000, 0.50)),
     entity_cardinality_scale=2.5,
 )
+
+def flaky_profile(
+    profile: PortalProfile,
+    transient_rate: float = 0.15,
+    truncated_rate: float = 0.02,
+) -> PortalProfile:
+    """A copy of *profile* whose resources suffer transient faults.
+
+    Used to exercise :mod:`repro.resilience`: a crawl with retries
+    enabled recovers the transiently faulty resources that a single-shot
+    crawl reports as not downloadable.
+    """
+    return dataclasses.replace(
+        profile,
+        transient_rate=transient_rate,
+        truncated_rate=truncated_rate,
+    )
+
 
 #: All four portals in the paper's presentation order.
 ALL_PROFILES: tuple[PortalProfile, ...] = (

@@ -11,6 +11,17 @@ For each declared-CSV resource of every dataset:
 Resources that clear steps 1–4 are *readable*; step 5 may still exclude
 a table from the analyses (``clean`` is ``None`` for dropped-wide
 tables), exactly mirroring the paper's accounting.
+
+The fetch step runs through the resilient crawl layer
+(:mod:`repro.resilience`): pass a
+:class:`~repro.resilience.client.ResilientHttpClient` to enable retries,
+per-host circuit breaking, and rate limiting; a plain
+:class:`~repro.portal.http.HttpClient` is wrapped with a zero-retry
+policy, reproducing the paper's single-shot crawl exactly.  Per-resource
+retry provenance lands in :attr:`IngestReport.resilience`, and an
+optional :class:`~repro.resilience.checkpoint.CrawlJournal` makes the
+crawl resumable: completed resources are replayed from the journal
+instead of re-fetched.
 """
 
 from __future__ import annotations
@@ -28,6 +39,13 @@ from ..dataframe import (
 from ..portal.ckan import CkanApi
 from ..portal.http import HttpClient
 from ..portal.magic import detect_mime
+from ..resilience import (
+    CrawlJournal,
+    FetchResult,
+    JournalEntry,
+    ResilienceStats,
+    ResilientHttpClient,
+)
 from .clean import clean_table
 from .header import infer_header
 
@@ -39,6 +57,13 @@ class FetchOutcome(enum.Enum):
     NOT_DOWNLOADABLE = "not downloadable"
     NOT_CSV = "not csv"
     UNPARSEABLE = "unparseable"
+    #: Truncated-but-salvageable: the body was shorter than declared yet
+    #: still parsed into a table.  Counted as readable, flagged degraded.
+    DEGRADED = "degraded"
+
+
+#: Outcomes that contribute a parsed table to the report.
+_TABLE_OUTCOMES = frozenset({FetchOutcome.READABLE, FetchOutcome.DEGRADED})
 
 
 @dataclasses.dataclass
@@ -58,6 +83,8 @@ class IngestedTable:
     header_index: int
     trailing_columns_removed: int
     dropped_as_wide: bool
+    #: True when the payload was truncated in flight but still parsed.
+    degraded: bool = False
 
     @property
     def analyzable(self) -> bool:
@@ -73,12 +100,17 @@ class IngestReport:
     total_datasets: int
     total_declared_tables: int
     downloadable_tables: int
+    #: Parsed tables, including truncated-but-salvageable (DEGRADED) ones.
     readable_tables: int
     tables: list[IngestedTable]
     outcome_counts: dict[FetchOutcome, int]
     #: dataset id -> number of declared CSV tables (for Table 1's
     #: tables-per-dataset statistics).
     tables_per_dataset: dict[str, int]
+    #: Retry/circuit/journal provenance of the crawl.
+    resilience: ResilienceStats = dataclasses.field(
+        default_factory=ResilienceStats
+    )
 
     @property
     def clean_tables(self) -> list[IngestedTable]:
@@ -91,8 +123,26 @@ class IngestReport:
         return sum(1 for t in self.tables if t.dropped_as_wide)
 
 
-def ingest_portal(api: CkanApi, client: HttpClient) -> IngestReport:
-    """Run the full pipeline over one portal's catalog."""
+def ingest_portal(
+    api: CkanApi,
+    client: HttpClient | ResilientHttpClient,
+    *,
+    journal: CrawlJournal | None = None,
+) -> IngestReport:
+    """Run the full pipeline over one portal's catalog.
+
+    *client* may be a plain :class:`HttpClient` (single-shot crawl, the
+    paper's behaviour) or a :class:`ResilientHttpClient` (retries,
+    circuit breaking, rate limiting).  When *journal* is given, finished
+    resources are checkpointed as the crawl progresses and resources
+    already present in the journal are replayed without any fetch.
+    """
+    resilient = (
+        client
+        if isinstance(client, ResilientHttpClient)
+        else ResilientHttpClient(client)
+    )
+    stats = ResilienceStats(max_retries=resilient.policy.max_retries)
     outcome_counts = {outcome: 0 for outcome in FetchOutcome}
     tables: list[IngestedTable] = []
     tables_per_dataset: dict[str, int] = {}
@@ -110,15 +160,30 @@ def ingest_portal(api: CkanApi, client: HttpClient) -> IngestReport:
             tables_per_dataset[dataset_id] = len(csv_resources)
         for resource in csv_resources:
             total_declared += 1
-            outcome, ingested = _process_resource(
-                api.portal_code, dataset_id, resource, client
+            entry = (
+                journal.get(resource["id"]) if journal is not None else None
             )
+            if entry is not None:
+                outcome, ingested = _replay_entry(
+                    api.portal_code, dataset_id, resource, entry
+                )
+                stats.resumed_resources += 1
+            else:
+                result = resilient.fetch(resource["url"])
+                outcome, ingested = _classify_fetch(
+                    api.portal_code, dataset_id, resource, result
+                )
+                entry = _journal_entry(resource, result, outcome)
+                if journal is not None:
+                    journal.record(entry)
+            _account(stats, resource["id"], entry)
             outcome_counts[outcome] += 1
             if outcome is not FetchOutcome.NOT_DOWNLOADABLE:
                 downloadable += 1
             if ingested is not None:
                 tables.append(ingested)
 
+    stats.circuit_events = resilient.circuit_events()
     return IngestReport(
         portal_code=api.portal_code,
         total_datasets=len(packages),
@@ -128,19 +193,95 @@ def ingest_portal(api: CkanApi, client: HttpClient) -> IngestReport:
         tables=tables,
         outcome_counts=outcome_counts,
         tables_per_dataset=tables_per_dataset,
+        resilience=stats,
     )
 
 
-def _process_resource(
+def _account(
+    stats: ResilienceStats, resource_id: str, entry: JournalEntry
+) -> None:
+    """Fold one resource's provenance into the crawl statistics."""
+    stats.attempts_per_resource[resource_id] = entry.attempts
+    if entry.recovered:
+        stats.recovered_after_retry += 1
+    if entry.circuit_skipped:
+        stats.circuit_open_skips += 1
+    if entry.truncated and entry.outcome == FetchOutcome.DEGRADED.name:
+        stats.degraded_tables += 1
+    stats.simulated_wait_seconds += entry.waited
+
+
+def _journal_entry(
+    resource: dict, result: FetchResult, outcome: FetchOutcome
+) -> JournalEntry:
+    """Checkpoint record for one freshly fetched resource."""
+    payload = None
+    if outcome in _TABLE_OUTCOMES and result.response is not None:
+        payload = result.response.content
+    return JournalEntry(
+        resource_id=resource["id"],
+        url=resource["url"],
+        outcome=outcome.name,
+        attempts=result.attempts,
+        recovered=result.recovered,
+        circuit_skipped=result.circuit_skipped,
+        truncated=result.truncated,
+        waited=result.waited,
+        payload=payload,
+    )
+
+
+def _replay_entry(
     portal_code: str,
     dataset_id: str,
     resource: dict,
-    client: HttpClient,
+    entry: JournalEntry,
 ) -> tuple[FetchOutcome, IngestedTable | None]:
-    response = client.try_fetch(resource["url"])
-    if not response.ok:
+    """Reconstruct a checkpointed resource without fetching.
+
+    Outcomes without a table replay as-is; table outcomes re-run the
+    deterministic parse over the journalled payload, rebuilding the
+    exact :class:`IngestedTable` the original crawl produced.
+    """
+    outcome = FetchOutcome[entry.outcome]
+    if entry.payload is None:
+        return outcome, None
+    return _parse_payload(
+        portal_code,
+        dataset_id,
+        resource,
+        entry.payload,
+        truncated=entry.truncated,
+    )
+
+
+def _classify_fetch(
+    portal_code: str,
+    dataset_id: str,
+    resource: dict,
+    result: FetchResult,
+) -> tuple[FetchOutcome, IngestedTable | None]:
+    """Steps 1–5 for one freshly fetched resource."""
+    if result.response is None or not result.response.ok:
         return FetchOutcome.NOT_DOWNLOADABLE, None
-    payload = response.content
+    return _parse_payload(
+        portal_code,
+        dataset_id,
+        resource,
+        result.response.content,
+        truncated=result.response.truncated,
+    )
+
+
+def _parse_payload(
+    portal_code: str,
+    dataset_id: str,
+    resource: dict,
+    payload: bytes,
+    *,
+    truncated: bool = False,
+) -> tuple[FetchOutcome, IngestedTable | None]:
+    """Steps 2–5: sniff, infer header, parse, clean."""
     if detect_mime(payload) != "text/csv":
         return FetchOutcome.NOT_CSV, None
     try:
@@ -172,5 +313,7 @@ def _process_resource(
         header_index=inference.header_index,
         trailing_columns_removed=cleaned.trailing_columns_removed,
         dropped_as_wide=cleaned.dropped_as_wide,
+        degraded=truncated,
     )
-    return FetchOutcome.READABLE, ingested
+    outcome = FetchOutcome.DEGRADED if truncated else FetchOutcome.READABLE
+    return outcome, ingested

@@ -3,18 +3,27 @@
 The corpus generator (:mod:`repro.generator`) populates a
 :class:`Portal` + :class:`BlobStore` pair; the ingestion pipeline
 (:mod:`repro.ingest`) then crawls them through :class:`CkanApi` and
-:class:`HttpClient`, exactly mirroring the paper's experimental setup.
+:class:`HttpClient` — optionally wrapped in the resilient crawl layer
+(:mod:`repro.resilience`) — exactly mirroring the paper's experimental
+setup.
 """
 
 from .ckan import CkanApi, CkanApiError
 from .compress import compressed_size, compression_ratio
 from .disk import export_portal, import_portal
-from .http import HttpClient, HttpError, HttpResponse
+from .http import STATUS_TIMEOUT, HttpClient, HttpError, HttpResponse
 from .magic import detect_mime, is_csv
 from .models import Dataset, MetadataKind, Portal, Resource
-from .store import BlobStore, FailureMode, StoredBlob
+from .store import (
+    BlobOverwriteError,
+    BlobStore,
+    FailureMode,
+    StoredBlob,
+    TransientFault,
+)
 
 __all__ = [
+    "BlobOverwriteError",
     "BlobStore",
     "CkanApi",
     "CkanApiError",
@@ -26,7 +35,9 @@ __all__ = [
     "MetadataKind",
     "Portal",
     "Resource",
+    "STATUS_TIMEOUT",
     "StoredBlob",
+    "TransientFault",
     "compressed_size",
     "compression_ratio",
     "export_portal",

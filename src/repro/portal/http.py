@@ -4,6 +4,13 @@ The paper categorizes a resource as *downloadable* iff the HTTP request
 for its URL succeeds with status 200 (§2.2).  This client reproduces that
 contract: known URLs yield 200 + bytes, failure-marked URLs yield their
 recorded status, and unknown URLs yield 404.
+
+Transient faults recorded in the store (see
+:meth:`~repro.portal.store.BlobStore.put_transient`) are served per
+*attempt*: the client counts fetches per URL, presents the fault for the
+first N attempts, then serves the content — which is what makes a
+retry-aware crawler (:mod:`repro.resilience`) observably better than a
+single-shot one.
 """
 
 from __future__ import annotations
@@ -12,6 +19,12 @@ import dataclasses
 
 from .store import BlobStore, FailureMode
 
+#: Status sentinel for "the connection never completed".  Deliberately
+#: negative: a real HTTP status can never be confused with it, and it is
+#: distinct from 0 so a status-code switch on falsy values cannot
+#: conflate a timeout with an unset status.
+STATUS_TIMEOUT = -1
+
 
 class HttpError(Exception):
     """Raised for transport-level failures (timeouts)."""
@@ -19,48 +32,108 @@ class HttpError(Exception):
 
 @dataclasses.dataclass(frozen=True)
 class HttpResponse:
-    """Minimal response object: status code plus body bytes."""
+    """Minimal response object: status code plus body bytes.
+
+    ``status`` is either a real HTTP status (200/404/429/...) or the
+    :data:`STATUS_TIMEOUT` sentinel produced by :meth:`HttpClient.try_fetch`.
+    """
 
     status: int
     content: bytes
     url: str
+    #: Simulated ``Retry-After`` header (seconds), set on 429/503.
+    retry_after: float | None = None
+    #: Declared ``Content-Length``; larger than ``len(content)`` when
+    #: the body was cut off mid-transfer.
+    declared_length: int | None = None
 
     @property
     def ok(self) -> bool:
-        """Whether the request succeeded (HTTP 200)."""
+        """Whether the request succeeded with HTTP 200.
+
+        A truncated 200 still counts as *ok* (the paper's downloadable
+        test is status-based); check :attr:`truncated` for completeness.
+        """
         return self.status == 200
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether this response stands in for a connection timeout."""
+        return self.status == STATUS_TIMEOUT
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the body is shorter than its declared length."""
+        return (
+            self.declared_length is not None
+            and len(self.content) < self.declared_length
+        )
 
 
 class HttpClient:
-    """Fetches resource URLs from the portal's blob store."""
+    """Fetches resource URLs from the portal's blob store.
+
+    The client tracks attempts per URL so that blobs stored with a
+    transient fault fail deterministically for their first N attempts
+    and succeed afterwards.
+    """
 
     def __init__(self, store: BlobStore):
         self._store = store
         self.requests_made = 0
+        self._attempts: dict[str, int] = {}
+
+    def attempts_for(self, url: str) -> int:
+        """How many fetch attempts this client has made against *url*."""
+        return self._attempts.get(url, 0)
 
     def fetch(self, url: str) -> HttpResponse:
         """GET *url*.
 
-        Raises :class:`HttpError` for simulated timeouts, otherwise
-        always returns a response (possibly a 4xx/5xx with empty body).
+        Raises :class:`HttpError` for simulated timeouts (permanent
+        ``FailureMode.TIMEOUT`` blobs and the failing attempts of
+        timeout-mode transient faults); otherwise always returns a
+        response (possibly a 4xx/5xx with empty body).
         """
         self.requests_made += 1
+        attempt = self._attempts.get(url, 0) + 1
+        self._attempts[url] = attempt
         blob = self._store.get(url)
         if blob is None:
             return HttpResponse(status=404, content=b"", url=url)
+        if blob.transient is not None and attempt <= blob.transient.failures:
+            mode = blob.transient.mode
+            if mode is FailureMode.TIMEOUT:
+                raise HttpError(f"timed out fetching {url}")
+            return HttpResponse(
+                status=mode.value,
+                content=b"",
+                url=url,
+                retry_after=blob.transient.retry_after,
+            )
         if blob.failure is FailureMode.TIMEOUT:
             raise HttpError(f"timed out fetching {url}")
         if blob.failure is not None:
             return HttpResponse(status=blob.failure.value, content=b"", url=url)
-        return HttpResponse(status=200, content=blob.content, url=url)
+        return HttpResponse(
+            status=200,
+            content=blob.content,
+            url=url,
+            declared_length=blob.declared_length,
+        )
 
     def try_fetch(self, url: str) -> HttpResponse:
-        """Like :meth:`fetch` but mapping timeouts to a status-0 response.
+        """Like :meth:`fetch` but never raises.
 
-        The ingestion pipeline treats any non-200 outcome, including a
-        timeout, as "not downloadable", so it prefers this variant.
+        Timeouts are mapped to a response whose status is the
+        :data:`STATUS_TIMEOUT` sentinel (``-1``) — *not* a real HTTP
+        status — so callers switching on status codes cannot confuse
+        "connection never completed" with any server-sent status.  The
+        single-shot ingestion pipeline treats any non-200 outcome,
+        including a timeout, as "not downloadable", so it prefers this
+        variant.
         """
         try:
             return self.fetch(url)
         except HttpError:
-            return HttpResponse(status=0, content=b"", url=url)
+            return HttpResponse(status=STATUS_TIMEOUT, content=b"", url=url)

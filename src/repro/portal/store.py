@@ -5,6 +5,15 @@ under its URL; the HTTP client reads them back.  Keeping the store as an
 explicit object — rather than attaching bytes to :class:`Resource` —
 preserves the paper's separation between catalog metadata (what CKAN
 says) and the fetch outcome (what the web actually returns).
+
+Besides permanent failures the store can model the two transient
+behaviours real OGDP crawls report (see ISSUE 1 and the Open Government
+Data Corpus crawl, arXiv:2308.13560):
+
+* *transient faults* — a URL that times out or answers 429/503 for its
+  first N attempts and then serves its content (``put_transient``);
+* *truncated bodies* — a 200 response whose body is shorter than the
+  declared content length (``put_truncated``).
 """
 
 from __future__ import annotations
@@ -14,12 +23,58 @@ import enum
 
 
 class FailureMode(enum.Enum):
-    """Why fetching a URL fails, mirroring what OGDP crawls encounter."""
+    """Why fetching a URL fails, mirroring what OGDP crawls encounter.
+
+    Values double as the HTTP status code served for the failure, except
+    ``TIMEOUT`` whose value is the ``-1`` sentinel (the connection never
+    completed, so there is no real status; ``0`` would collide with a
+    hypothetical status-code switch on falsy values).
+    """
 
     NOT_FOUND = 404
     GONE = 410
     SERVER_ERROR = 500
-    TIMEOUT = 0  # no HTTP status: the connection never completed
+    RATE_LIMITED = 429
+    UNAVAILABLE = 503
+    TIMEOUT = -1  # sentinel: no HTTP status, the connection never completed
+
+    @property
+    def transient(self) -> bool:
+        """Whether a retry-aware crawler should re-attempt this mode."""
+        return self in _TRANSIENT_MODES
+
+
+_TRANSIENT_MODES = frozenset(
+    {FailureMode.TIMEOUT, FailureMode.RATE_LIMITED, FailureMode.UNAVAILABLE}
+)
+
+
+class BlobOverwriteError(RuntimeError):
+    """Raised when a ``put`` would silently replace an existing URL."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TransientFault:
+    """A fault that clears after a fixed number of failed attempts."""
+
+    #: What the failing attempts look like (TIMEOUT / RATE_LIMITED /
+    #: UNAVAILABLE).
+    mode: FailureMode
+    #: Number of initial attempts that fail before content is served.
+    failures: int
+    #: Simulated ``Retry-After`` (seconds) sent with 429/503 responses.
+    retry_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.mode.transient:
+            raise ValueError(
+                f"{self.mode} is a permanent failure mode, not transient"
+            )
+        if self.failures < 1:
+            raise ValueError(
+                f"transient fault needs >= 1 failing attempt, got "
+                f"{self.failures}"
+            )
 
 
 @dataclasses.dataclass
@@ -28,26 +83,99 @@ class StoredBlob:
 
     content: bytes = b""
     failure: FailureMode | None = None
+    #: When set, the first ``transient.failures`` fetch attempts fail
+    #: with ``transient.mode`` before ``content`` is served.
+    transient: TransientFault | None = None
+    #: Declared Content-Length; when larger than ``len(content)`` the
+    #: body is truncated (detectable by the client).
+    declared_length: int | None = None
 
     @property
     def ok(self) -> bool:
-        """Whether the blob holds successful content."""
+        """Whether the blob (eventually) holds successful content."""
         return self.failure is None
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the served body is shorter than its declared length."""
+        return (
+            self.declared_length is not None
+            and len(self.content) < self.declared_length
+        )
 
 
 class BlobStore:
-    """URL-keyed storage for simulated resource files."""
+    """URL-keyed storage for simulated resource files.
+
+    All ``put`` variants refuse to overwrite an existing URL unless
+    ``replace=True`` is passed: a silent overwrite (e.g. re-marking a
+    failed URL as successful) would desynchronize the catalog, the
+    lineage record, and the crawl journal.
+    """
 
     def __init__(self) -> None:
         self._blobs: dict[str, StoredBlob] = {}
 
-    def put(self, url: str, content: bytes) -> None:
-        """Store successful *content* under *url*."""
-        self._blobs[url] = StoredBlob(content=content)
+    def _store(self, url: str, blob: StoredBlob, replace: bool) -> None:
+        if not replace and url in self._blobs:
+            raise BlobOverwriteError(
+                f"URL already stored: {url!r} (pass replace=True to "
+                f"overwrite deliberately)"
+            )
+        self._blobs[url] = blob
 
-    def put_failure(self, url: str, failure: FailureMode) -> None:
-        """Mark *url* as failing with the given mode."""
-        self._blobs[url] = StoredBlob(failure=failure)
+    def put(self, url: str, content: bytes, *, replace: bool = False) -> None:
+        """Store successful *content* under *url*."""
+        self._store(url, StoredBlob(content=content), replace)
+
+    def put_failure(
+        self, url: str, failure: FailureMode, *, replace: bool = False
+    ) -> None:
+        """Mark *url* as permanently failing with the given mode."""
+        self._store(url, StoredBlob(failure=failure), replace)
+
+    def put_transient(
+        self,
+        url: str,
+        content: bytes,
+        fault: TransientFault,
+        *,
+        replace: bool = False,
+    ) -> None:
+        """Store *content* behind a transient *fault*.
+
+        The first ``fault.failures`` fetch attempts observe the fault's
+        mode (timeout / 429 / 503); later attempts get the content.
+        """
+        self._store(
+            url, StoredBlob(content=content, transient=fault), replace
+        )
+
+    def put_truncated(
+        self,
+        url: str,
+        content: bytes,
+        truncate_at: int,
+        *,
+        replace: bool = False,
+    ) -> None:
+        """Store *content* cut off after *truncate_at* bytes.
+
+        The blob declares the full length, so a client comparing body
+        size against ``declared_length`` can detect the truncation.
+        """
+        if not 0 < truncate_at < len(content):
+            raise ValueError(
+                f"truncate_at must be in (0, {len(content)}), got "
+                f"{truncate_at}"
+            )
+        self._store(
+            url,
+            StoredBlob(
+                content=content[:truncate_at], declared_length=len(content)
+            ),
+            replace,
+        )
 
     def get(self, url: str) -> StoredBlob | None:
         """The blob stored under *url*, or None for an unknown URL."""

@@ -1,0 +1,38 @@
+"""Resilient crawl layer: retries, circuit breaking, rate limiting,
+and resumable ingestion.
+
+Real OGDP crawls are dominated by transient network behaviour —
+timeouts, 429/503 rate limiting, truncated bodies — so faithful
+downloadability numbers need a retry-aware crawler (§2.2 of the paper;
+see also arXiv:2308.13560 and arXiv:2106.09590 on intermittently
+fetchable portal resources).  This package provides that layer over the
+simulated portal substrate, fully deterministic: all timing runs on a
+:class:`SimulatedClock` and all jitter on a seeded RNG, never the wall
+clock.
+"""
+
+from .breaker import BreakerConfig, BreakerEvent, CircuitBreaker, CircuitState
+from .checkpoint import CrawlJournal, JournalEntry
+from .client import FetchResult, ResilientHttpClient, host_of
+from .clock import SimulatedClock
+from .ratelimit import RateLimitConfig, TokenBucket
+from .retry import DEFAULT_RETRYABLE_STATUSES, RetryPolicy
+from .stats import ResilienceStats
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerEvent",
+    "CircuitBreaker",
+    "CircuitState",
+    "CrawlJournal",
+    "DEFAULT_RETRYABLE_STATUSES",
+    "FetchResult",
+    "JournalEntry",
+    "RateLimitConfig",
+    "ResilienceStats",
+    "ResilientHttpClient",
+    "RetryPolicy",
+    "SimulatedClock",
+    "TokenBucket",
+    "host_of",
+]

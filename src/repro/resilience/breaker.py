@@ -1,0 +1,127 @@
+"""Per-host circuit breaker (closed → open → half-open).
+
+A host that keeps failing gets its circuit *opened*: the crawler stops
+hammering it and skips its resources until a simulated cool-down
+elapses.  The first request after the cool-down is a *half-open* probe;
+its outcome decides between closing the circuit (recover) and
+re-opening it (still down).  State transitions are recorded as events
+so ingest reports can expose circuit provenance.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+
+from .clock import SimulatedClock
+
+
+class CircuitState(enum.Enum):
+    """Breaker states, named after the electrical metaphor."""
+
+    CLOSED = "closed"  # traffic flows normally
+    OPEN = "open"  # requests are skipped
+    HALF_OPEN = "half-open"  # one probe allowed through
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds governing one host's circuit."""
+
+    #: Open when the failure rate over the window reaches this value...
+    failure_threshold: float = 0.5
+    #: ...computed over a sliding window of this many outcomes...
+    window: int = 10
+    #: ...but only once at least this many calls were observed.
+    min_calls: int = 5
+    #: Simulated seconds an open circuit waits before half-opening.
+    reset_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got "
+                f"{self.failure_threshold}"
+            )
+        if self.window < 1 or self.min_calls < 1:
+            raise ValueError("window and min_calls must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakerEvent:
+    """One state transition of one host's circuit."""
+
+    host: str
+    state: CircuitState
+    at: float  # simulated timestamp
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker for a single host."""
+
+    def __init__(
+        self, host: str, config: BreakerConfig, clock: SimulatedClock
+    ):
+        self.host = host
+        self.config = config
+        self._clock = clock
+        self._state = CircuitState.CLOSED
+        self._outcomes: collections.deque[bool] = collections.deque(
+            maxlen=config.window
+        )
+        self._opened_at = 0.0
+        self.events: list[BreakerEvent] = []
+
+    @property
+    def state(self) -> CircuitState:
+        return self._state
+
+    def _transition(self, state: CircuitState) -> None:
+        self._state = state
+        self.events.append(
+            BreakerEvent(host=self.host, state=state, at=self._clock.now())
+        )
+
+    def allow(self) -> bool:
+        """Whether a request may go through right now.
+
+        An open circuit whose cool-down has elapsed moves to half-open
+        and admits exactly one probe.
+        """
+        if self._state is CircuitState.OPEN:
+            if (
+                self._clock.now()
+                >= self._opened_at + self.config.reset_timeout
+            ):
+                self._transition(CircuitState.HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """Note a successful request; a half-open probe closes the circuit."""
+        if self._state is CircuitState.HALF_OPEN:
+            self._outcomes.clear()
+            self._transition(CircuitState.CLOSED)
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """Note a failed request; may open (or re-open) the circuit."""
+        if self._state is CircuitState.HALF_OPEN:
+            self._open()
+            return
+        self._outcomes.append(False)
+        if len(self._outcomes) < self.config.min_calls:
+            return
+        failure_rate = self._outcomes.count(False) / len(self._outcomes)
+        if (
+            self._state is CircuitState.CLOSED
+            and failure_rate >= self.config.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self._clock.now()
+        self._outcomes.clear()
+        self._transition(CircuitState.OPEN)

@@ -1,0 +1,122 @@
+"""Crawl journal: per-resource checkpoints for resumable ingestion.
+
+``ingest_portal`` appends one JSON line per finished resource (outcome,
+retry provenance, and — for resources that produced a table — the raw
+payload).  A crawl killed mid-portal and restarted with the same journal
+replays the completed entries instead of re-fetching them, so the resumed
+run issues requests only for the resources the first run never reached
+and still produces an identical report.
+
+The payload is stored verbatim (base64) rather than the parsed table:
+parsing is deterministic, so replaying the §2.2 parse over the recorded
+bytes reconstructs the exact :class:`~repro.ingest.pipeline.IngestedTable`
+without any network traffic.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import pathlib
+from typing import IO, Iterator
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEntry:
+    """Everything one finished resource contributes to the report."""
+
+    resource_id: str
+    url: str
+    #: ``FetchOutcome.name`` of the terminal state.
+    outcome: str
+    attempts: int
+    recovered: bool
+    circuit_skipped: bool
+    #: Whether the kept payload was shorter than declared (DEGRADED).
+    truncated: bool
+    #: Simulated seconds spent waiting for this resource.
+    waited: float
+    #: Raw fetched bytes; only recorded for outcomes that yield a table.
+    payload: bytes | None = None
+
+    def to_json(self) -> str:
+        record = dataclasses.asdict(self)
+        record["payload"] = (
+            base64.b64encode(self.payload).decode("ascii")
+            if self.payload is not None
+            else None
+        )
+        return json.dumps(record, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "JournalEntry":
+        record = json.loads(line)
+        payload = record.get("payload")
+        record["payload"] = (
+            base64.b64decode(payload) if payload is not None else None
+        )
+        return cls(**record)
+
+
+class CrawlJournal:
+    """Append-only, resource-keyed checkpoint store for one portal crawl.
+
+    Entries are flushed line-by-line as resources finish, so an
+    interrupted process loses at most the resource it was working on.
+    Opening an existing journal loads all previously completed entries;
+    ``record`` appends new ones.
+    """
+
+    def __init__(self, path: str | pathlib.Path):
+        self.path = pathlib.Path(path)
+        self._entries: dict[str, JournalEntry] = {}
+        self._handle: IO[str] | None = None
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = JournalEntry.from_json(line)
+                    except (ValueError, KeyError, TypeError):
+                        # A process killed mid-write leaves a torn final
+                        # line; everything before it is still valid, and
+                        # the torn resource is simply re-fetched.
+                        continue
+                    self._entries[entry.resource_id] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, resource_id: str) -> bool:
+        return resource_id in self._entries
+
+    def __iter__(self) -> Iterator[JournalEntry]:
+        return iter(self._entries.values())
+
+    def get(self, resource_id: str) -> JournalEntry | None:
+        """The checkpointed entry for *resource_id*, if any."""
+        return self._entries.get(resource_id)
+
+    def record(self, entry: JournalEntry) -> None:
+        """Append *entry* and flush it to disk immediately."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._entries[entry.resource_id] = entry
+        self._handle.write(entry.to_json() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (entries stay readable)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CrawlJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

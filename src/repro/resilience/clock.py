@@ -1,0 +1,34 @@
+"""Simulated monotonic clock.
+
+Every time-dependent resilience component (backoff sleeps, circuit
+breaker cool-downs, token-bucket refills) reads this clock instead of
+the wall clock, which is what makes retry schedules byte-for-byte
+reproducible: two crawls with the same seed and fault schedule advance
+the clock identically.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotonic clock that only moves when told to."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.total_slept = 0.0
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the clock by *seconds* (>= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        self._now += seconds
+        self.total_slept += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to *timestamp* (no-op if in the past)."""
+        if timestamp > self._now:
+            self._now = timestamp

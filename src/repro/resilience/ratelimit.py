@@ -1,0 +1,64 @@
+"""Token-bucket rate limiter on the simulated clock.
+
+Portals publish request budgets (and answer 429 when exceeded); the
+crawler respects them proactively by paying one token per request and
+waiting — in simulated time — whenever the bucket runs dry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .clock import SimulatedClock
+
+
+@dataclasses.dataclass(frozen=True)
+class RateLimitConfig:
+    """Sustained request rate plus burst allowance."""
+
+    #: Tokens added per simulated second (sustained requests/second).
+    rate: float = 10.0
+    #: Bucket capacity: how many requests may burst back-to-back.
+    capacity: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.capacity < 1:
+            raise ValueError(
+                f"rate must be > 0 and capacity >= 1, got rate="
+                f"{self.rate}, capacity={self.capacity}"
+            )
+
+
+class TokenBucket:
+    """Deterministic token bucket; one token buys one request."""
+
+    def __init__(self, config: RateLimitConfig, clock: SimulatedClock):
+        self.config = config
+        self._clock = clock
+        self._tokens = config.capacity
+        self._updated = clock.now()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        self._tokens = min(
+            self.config.capacity,
+            self._tokens + (now - self._updated) * self.config.rate,
+        )
+        self._updated = now
+
+    def reserve(self) -> float:
+        """Pay one token; returns how long the caller must sleep first.
+
+        When the bucket holds a token the cost is 0.  Otherwise the
+        returned wait is exactly the time until one token has refilled;
+        the caller is expected to ``clock.sleep()`` it.
+        """
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        wait = (1.0 - self._tokens) / self.config.rate
+        # The token that refills during `wait` is immediately spent.
+        self._tokens = 0.0
+        self._updated = self._clock.now() + wait
+        return wait

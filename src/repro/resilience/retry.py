@@ -1,0 +1,79 @@
+"""Deterministic retry policy: exponential backoff with seeded jitter.
+
+The policy is pure configuration plus arithmetic — it owns no clock and
+no RNG.  The caller (:class:`~repro.resilience.client.ResilientHttpClient`)
+supplies a seeded ``random.Random`` for jitter and a
+:class:`~repro.resilience.clock.SimulatedClock` for sleeping, so the
+same seed and fault schedule always yield the same delays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from ..portal.http import STATUS_TIMEOUT
+
+#: Statuses a retry can plausibly fix: timeouts, rate limiting, and
+#: temporary unavailability.  Permanent failures (404/410) and plain
+#: server errors (500, which the corpus marks permanent) are excluded.
+DEFAULT_RETRYABLE_STATUSES = frozenset({STATUS_TIMEOUT, 429, 503})
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts."""
+
+    #: Retries *after* the initial attempt; 0 reproduces the paper's
+    #: single-shot crawl exactly.
+    max_retries: int = 0
+    #: First backoff delay in simulated seconds.
+    base_delay: float = 0.5
+    #: Exponential growth factor between consecutive delays.
+    multiplier: float = 2.0
+    #: Ceiling on a single backoff delay.
+    max_delay: float = 30.0
+    #: Jitter fraction: the delay is scaled by ``1 + jitter * u`` with
+    #: ``u`` drawn from the caller's seeded RNG.
+    jitter: float = 0.1
+    retryable_statuses: frozenset[int] = DEFAULT_RETRYABLE_STATUSES
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts including the initial one."""
+        return self.max_retries + 1
+
+    def is_retryable(self, status: int) -> bool:
+        """Whether a response with *status* warrants another attempt."""
+        return status in self.retryable_statuses
+
+    def backoff(
+        self,
+        retry_index: int,
+        rng: random.Random,
+        retry_after: float | None = None,
+    ) -> float:
+        """Delay before retry number *retry_index* (0-based).
+
+        A server-sent ``Retry-After`` acts as a floor: we never retry
+        earlier than the portal asked us to.
+        """
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier**retry_index
+        )
+        delay *= 1.0 + self.jitter * rng.random()
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay

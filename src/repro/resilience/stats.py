@@ -1,0 +1,61 @@
+"""Aggregated retry provenance for one portal crawl.
+
+The ingestion pipeline fills one :class:`ResilienceStats` per
+:class:`~repro.ingest.pipeline.IngestReport` so benchmark tables can
+report recovery statistics (how many resources needed retries, how many
+were saved by them, how many a tripped circuit skipped).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .breaker import BreakerEvent
+
+
+@dataclasses.dataclass
+class ResilienceStats:
+    """What the resilient crawl layer did during one portal ingest."""
+
+    #: Retry budget the crawl ran with (0 = the paper's single shot).
+    max_retries: int = 0
+    #: resource id -> requests issued for it (circuit skips count 0).
+    attempts_per_resource: dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Resources that yielded a 200 only after at least one retry.
+    recovered_after_retry: int = 0
+    #: Resources never requested because their host's circuit was open.
+    circuit_open_skips: int = 0
+    #: Readable-but-truncated payloads kept with a DEGRADED outcome.
+    degraded_tables: int = 0
+    #: Resources replayed from a checkpoint journal (not re-fetched).
+    resumed_resources: int = 0
+    #: Simulated seconds spent waiting (backoff + rate limiting).
+    simulated_wait_seconds: float = 0.0
+    #: Circuit state transitions observed during the crawl.
+    circuit_events: tuple[BreakerEvent, ...] = ()
+
+    @property
+    def total_attempts(self) -> int:
+        """Requests issued across all resources."""
+        return sum(self.attempts_per_resource.values())
+
+    @property
+    def retried_resources(self) -> int:
+        """Resources that needed more than one attempt."""
+        return sum(
+            1 for count in self.attempts_per_resource.values() if count > 1
+        )
+
+    def provenance_key(self) -> tuple:
+        """Canonical tuple for determinism comparisons in tests."""
+        return (
+            self.max_retries,
+            tuple(sorted(self.attempts_per_resource.items())),
+            self.recovered_after_retry,
+            self.circuit_open_skips,
+            self.degraded_tables,
+            round(self.simulated_wait_seconds, 9),
+            self.circuit_events,
+        )

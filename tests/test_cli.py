@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.core.study import _build_client
 from repro.experiments import clear_cache
-from repro.experiments.cli import build_parser, main
+from repro.experiments.cli import build_parser, config_from_args, main
+from repro.portal import BlobStore, HttpClient
+from repro.resilience import ResilientHttpClient
 
 
 @pytest.fixture(autouse=True)
@@ -31,6 +34,44 @@ class TestParser:
         assert args.scale == 0.2
         assert args.seed == 3
 
+    def test_resilience_defaults_are_seed_behavior(self):
+        config = config_from_args(
+            build_parser().parse_args(["run", "table01"])
+        )
+        assert config.max_retries == 0
+        assert config.checkpoint_dir is None
+        assert config.resume is True
+        # max_retries=0 must use the bare transport — the paper's
+        # single-shot crawl, bit-for-bit.
+        client = _build_client(HttpClient(BlobStore()), config)
+        assert isinstance(client, HttpClient)
+        assert not isinstance(client, ResilientHttpClient)
+
+    def test_max_retries_flag_reaches_retry_policy(self):
+        config = config_from_args(
+            build_parser().parse_args(
+                ["run", "table01", "--max-retries", "2"]
+            )
+        )
+        assert config.max_retries == 2
+        client = _build_client(HttpClient(BlobStore()), config)
+        assert isinstance(client, ResilientHttpClient)
+        assert client.policy.max_retries == 2
+        assert client.policy.max_attempts == 3
+
+    def test_no_resume_and_checkpoint_dir_flags(self, tmp_path):
+        config = config_from_args(
+            build_parser().parse_args(
+                [
+                    "run", "table01",
+                    "--checkpoint-dir", str(tmp_path),
+                    "--no-resume",
+                ]
+            )
+        )
+        assert config.checkpoint_dir == str(tmp_path)
+        assert config.resume is False
+
 
 class TestMain:
     def test_list_prints_ids(self, capsys):
@@ -48,3 +89,19 @@ class TestMain:
         code = main(["run", "tableXX", "--scale", "0.08", "--seed", "2"])
         assert code == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_with_retries_and_checkpoints(self, capsys, tmp_path):
+        code = main(
+            [
+                "run", "table03",
+                "--scale", "0.08",
+                "--seed", "2",
+                "--max-retries", "1",
+                "--checkpoint-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "Table 3" in capsys.readouterr().out
+        # One crawl journal per portal was written.
+        journals = sorted(p.name for p in tmp_path.glob("crawl-*.jsonl"))
+        assert journals  # e.g. crawl-CA.jsonl, crawl-SG.jsonl, ...

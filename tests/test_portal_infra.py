@@ -5,6 +5,8 @@ import datetime
 import pytest
 
 from repro.portal import (
+    STATUS_TIMEOUT,
+    BlobOverwriteError,
     BlobStore,
     CkanApi,
     CkanApiError,
@@ -15,6 +17,7 @@ from repro.portal import (
     MetadataKind,
     Portal,
     Resource,
+    TransientFault,
     compressed_size,
     compression_ratio,
 )
@@ -74,6 +77,57 @@ class TestBlobStore:
     def test_unknown_url(self):
         assert BlobStore().get("nope") is None
 
+    def test_put_refuses_silent_overwrite(self):
+        store = BlobStore()
+        store.put("u", b"original")
+        with pytest.raises(BlobOverwriteError):
+            store.put("u", b"clobbered")
+        assert store.get("u").content == b"original"
+
+    def test_put_cannot_silently_unfail_a_url(self):
+        # Re-marking a failed URL as successful desynchronizes catalog,
+        # lineage, and journal — it must be an explicit replace.
+        store = BlobStore()
+        store.put_failure("u", FailureMode.GONE)
+        with pytest.raises(BlobOverwriteError):
+            store.put("u", b"back from the dead")
+        with pytest.raises(BlobOverwriteError):
+            store.put_failure("u", FailureMode.NOT_FOUND)
+        assert store.get("u").failure is FailureMode.GONE
+
+    def test_put_replace_is_explicit(self):
+        store = BlobStore()
+        store.put("u", b"v1")
+        store.put("u", b"v2", replace=True)
+        assert store.get("u").content == b"v2"
+
+    def test_put_transient_records_fault(self):
+        store = BlobStore()
+        fault = TransientFault(
+            FailureMode.RATE_LIMITED, failures=2, retry_after=3.0
+        )
+        store.put_transient("u", b"data", fault)
+        blob = store.get("u")
+        assert blob.ok  # eventually successful
+        assert blob.transient.failures == 2
+        assert blob.transient.retry_after == 3.0
+
+    def test_transient_fault_rejects_permanent_modes(self):
+        with pytest.raises(ValueError):
+            TransientFault(FailureMode.NOT_FOUND, failures=1)
+        with pytest.raises(ValueError):
+            TransientFault(FailureMode.TIMEOUT, failures=0)
+
+    def test_put_truncated_declares_full_length(self):
+        store = BlobStore()
+        store.put_truncated("u", b"abcdefgh", truncate_at=3)
+        blob = store.get("u")
+        assert blob.content == b"abc"
+        assert blob.declared_length == 8
+        assert blob.truncated
+        with pytest.raises(ValueError):
+            store.put_truncated("v", b"ab", truncate_at=2)
+
 
 class TestHttpClient:
     def test_fetch_success(self):
@@ -106,13 +160,57 @@ class TestHttpClient:
         client = HttpClient(store)
         with pytest.raises(HttpError):
             client.fetch("u")
-        assert client.try_fetch("u").status == 0
+        # Timeouts map to the distinct sentinel, never a real status.
+        response = client.try_fetch("u")
+        assert response.status == STATUS_TIMEOUT
+        assert response.timed_out and not response.ok
+
+    def test_timeout_sentinel_is_not_a_real_status(self):
+        assert STATUS_TIMEOUT == -1
+        assert FailureMode.TIMEOUT.value == STATUS_TIMEOUT
 
     def test_request_counter(self):
         client = HttpClient(BlobStore())
         client.try_fetch("a")
         client.try_fetch("b")
         assert client.requests_made == 2
+
+    def test_transient_blob_fails_then_succeeds(self):
+        store = BlobStore()
+        store.put_transient(
+            "u",
+            b"payload",
+            TransientFault(
+                FailureMode.UNAVAILABLE, failures=2, retry_after=2.5
+            ),
+        )
+        client = HttpClient(store)
+        first = client.try_fetch("u")
+        second = client.try_fetch("u")
+        third = client.try_fetch("u")
+        assert (first.status, second.status) == (503, 503)
+        assert first.retry_after == 2.5
+        assert third.ok and third.content == b"payload"
+        assert client.attempts_for("u") == 3
+
+    def test_transient_timeout_raises_until_cleared(self):
+        store = BlobStore()
+        store.put_transient(
+            "u", b"x", TransientFault(FailureMode.TIMEOUT, failures=1)
+        )
+        client = HttpClient(store)
+        with pytest.raises(HttpError):
+            client.fetch("u")
+        assert client.fetch("u").ok
+
+    def test_truncated_body_is_detectable(self):
+        store = BlobStore()
+        store.put_truncated("u", b"a,b\n1,2\n3,4\n", truncate_at=6)
+        response = HttpClient(store).fetch("u")
+        assert response.ok  # downloadable per the paper's status test
+        assert response.truncated
+        assert response.declared_length == 12
+        assert len(response.content) == 6
 
 
 class TestCkanApi:
