@@ -46,6 +46,23 @@ class StudyConfig:
     #: starts fresh (every resource is re-fetched); checkpoints are
     #: still written for the new run.
     resume: bool = True
+    #: Per-(stage, table) work budget in deterministic ticks (see
+    #: :mod:`repro.resilience.budget`); None disables budgeting and
+    #: reproduces the unguarded analyses bit-for-bit.
+    stage_budget: int | None = None
+    #: Directory where quarantined-table records are written; setting it
+    #: enables the guarded executor even without a budget (crash
+    #: containment only).
+    quarantine_dir: str | None = None
+    #: Poison-table injection rate applied to every portal profile
+    #: (see :func:`repro.generator.profiles.poison_profile`).  0.0 keeps
+    #: the calibrated corpora bit-for-bit identical to the seed.
+    poison_rate: float = 0.0
+
+    @property
+    def analysis_guarded(self) -> bool:
+        """Whether analyses run under the guarded executor."""
+        return self.stage_budget is not None or self.quarantine_dir is not None
 
     def __post_init__(self):
         if self.scale <= 0:
@@ -53,6 +70,14 @@ class StudyConfig:
         if self.max_retries < 0:
             raise ValueError(
                 f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.stage_budget is not None and self.stage_budget < 1:
+            raise ValueError(
+                f"stage_budget must be >= 1 or None, got {self.stage_budget}"
+            )
+        if not 0.0 <= self.poison_rate <= 1.0:
+            raise ValueError(
+                f"poison_rate must be in [0, 1], got {self.poison_rate}"
             )
         if not 0.0 < self.jaccard_threshold <= 1.0:
             raise ValueError(

@@ -9,21 +9,26 @@ from one study so that expensive intermediates are computed once.
 from __future__ import annotations
 
 import dataclasses
+import random
 from typing import TYPE_CHECKING
 
 import pathlib
 
 from ..generator.portal_gen import GeneratedPortal, generate_portal
-from ..generator.profiles import PROFILES_BY_CODE
-from ..ingest.pipeline import IngestReport, ingest_portal
+from ..generator.profiles import PROFILES_BY_CODE, poison_profile
+from ..ingest.pipeline import IngestedTable, IngestReport, ingest_portal
 from ..portal.ckan import CkanApi
 from ..portal.http import HttpClient
 from ..resilience import (
+    PORTAL_WIDE,
+    AnalysisExecutor,
     BreakerConfig,
     CrawlJournal,
     RateLimitConfig,
     ResilientHttpClient,
     RetryPolicy,
+    StageStatus,
+    StudyJournal,
 )
 from .config import StudyConfig
 
@@ -38,11 +43,20 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep imports acyclic
 
 @dataclasses.dataclass
 class PortalStudy:
-    """One portal's corpus, ingest report, and cached analyses."""
+    """One portal's corpus, ingest report, and cached analyses.
+
+    With a guarded config (``stage_budget`` and/or ``quarantine_dir``
+    set), every cached analysis runs through the portal's
+    :class:`AnalysisExecutor`: per-table stages quarantine their poison
+    tables, portal-wide stages degrade to truncated or empty results,
+    and — when a checkpoint dir is configured — finished per-table
+    units replay from the study journal on resume.
+    """
 
     config: StudyConfig
     generated: GeneratedPortal
     report: IngestReport
+    executor: AnalysisExecutor | None = None
     _cache: dict = dataclasses.field(default_factory=dict)
 
     @property
@@ -51,25 +65,84 @@ class PortalStudy:
         return self.report.portal_code
 
     # ------------------------------------------------------------------
+    # guarded screening
+    # ------------------------------------------------------------------
+    def screened_tables(self) -> list[IngestedTable]:
+        """The analysis corpus, minus quarantined tables.
+
+        Unguarded studies return ``report.clean_tables`` untouched.
+        Guarded ones first run every table through the per-cell screen
+        (the cheapest stage at which data-volume poison can blow its
+        budget) and exclude everything quarantined there.
+        """
+        if "screened-tables" not in self._cache:
+            tables = self.report.clean_tables
+            if self.executor is not None:
+                from ..profiling.screen import screen_table
+
+                for ingested in tables:
+                    clean = ingested.clean
+                    self.executor.guard(
+                        "screen",
+                        ingested.resource_id,
+                        lambda meter, table=clean: screen_table(table, meter),
+                        journal_stage=True,
+                    )
+                tables = [
+                    t
+                    for t in tables
+                    if not self.executor.is_quarantined(t.resource_id)
+                ]
+            self._cache["screened-tables"] = tables
+        return self._cache["screened-tables"]
+
+    # ------------------------------------------------------------------
     # joinability
     # ------------------------------------------------------------------
     def joinability(
         self, threshold: float | None = None
     ) -> "JoinabilityAnalysis":
         """Cached joinability analysis at the given threshold."""
-        from ..joinability.pairs import analyze_joinability
+        from ..joinability.pairs import (
+            analyze_joinability,
+            empty_joinability_analysis,
+        )
 
         threshold = (
             self.config.jaccard_threshold if threshold is None else threshold
         )
         key = ("joinability", threshold)
         if key not in self._cache:
-            self._cache[key] = analyze_joinability(
-                self.code,
-                self.report.clean_tables,
-                threshold=threshold,
-                min_unique=self.config.min_unique_values,
-            )
+            tables = self.screened_tables()
+            if self.executor is None:
+                self._cache[key] = analyze_joinability(
+                    self.code,
+                    tables,
+                    threshold=threshold,
+                    min_unique=self.config.min_unique_values,
+                )
+            else:
+                analysis, _ = self.executor.guard(
+                    f"pairs@{threshold}",
+                    PORTAL_WIDE,
+                    lambda meter: analyze_joinability(
+                        self.code,
+                        tables,
+                        threshold=threshold,
+                        min_unique=self.config.min_unique_values,
+                        meter=meter,
+                    ),
+                    classify=lambda a: (
+                        StageStatus.TRUNCATED
+                        if a.truncated
+                        else StageStatus.OK
+                    ),
+                    on_budget=StageStatus.TRUNCATED,
+                    fallback=lambda: empty_joinability_analysis(
+                        self.code, tables
+                    ),
+                )
+                self._cache[key] = analysis
         return self._cache[key]
 
     def labeled_join_sample(
@@ -116,12 +189,30 @@ class PortalStudy:
     # ------------------------------------------------------------------
     def unionability(self) -> "UnionabilityAnalysis":
         """Cached unionability analysis."""
-        from ..unionability.schemas import analyze_unionability
+        from ..unionability.schemas import (
+            analyze_unionability,
+            empty_unionability_analysis,
+        )
 
         if "unionability" not in self._cache:
-            self._cache["unionability"] = analyze_unionability(
-                self.code, self.report.clean_tables
-            )
+            tables = self.screened_tables()
+            if self.executor is None:
+                self._cache["unionability"] = analyze_unionability(
+                    self.code, tables
+                )
+            else:
+                analysis, _ = self.executor.guard(
+                    "union",
+                    PORTAL_WIDE,
+                    lambda meter: analyze_unionability(
+                        self.code, tables, meter=meter
+                    ),
+                    on_budget=StageStatus.TRUNCATED,
+                    fallback=lambda: empty_unionability_analysis(
+                        self.code, tables
+                    ),
+                )
+                self._cache["unionability"] = analysis
         return self._cache["unionability"]
 
     def labeled_union_sample(self) -> list["LabeledUnionPair"]:
@@ -141,29 +232,81 @@ class PortalStudy:
     # ------------------------------------------------------------------
     # FDs / normalization / keys
     # ------------------------------------------------------------------
-    def filtered_tables(self) -> list["Table"]:
-        """Tables passing the paper's §4.2 size filter."""
+    def _filtered_ingested(self) -> list[IngestedTable]:
+        """Screened tables passing the paper's §4.2 size filter."""
         from ..normalize.analysis import passes_size_filter
 
-        if "filtered-tables" not in self._cache:
-            self._cache["filtered-tables"] = [
-                t.clean
-                for t in self.report.clean_tables
+        if "filtered-ingested" not in self._cache:
+            self._cache["filtered-ingested"] = [
+                t
+                for t in self.screened_tables()
                 if t.clean is not None and passes_size_filter(t.clean)
             ]
-        return self._cache["filtered-tables"]
+        return self._cache["filtered-ingested"]
+
+    def filtered_tables(self) -> list["Table"]:
+        """Tables passing the paper's §4.2 size filter."""
+        return [t.clean for t in self._filtered_ingested()]
 
     def normalization(self) -> "NormalizationStats":
-        """Cached FD/BCNF statistics over the filtered tables."""
-        from ..normalize.analysis import normalization_stats
+        """Cached FD/BCNF statistics over the filtered tables.
+
+        The unguarded path walks all tables with one shared BCNF RNG
+        stream (the seed study's exact numbers).  The guarded path runs
+        one journaled ``fd`` unit per table with a *per-table* seeded
+        RNG instead, so results do not depend on which tables were
+        replayed, quarantined, or recomputed in which order.
+        """
+        from ..normalize.analysis import (
+            TableNormalization,
+            aggregate_normalization,
+            normalization_stats,
+            table_normalization,
+        )
 
         if "normalization" not in self._cache:
-            self._cache["normalization"] = normalization_stats(
-                self.code,
-                self.filtered_tables(),
-                seed=self.config.seed,
-                max_lhs=self.config.max_lhs,
-            )
+            if self.executor is None:
+                self._cache["normalization"] = normalization_stats(
+                    self.code,
+                    self.filtered_tables(),
+                    seed=self.config.seed,
+                    max_lhs=self.config.max_lhs,
+                )
+            else:
+                kept_tables: list[Table] = []
+                contributions: list[TableNormalization] = []
+                for ingested in self._filtered_ingested():
+                    clean = ingested.clean
+                    rng = random.Random(
+                        f"{self.config.seed}:{self.code}:bcnf:"
+                        f"{ingested.resource_id}"
+                    )
+                    contribution, _ = self.executor.guard(
+                        "fd",
+                        ingested.resource_id,
+                        lambda meter, table=clean, rng=rng: (
+                            table_normalization(
+                                table,
+                                rng,
+                                max_lhs=self.config.max_lhs,
+                                meter=meter,
+                            )
+                        ),
+                        classify=lambda c: (
+                            StageStatus.TRUNCATED
+                            if c.truncated
+                            else StageStatus.OK
+                        ),
+                        encode=lambda c: c.to_payload(),
+                        decode=TableNormalization.from_payload,
+                        journal_stage=True,
+                    )
+                    if contribution is not None:
+                        kept_tables.append(clean)
+                        contributions.append(contribution)
+                self._cache["normalization"] = aggregate_normalization(
+                    self.code, kept_tables, contributions
+                )
         return self._cache["normalization"]
 
     def key_distribution(self):
@@ -179,7 +322,7 @@ class PortalStudy:
     def single_key_fraction(self) -> float:
         """Fraction of *all* cleaned tables lacking a single-column key."""
         if "single-key-frac" not in self._cache:
-            tables = self.report.clean_tables
+            tables = self.screened_tables()
             without = sum(
                 1
                 for t in tables
@@ -212,8 +355,11 @@ class Study:
         """
         portals: dict[str, PortalStudy] = {}
         for code in config.portal_codes:
+            profile = PROFILES_BY_CODE[code]
+            if config.poison_rate > 0:
+                profile = poison_profile(profile, config.poison_rate)
             generated = generate_portal(
-                PROFILES_BY_CODE[code], seed=config.seed, scale=config.scale
+                profile, seed=config.seed, scale=config.scale
             )
             client = _build_client(HttpClient(generated.store), config)
             journal = _open_journal(config, code)
@@ -225,7 +371,10 @@ class Study:
                 if journal is not None:
                     journal.close()
             portals[code] = PortalStudy(
-                config=config, generated=generated, report=report
+                config=config,
+                generated=generated,
+                report=report,
+                executor=_build_executor(config, code),
             )
         return cls(config=config, portals=portals)
 
@@ -240,6 +389,18 @@ class Study:
     def codes(self) -> tuple[str, ...]:
         """Portal codes in configuration order."""
         return tuple(self.portals)
+
+    def close(self) -> None:
+        """Flush and close every portal's study journal, if any."""
+        for portal in self.portals.values():
+            if portal.executor is not None:
+                portal.executor.close()
+
+    def __enter__(self) -> "Study":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _build_client(
@@ -269,3 +430,26 @@ def _open_journal(config: StudyConfig, code: str) -> CrawlJournal | None:
     if not config.resume and path.exists():
         path.unlink()
     return CrawlJournal(path)
+
+
+def _build_executor(config: StudyConfig, code: str) -> AnalysisExecutor | None:
+    """The portal's guarded analysis executor, when the config asks.
+
+    The study journal only attaches when *both* the guard and a
+    checkpoint dir are configured; a checkpoint dir alone keeps its
+    PR 1 meaning (crawl journaling) without touching the analyses.
+    """
+    if not config.analysis_guarded:
+        return None
+    journal = None
+    if config.checkpoint_dir is not None:
+        path = pathlib.Path(config.checkpoint_dir) / f"study-{code}.jsonl"
+        if not config.resume and path.exists():
+            path.unlink()
+        journal = StudyJournal(path)
+    return AnalysisExecutor(
+        code,
+        stage_budget=config.stage_budget,
+        journal=journal,
+        quarantine_dir=config.quarantine_dir,
+    )

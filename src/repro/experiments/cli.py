@@ -26,6 +26,24 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, got {value}"
+        )
+    return value
+
+
+def _rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be in [0, 1], got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -67,7 +85,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-resume",
         action="store_true",
-        help="discard existing crawl journals and re-fetch everything",
+        help=(
+            "discard existing crawl and study journals; re-fetch and "
+            "re-analyze everything"
+        ),
+    )
+    run_parser.add_argument(
+        "--stage-budget",
+        type=_positive_int,
+        default=None,
+        help=(
+            "per-(stage, table) work budget in deterministic ticks; "
+            "tables that blow it are truncated or quarantined "
+            "(default: unlimited)"
+        ),
+    )
+    run_parser.add_argument(
+        "--quarantine-dir",
+        default=None,
+        help=(
+            "directory for quarantined-table records; also enables the "
+            "guarded executor on its own (crash containment without a "
+            "budget)"
+        ),
+    )
+    run_parser.add_argument(
+        "--poison-rate",
+        type=_rate,
+        default=0.0,
+        help=(
+            "poison-table injection rate for fault-injection runs "
+            "(default 0.0 = the calibrated corpus)"
+        ),
     )
     return parser
 
@@ -80,7 +129,47 @@ def config_from_args(args: argparse.Namespace) -> StudyConfig:
         max_retries=args.max_retries,
         checkpoint_dir=args.checkpoint_dir,
         resume=not args.no_resume,
+        stage_budget=args.stage_budget,
+        quarantine_dir=args.quarantine_dir,
+        poison_rate=args.poison_rate,
     )
+
+
+def print_outcome_summary(study, stream=None) -> None:
+    """Print each guarded portal's per-stage outcome tallies."""
+    from ..resilience.executor import StageStatus
+
+    stream = stream if stream is not None else sys.stdout
+    header_shown = False
+    for portal in study:
+        executor = portal.executor
+        if executor is None or not executor.outcomes:
+            continue
+        if not header_shown:
+            print("guarded-stage outcomes:", file=stream)
+            header_shown = True
+        counts = executor.status_counts()
+        tallies = ", ".join(
+            f"{counts[status]} {status.value}"
+            for status in StageStatus
+            if counts[status]
+        )
+        print(
+            f"  {portal.code}: {tallies or '0 stages'}"
+            f" ({executor.ticks_spent} ticks spent)",
+            file=stream,
+        )
+
+
+def _print_guarded_footer(study) -> None:
+    """Per-stage outcome summary plus the degradation appendix."""
+    from ..report.render import render_degradation_appendix
+
+    print_outcome_summary(study)
+    appendix = render_degradation_appendix(study)
+    if appendix is not None:
+        print()
+        print(appendix)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,19 +179,27 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in experiment_ids():
             print(experiment_id)
         return 0
-    study = get_study(config=config_from_args(args))
-    if args.experiment == "all":
-        for result in run_all(study):
-            print(result.text)
-            print()
-        return 0
+    config = config_from_args(args)
+    study = get_study(config=config)
     try:
-        result = run_experiment(args.experiment, study)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
-    print(result.text)
-    return 0
+        if args.experiment == "all":
+            for result in run_all(study):
+                print(result.text)
+                print()
+            if config.analysis_guarded:
+                _print_guarded_footer(study)
+            return 0
+        try:
+            result = run_experiment(args.experiment, study)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(result.text)
+        if config.analysis_guarded:
+            _print_guarded_footer(study)
+        return 0
+    finally:
+        study.close()
 
 
 def _entry() -> int:

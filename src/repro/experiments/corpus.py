@@ -41,6 +41,9 @@ def get_study(
         config.max_retries,
         config.checkpoint_dir,
         config.resume,
+        config.stage_budget,
+        config.quarantine_dir,
+        config.poison_rate,
     )
     study = _CACHE.get(key)
     if study is None:

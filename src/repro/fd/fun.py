@@ -20,6 +20,7 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..dataframe import Table
+from ..resilience.budget import BudgetExceeded, WorkMeter
 from .model import FD, FDSet
 from .partitions import Labels, cardinality, encode_columns, refine, refined_cardinality
 
@@ -27,11 +28,22 @@ from .partitions import Labels, cardinality, encode_columns, refine, refined_car
 DEFAULT_MAX_LHS = 4
 
 
-def discover_fds(table: Table, max_lhs: int = DEFAULT_MAX_LHS) -> FDSet:
+def discover_fds(
+    table: Table,
+    max_lhs: int = DEFAULT_MAX_LHS,
+    meter: WorkMeter | None = None,
+) -> FDSet:
     """Minimal non-trivial FDs of *table* with ``|LHS| <= max_lhs``.
 
     Duplicate column names make FD semantics ambiguous, so the second
     occurrence onward is ignored.
+
+    With a *meter*, every partition refinement charges ``n_rows`` ticks.
+    When the budget runs out, the search stops cleanly at the last
+    *completed* lattice level: the returned set is flagged
+    ``truncated`` and contains exactly the minimal FDs of the levels it
+    finished — FDs discovered mid-level are discarded so that equal
+    budgets always yield identical results.
     """
     names: list[str] = []
     positions: list[int] = []
@@ -51,88 +63,114 @@ def discover_fds(table: Table, max_lhs: int = DEFAULT_MAX_LHS) -> FDSet:
     encoded = [all_encoded[p] for p in positions]
     n_attrs = len(names)
 
-    # Level 1 --------------------------------------------------------
-    # labels/cards per free set; closures accumulate every RHS known to
-    # be determined by the set or any subset (for minimality checks).
-    labels: dict[frozenset[int], Labels] = {}
-    cards: dict[frozenset[int], int] = {}
-    closures: dict[frozenset[int], set[int]] = {}
-    free_level: list[frozenset[int]] = []
+    # FDs found at the level in progress; committed to ``fds`` only when
+    # the whole level completes, so a budget blowup mid-level truncates
+    # at the last completed level instead of an arbitrary lattice node.
+    pending: list[FD] = []
+    try:
+        # Level 1 ----------------------------------------------------
+        # labels/cards per free set; closures accumulate every RHS known
+        # to be determined by the set or any subset (minimality checks).
+        labels: dict[frozenset[int], Labels] = {}
+        cards: dict[frozenset[int], int] = {}
+        closures: dict[frozenset[int], set[int]] = {}
+        free_level: list[frozenset[int]] = []
 
-    constant_attrs: set[int] = set()
-    for attr in range(n_attrs):
-        card = cardinality(encoded[attr])
-        single = frozenset((attr,))
-        cards[single] = card
-        if card == n_rows:
-            # Single-column candidate key: all FDs from it are trivial.
-            continue
-        if card <= 1:
-            # Constant column: determined by the empty set; emit the
-            # empty-LHS FD and keep it out of larger LHS exploration.
-            constant_attrs.add(attr)
-            continue
-        labels[single] = encoded[attr]
-        closures[single] = {attr}
-        free_level.append(single)
-
-    for attr in sorted(constant_attrs):
-        fds.add(FD(frozenset(), names[attr]))
-
-    # Check level-1 FDs: X={a} -> b.
-    for single in free_level:
-        (attr,) = tuple(single)
-        closure = closures[single]
-        for rhs in range(n_attrs):
-            if rhs == attr or rhs in constant_attrs:
-                continue
-            if refined_cardinality(labels[single], encoded[rhs]) == cards[single]:
-                closure.add(rhs)
-                fds.add(FD(frozenset((names[attr],)), names[rhs]))
-
-    # Levels 2..max_lhs ----------------------------------------------
-    current_free = free_level
-    for level in range(2, max_lhs + 1):
-        if not current_free:
-            break
-        candidates = _generate_candidates(current_free, level)
-        next_free: list[frozenset[int]] = []
-        next_labels: dict[frozenset[int], Labels] = {}
-        for candidate in candidates:
-            subsets = [candidate - {attr} for attr in candidate]
-            if any(s not in labels for s in subsets):
-                continue  # some subset was non-free or a key: prune
-            subset_cards = [cards[s] for s in subsets]
-            # Closure union of subsets: attributes already determined.
-            inherited: set[int] = set()
-            for subset in subsets:
-                inherited |= closures[subset]
-            base_subset = subsets[0]
-            extra_attr = next(iter(candidate - base_subset))
-            candidate_labels = refine(labels[base_subset], encoded[extra_attr])
-            card = cardinality(candidate_labels)
-            cards[candidate] = card
-            if card in subset_cards:
-                continue  # not free: a subset already induces this partition
+        constant_attrs: set[int] = set()
+        for attr in range(n_attrs):
+            if meter is not None:
+                meter.tick(n_rows, op="fd.cardinality")
+            card = cardinality(encoded[attr])
+            single = frozenset((attr,))
+            cards[single] = card
             if card == n_rows:
-                continue  # candidate key: trivial FDs only, prune supersets
-            closure = set(candidate) | inherited
-            closures[candidate] = closure
+                # Single-column candidate key: all FDs from it are trivial.
+                continue
+            if card <= 1:
+                # Constant column: determined by the empty set; emit the
+                # empty-LHS FD and keep it out of larger LHS exploration.
+                constant_attrs.add(attr)
+                continue
+            labels[single] = encoded[attr]
+            closures[single] = {attr}
+            free_level.append(single)
+
+        for attr in sorted(constant_attrs):
+            pending.append(FD(frozenset(), names[attr]))
+
+        # Check level-1 FDs: X={a} -> b.
+        for single in free_level:
+            (attr,) = tuple(single)
+            closure = closures[single]
             for rhs in range(n_attrs):
-                if rhs in closure or rhs in constant_attrs:
+                if rhs == attr or rhs in constant_attrs:
                     continue
-                if refined_cardinality(candidate_labels, encoded[rhs]) == card:
+                if meter is not None:
+                    meter.tick(n_rows, op="fd.refine")
+                if refined_cardinality(labels[single], encoded[rhs]) == cards[single]:
                     closure.add(rhs)
-                    fds.add(FD(frozenset(names[a] for a in candidate), names[rhs]))
-            next_labels[candidate] = candidate_labels
-            next_free.append(candidate)
-        # Free-set labels of the previous level are no longer needed for
-        # refinement but *are* needed for subset checks: keep cards and
-        # closures, roll labels forward.
-        labels.update(next_labels)
-        current_free = next_free
+                    pending.append(FD(frozenset((names[attr],)), names[rhs]))
+        _commit(fds, pending)
+
+        # Levels 2..max_lhs ------------------------------------------
+        current_free = free_level
+        for level in range(2, max_lhs + 1):
+            if not current_free:
+                break
+            candidates = _generate_candidates(current_free, level)
+            next_free: list[frozenset[int]] = []
+            next_labels: dict[frozenset[int], Labels] = {}
+            for candidate in candidates:
+                subsets = [candidate - {attr} for attr in candidate]
+                if any(s not in labels for s in subsets):
+                    continue  # some subset was non-free or a key: prune
+                subset_cards = [cards[s] for s in subsets]
+                # Closure union of subsets: attributes already determined.
+                inherited: set[int] = set()
+                for subset in subsets:
+                    inherited |= closures[subset]
+                base_subset = subsets[0]
+                extra_attr = next(iter(candidate - base_subset))
+                if meter is not None:
+                    meter.tick(n_rows, op="fd.refine")
+                candidate_labels = refine(labels[base_subset], encoded[extra_attr])
+                card = cardinality(candidate_labels)
+                cards[candidate] = card
+                if card in subset_cards:
+                    continue  # not free: a subset already induces this partition
+                if card == n_rows:
+                    continue  # candidate key: trivial FDs only, prune supersets
+                closure = set(candidate) | inherited
+                closures[candidate] = closure
+                for rhs in range(n_attrs):
+                    if rhs in closure or rhs in constant_attrs:
+                        continue
+                    if meter is not None:
+                        meter.tick(n_rows, op="fd.refine")
+                    if refined_cardinality(candidate_labels, encoded[rhs]) == card:
+                        closure.add(rhs)
+                        pending.append(
+                            FD(frozenset(names[a] for a in candidate), names[rhs])
+                        )
+                next_labels[candidate] = candidate_labels
+                next_free.append(candidate)
+            # Free-set labels of the previous level are no longer needed
+            # for refinement but *are* needed for subset checks: keep
+            # cards and closures, roll labels forward.
+            labels.update(next_labels)
+            current_free = next_free
+            _commit(fds, pending)
+    except BudgetExceeded:
+        fds.truncated = True
 
     return fds
+
+
+def _commit(fds: FDSet, pending: list[FD]) -> None:
+    """Move a completed level's FDs into the result set."""
+    for fd in pending:
+        fds.add(fd)
+    pending.clear()
 
 
 def _generate_candidates(

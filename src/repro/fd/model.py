@@ -37,10 +37,18 @@ class FD:
 
 
 class FDSet:
-    """A collection of FDs discovered on one table."""
+    """A collection of FDs discovered on one table.
 
-    def __init__(self, table_name: str, fds: Iterable[FD] = ()):
+    ``truncated`` marks a set produced by a budget-guarded discovery
+    that stopped early: every FD present is genuinely minimal and
+    non-trivial, but FDs at deeper lattice levels may be missing.
+    """
+
+    def __init__(
+        self, table_name: str, fds: Iterable[FD] = (), truncated: bool = False
+    ):
         self.table_name = table_name
+        self.truncated = truncated
         self._fds: list[FD] = list(fds)
 
     def __iter__(self) -> Iterator[FD]:

@@ -29,7 +29,8 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..dataframe import Table
-from .fun import DEFAULT_MAX_LHS
+from ..resilience.budget import BudgetExceeded, WorkMeter
+from .fun import DEFAULT_MAX_LHS, _commit
 from .model import FD, FDSet
 from .partitions import encode_columns
 
@@ -77,8 +78,18 @@ def _is_key(partition: StrippedPartition) -> bool:
     return not partition
 
 
-def discover_fds_tane(table: Table, max_lhs: int = DEFAULT_MAX_LHS) -> FDSet:
-    """Minimal non-trivial FDs of *table* via the TANE lattice walk."""
+def discover_fds_tane(
+    table: Table,
+    max_lhs: int = DEFAULT_MAX_LHS,
+    meter: WorkMeter | None = None,
+) -> FDSet:
+    """Minimal non-trivial FDs of *table* via the TANE lattice walk.
+
+    Budget semantics match :func:`repro.fd.fun.discover_fds`: with a
+    *meter*, every partition product charges ``n_rows`` ticks and a
+    blown budget truncates at the last completed lattice level,
+    flagging the result ``truncated``.
+    """
     names: list[str] = []
     positions: list[int] = []
     seen: set[str] = set()
@@ -97,95 +108,111 @@ def discover_fds_tane(table: Table, max_lhs: int = DEFAULT_MAX_LHS) -> FDSet:
     encoded = [all_encoded[p] for p in positions]
     n_attrs = len(names)
 
-    singleton_partitions = [stripped_partition(column) for column in encoded]
+    pending: list[FD] = []
+    try:
+        singleton_partitions = []
+        for column in encoded:
+            if meter is not None:
+                meter.tick(n_rows, op="fd.partition")
+            singleton_partitions.append(stripped_partition(column))
 
-    constant_attrs = {
-        a
-        for a in range(n_attrs)
-        if n_rows > 1 and len(set(encoded[a])) <= 1
-    }
-    for attr in sorted(constant_attrs):
-        fds.add(FD(frozenset(), names[attr]))
+        constant_attrs = {
+            a
+            for a in range(n_attrs)
+            if n_rows > 1 and len(set(encoded[a])) <= 1
+        }
+        for attr in sorted(constant_attrs):
+            pending.append(FD(frozenset(), names[attr]))
 
-    usable = [a for a in range(n_attrs) if a not in constant_attrs]
-    all_usable = frozenset(usable)
+        usable = [a for a in range(n_attrs) if a not in constant_attrs]
+        all_usable = frozenset(usable)
 
-    # Lattice state: per node X, its stripped partition and C+(X).
-    partitions: dict[frozenset[int], StrippedPartition] = {}
-    rhs_candidates: dict[frozenset[int], frozenset[int]] = {
-        frozenset(): all_usable
-    }
-    level: list[frozenset[int]] = []
-    for attr in usable:
-        node = frozenset((attr,))
-        partition = singleton_partitions[attr]
-        if _is_key(partition):
-            continue  # single-column key: all FDs from it are trivial
-        partitions[node] = partition
-        level.append(node)
-        rhs_candidates[node] = all_usable
+        # Lattice state: per node X, its stripped partition and C+(X).
+        partitions: dict[frozenset[int], StrippedPartition] = {}
+        rhs_candidates: dict[frozenset[int], frozenset[int]] = {
+            frozenset(): all_usable
+        }
+        level: list[frozenset[int]] = []
+        for attr in usable:
+            node = frozenset((attr,))
+            partition = singleton_partitions[attr]
+            if _is_key(partition):
+                continue  # single-column key: all FDs from it are trivial
+            partitions[node] = partition
+            level.append(node)
+            rhs_candidates[node] = all_usable
 
-    size = 1
-    while level and size < max_lhs + 1:
-        # Compute dependencies at this level: for X in level, check
-        # (X \ {A}) -> A for A in X ∩ C+(X)  [level >= 2],
-        # and X -> A for A outside X         [done via next level's
-        # check, except we emit |LHS| = size FDs directly here].
-        next_candidates: dict[frozenset[int], frozenset[int]] = {}
-        for node in level:
-            candidates = rhs_candidates.get(node, all_usable)
-            for rhs in sorted(set(usable) - node):
-                if rhs not in candidates:
-                    continue
-                joint = partition_product(
-                    partitions[node], encoded[rhs], n_rows
-                )
-                if _partition_error(partitions[node]) == _partition_error(
-                    joint
-                ):
-                    # X -> rhs holds; minimality: rhs must still be a
-                    # candidate of every maximal proper subset.
-                    if _minimal(node, rhs, rhs_candidates, all_usable):
-                        fds.add(
-                            FD(
-                                frozenset(names[a] for a in node),
-                                names[rhs],
-                            )
-                        )
-                    next_candidates[node] = (
-                        next_candidates.get(node, candidates) - {rhs}
+        size = 1
+        while level and size < max_lhs + 1:
+            # Compute dependencies at this level: for X in level, check
+            # (X \ {A}) -> A for A in X ∩ C+(X)  [level >= 2],
+            # and X -> A for A outside X         [done via next level's
+            # check, except we emit |LHS| = size FDs directly here].
+            next_candidates: dict[frozenset[int], frozenset[int]] = {}
+            for node in level:
+                candidates = rhs_candidates.get(node, all_usable)
+                for rhs in sorted(set(usable) - node):
+                    if rhs not in candidates:
+                        continue
+                    if meter is not None:
+                        meter.tick(n_rows, op="fd.partition-product")
+                    joint = partition_product(
+                        partitions[node], encoded[rhs], n_rows
                     )
-        for node, remaining in next_candidates.items():
-            rhs_candidates[node] = remaining
+                    if _partition_error(partitions[node]) == _partition_error(
+                        joint
+                    ):
+                        # X -> rhs holds; minimality: rhs must still be a
+                        # candidate of every maximal proper subset.
+                        if _minimal(node, rhs, rhs_candidates, all_usable):
+                            pending.append(
+                                FD(
+                                    frozenset(names[a] for a in node),
+                                    names[rhs],
+                                )
+                            )
+                        next_candidates[node] = (
+                            next_candidates.get(node, candidates) - {rhs}
+                        )
+            for node, remaining in next_candidates.items():
+                rhs_candidates[node] = remaining
+            _commit(fds, pending)
 
-        # Generate the next level (apriori join over same-prefix nodes).
-        size += 1
-        if size > max_lhs:
-            break
-        next_level: list[frozenset[int]] = []
-        grouped: dict[frozenset[int], list[int]] = {}
-        for node in level:
-            ordered = sorted(node)
-            grouped.setdefault(frozenset(ordered[:-1]), []).append(
-                ordered[-1]
-            )
-        for prefix, tails in grouped.items():
-            for left, right in combinations(sorted(tails), 2):
-                candidate = prefix | {left, right}
-                subsets = [candidate - {a} for a in candidate]
-                if any(s not in partitions for s in subsets):
-                    continue  # a subset was a key or was pruned
-                partition = partition_product(
-                    partitions[frozenset(candidate - {right})],
-                    encoded[right],
-                    n_rows,
+            # Generate the next level (apriori join over same-prefix nodes).
+            size += 1
+            if size > max_lhs:
+                break
+            next_level: list[frozenset[int]] = []
+            grouped: dict[frozenset[int], list[int]] = {}
+            for node in level:
+                ordered = sorted(node)
+                grouped.setdefault(frozenset(ordered[:-1]), []).append(
+                    ordered[-1]
                 )
-                if _is_key(partition):
-                    continue  # superkey: prune the subtree
-                node = frozenset(candidate)
-                partitions[node] = partition
-                next_level.append(node)
-        level = next_level
+            for prefix, tails in grouped.items():
+                for left, right in combinations(sorted(tails), 2):
+                    candidate = prefix | {left, right}
+                    subsets = [candidate - {a} for a in candidate]
+                    if any(s not in partitions for s in subsets):
+                        continue  # a subset was a key or was pruned
+                    if meter is not None:
+                        meter.tick(n_rows, op="fd.partition-product")
+                    partition = partition_product(
+                        partitions[frozenset(candidate - {right})],
+                        encoded[right],
+                        n_rows,
+                    )
+                    if _is_key(partition):
+                        continue  # superkey: prune the subtree
+                    node = frozenset(candidate)
+                    partitions[node] = partition
+                    next_level.append(node)
+            level = next_level
+        # Constants are still pending when the lattice had no usable
+        # nodes at all (every column constant or a single-column key).
+        _commit(fds, pending)
+    except BudgetExceeded:
+        fds.truncated = True
 
     return fds
 

@@ -19,6 +19,12 @@ from .lineage import (
     PublicationStyle,
     TableLineage,
 )
+from .poison import (
+    POISON_SHAPES,
+    PoisonDraft,
+    build_poison_table,
+    pick_poison_shape,
+)
 from .portal_gen import GeneratedPortal, generate_corpus, generate_portal
 from .profiles import (
     ALL_PROFILES,
@@ -29,6 +35,7 @@ from .profiles import (
     UK_PROFILE,
     US_PROFILE,
     flaky_profile,
+    poison_profile,
 )
 from .schemas import BLUEPRINTS, TopicBlueprint, blueprint_by_topic
 from .styles import DraftDataset, StyleKnobs, publish
@@ -47,7 +54,9 @@ __all__ = [
     "DraftDataset",
     "GeneratedPortal",
     "LineageRecorder",
+    "POISON_SHAPES",
     "PROFILES_BY_CODE",
+    "PoisonDraft",
     "PortalProfile",
     "PublicationStyle",
     "SG_PROFILE",
@@ -59,9 +68,12 @@ __all__ = [
     "US_PROFILE",
     "blueprint_by_topic",
     "build_instance",
+    "build_poison_table",
     "corrupt_and_serialize",
     "flaky_profile",
     "generate_corpus",
     "generate_portal",
+    "pick_poison_shape",
+    "poison_profile",
     "publish",
 ]

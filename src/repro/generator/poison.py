@@ -1,0 +1,136 @@
+"""Poison-table shapes: analysis-hostile CSVs for fault injection.
+
+Open portals carry a long tail of tables that parse fine but are
+pathological to *analyze* (arXiv:2106.09590, arXiv:2308.13560): schemas
+with dozens of mutually independent high-cardinality columns (an FD
+lattice with no prunable nodes), ultra-wide exports, and free-text
+columns holding document-sized cells.  ``PortalProfile.poison_rate``
+injects calibrated versions of those shapes so the guarded analysis
+executor has something real to quarantine:
+
+* ``lattice-bomb`` — 14 columns of independent random integers, sized
+  to pass the paper's FD size filter (10–10,000 rows, 5–20 columns).
+  No column is a key and no FD holds, so a levelwise search expands
+  every candidate at every level;
+* ``ultra-wide`` — ~90 columns, each join-eligible, multiplying the
+  profiling and pair-search work by an order of magnitude;
+* ``giant-cell`` — a free-text column of multi-kilobyte cells, blowing
+  up every per-cell pass by data volume rather than cell count.
+
+All randomness comes from the caller's seeded RNG, so poison corpora
+are exactly as reproducible as clean ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from .lineage import ColumnLineage, ColumnRole
+
+#: The injectable shapes, in pick order.
+POISON_SHAPES = ("lattice-bomb", "ultra-wide", "giant-cell")
+
+#: Characters per giant cell: big enough that one column dominates a
+#: table's data volume, small enough to keep test corpora in memory.
+GIANT_CELL_CHARS = 6_000
+
+
+@dataclasses.dataclass(frozen=True)
+class PoisonDraft:
+    """One rendered poison table, ready for the blob store."""
+
+    kind: str
+    header: tuple[str, ...]
+    payload: bytes
+    columns: tuple[ColumnLineage, ...]
+    n_rows: int
+
+
+def pick_poison_shape(rng: random.Random) -> str:
+    """Choose which poison shape a dataset publishes."""
+    return rng.choice(POISON_SHAPES)
+
+
+def build_poison_table(kind: str, rng: random.Random, tag: str) -> PoisonDraft:
+    """Render the poison table of *kind*, with *tag*-unique column names.
+
+    Unique names keep poison tables out of the schema-equality union
+    groups; their *values* still overlap across tables, which is what
+    stresses the join pair search.
+    """
+    if kind == "lattice-bomb":
+        return _lattice_bomb(rng, tag)
+    if kind == "ultra-wide":
+        return _ultra_wide(rng, tag)
+    if kind == "giant-cell":
+        return _giant_cell(rng, tag)
+    raise ValueError(f"unknown poison shape {kind!r}")
+
+
+def _render(
+    kind: str, tag: str, header: list[str], rows: list[list[str]]
+) -> PoisonDraft:
+    lines = [",".join(header)]
+    lines.extend(",".join(row) for row in rows)
+    payload = ("\n".join(lines) + "\n").encode("utf-8")
+    columns = tuple(
+        ColumnLineage(
+            name=name,
+            domain_name=f"poison.{kind}",
+            role=ColumnRole.ATTRIBUTE,
+        )
+        for name in header
+    )
+    return PoisonDraft(
+        kind=kind,
+        header=tuple(header),
+        payload=payload,
+        columns=columns,
+        n_rows=len(rows),
+    )
+
+
+def _lattice_bomb(rng: random.Random, tag: str) -> PoisonDraft:
+    n_cols = 14
+    n_rows = rng.randint(700, 1000)
+    # Value range ~ rows/3: every column is high-cardinality (so never
+    # pruned as a constant) yet far from unique (so never pruned as a
+    # key), and columns are mutually independent (so no FD ever holds
+    # and no free set ever collapses).
+    spread = max(2, n_rows // 3)
+    header = [f"{tag}_b{i:02d}" for i in range(n_cols)]
+    rows = [
+        [str(rng.randint(0, spread)) for _ in range(n_cols)]
+        for _ in range(n_rows)
+    ]
+    return _render("lattice-bomb", tag, header, rows)
+
+
+def _ultra_wide(rng: random.Random, tag: str) -> PoisonDraft:
+    n_cols = rng.randint(80, 96)
+    n_rows = rng.randint(300, 600)
+    header = [f"{tag}_w{i:02d}" for i in range(n_cols)]
+    # Every column clears the joinability unique-value floor, so all ~90
+    # enter profiling and the inverted index.
+    rows = [
+        [str(rng.randint(0, 999)) for _ in range(n_cols)]
+        for _ in range(n_rows)
+    ]
+    return _render("ultra-wide", tag, header, rows)
+
+
+def _giant_cell(rng: random.Random, tag: str) -> PoisonDraft:
+    n_rows = rng.randint(300, 500)
+    nonce = rng.randint(0, 999_999)
+    filler = ("open government data " * 300)[:GIANT_CELL_CHARS]
+    header = [f"{tag}_g_id", f"{tag}_g_blob", f"{tag}_g_note"]
+    rows = [
+        [
+            str(index),
+            f"{filler}#{nonce}-{index}",
+            f"note {index % 7}",
+        ]
+        for index in range(n_rows)
+    ]
+    return _render("giant-cell", tag, header, rows)

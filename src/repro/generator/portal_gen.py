@@ -25,6 +25,7 @@ from .base_tables import build_instance
 from .corruption import corrupt_and_serialize, masquerade_payload
 from .domains import DomainRegistry
 from .lineage import LineageRecorder, PublicationStyle, TableLineage
+from .poison import build_poison_table, pick_poison_shape
 from .profiles import ALL_PROFILES, PortalProfile
 from .schemas import BLUEPRINTS, TopicBlueprint
 from .styles import DraftDataset, publish
@@ -208,6 +209,39 @@ def _materialize_dataset(
                     wide_malformed=outcome.wide_malformed,
                 )
             )
+    # Poison injection mirrors the transient/truncated guards: rate 0.0
+    # (all calibrated profiles) draws no random numbers, keeping default
+    # corpora bit-for-bit identical across versions.
+    if profile.poison_rate > 0 and rng.random() < profile.poison_rate:
+        poison_id = f"{dataset_id}-rpx"
+        poison = build_poison_table(
+            pick_poison_shape(rng), rng, tag=f"c{dataset_counter:05d}"
+        )
+        url = f"https://ogdp.sim/{code.lower()}/{dataset_id}/{poison_id}.csv"
+        store.put(url, poison.payload)
+        resources.append(
+            Resource(
+                resource_id=poison_id,
+                name=f"bulk export ({poison.kind})",
+                declared_format="CSV",
+                url=url,
+            )
+        )
+        lineage.record(
+            TableLineage(
+                portal=code,
+                dataset_id=dataset_id,
+                resource_id=poison_id,
+                table_name=f"poison_{poison.kind.replace('-', '_')}",
+                topic=draft.topic,
+                category=draft.category,
+                style=draft.style,
+                family_id=draft.family_id,
+                columns=poison.columns,
+                subtable_kind=f"poison:{poison.kind}",
+            )
+        )
+
     if metadata_kind is MetadataKind.STRUCTURED and rng.random() < 0.5:
         resources.append(_dictionary_resource(dataset_id, draft, store))
     elif metadata_kind is MetadataKind.UNSTRUCTURED:

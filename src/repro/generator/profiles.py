@@ -87,6 +87,13 @@ class PortalProfile:
     #: Probability a downloadable resource's body is truncated short of
     #: its declared content length.  0.0 in the calibrated profiles.
     truncated_rate: float = 0.0
+    #: Probability a dataset publishes a *poison* table — an
+    #: analysis-hostile shape (FD lattice bomb, ultra-wide schema, or
+    #: giant text cells) that parses fine but blows up downstream work.
+    #: 0.0 in the calibrated profiles so default corpora stay bit-for-bit
+    #: identical; raise it (see :func:`poison_profile`) to exercise the
+    #: guarded analysis executor.
+    poison_rate: float = 0.0
 
 
 SG_PROFILE = PortalProfile(
@@ -291,6 +298,18 @@ def flaky_profile(
         transient_rate=transient_rate,
         truncated_rate=truncated_rate,
     )
+
+
+def poison_profile(
+    profile: PortalProfile, poison_rate: float = 0.08
+) -> PortalProfile:
+    """A copy of *profile* that also publishes poison tables.
+
+    Used to exercise the guarded analysis executor: an unguarded study
+    grinds or dies on the lattice bombs, while a budgeted one truncates
+    or quarantines them and still produces the portal's statistics.
+    """
+    return dataclasses.replace(profile, poison_rate=poison_rate)
 
 
 #: All four portals in the paper's presentation order.

@@ -14,6 +14,7 @@ from collections import defaultdict
 
 from ..dataframe import Cell, Column
 from ..ingest.pipeline import IngestedTable
+from ..resilience.budget import WorkMeter
 from .coltypes import SemanticType, classify_column
 
 #: The paper's floor on distinct values for a joinable column (§5.1):
@@ -77,12 +78,16 @@ def profile_column(
 def build_profiles(
     tables: list[IngestedTable],
     min_unique: int = MIN_UNIQUE_VALUES,
+    meter: WorkMeter | None = None,
 ) -> tuple[list[ColumnProfile], int]:
     """Profiles for all join-eligible columns of the cleaned tables.
 
     Returns ``(profiles, total_columns)`` where *total_columns* counts
     every column before the unique-value floor, for Table 6's
-    joinable-column percentages.
+    joinable-column percentages.  With a *meter*, each profiled column
+    charges one tick per cell; :class:`BudgetExceeded` propagates to
+    the caller (a partial profile set would silently undercount
+    joinability, so there is no clean truncation here).
     """
     profiles: list[ColumnProfile] = []
     total_columns = 0
@@ -91,6 +96,8 @@ def build_profiles(
         assert table is not None
         for column in table.columns:
             total_columns += 1
+            if meter is not None:
+                meter.tick(len(column), op="join.profile")
             if column.distinct_count < min_unique:
                 continue
             profiles.append(

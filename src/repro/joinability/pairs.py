@@ -14,6 +14,7 @@ from collections import defaultdict
 
 from ..core.stats import fraction, median
 from ..ingest.pipeline import IngestedTable
+from ..resilience.budget import BudgetExceeded, WorkMeter
 from .index import (
     MIN_UNIQUE_VALUES,
     ColumnProfile,
@@ -41,12 +42,31 @@ class JoinablePair:
 def find_joinable_pairs(
     profiles: list[ColumnProfile],
     threshold: float = JACCARD_THRESHOLD,
+    meter: WorkMeter | None = None,
 ) -> list[JoinablePair]:
     """Every cross-table column pair with Jaccard >= *threshold*.
 
     Pairs within a single table are excluded: joining a table to itself
     is not a data-integration suggestion.  Output pairs are normalized
     to ``left < right`` and sorted for determinism.
+    """
+    pairs, _ = joinable_pairs_flagged(profiles, threshold, meter)
+    return pairs
+
+
+def joinable_pairs_flagged(
+    profiles: list[ColumnProfile],
+    threshold: float = JACCARD_THRESHOLD,
+    meter: WorkMeter | None = None,
+) -> tuple[list[JoinablePair], bool]:
+    """:func:`find_joinable_pairs` plus a truncation flag.
+
+    With a *meter*, overlap accumulation charges one tick per posting
+    comparison; a budget blowup there propagates (partially accumulated
+    overlaps would produce *wrong* Jaccards, not fewer ones).  The final
+    Jaccard filter charges one tick per candidate pair and truncates
+    cleanly instead: it walks candidates in sorted order, so equal
+    budgets always confirm the same deterministic prefix of pairs.
     """
     index = build_inverted_index(profiles)
     overlaps: dict[tuple[int, int], int] = defaultdict(int)
@@ -56,24 +76,33 @@ def find_joinable_pairs(
         for i, left in enumerate(posting):
             left_table = profiles[left].table_index
             for right in posting[i + 1 :]:
+                if meter is not None:
+                    meter.tick(op="join.overlap")
                 if profiles[right].table_index == left_table:
                     continue
                 overlaps[(left, right)] += 1
 
     pairs: list[JoinablePair] = []
-    for (left, right), overlap in overlaps.items():
-        union = (
-            profiles[left].num_unique + profiles[right].num_unique - overlap
-        )
-        jaccard = overlap / union if union else 0.0
-        if jaccard >= threshold:
-            pairs.append(
-                JoinablePair(
-                    left=left, right=right, jaccard=jaccard, overlap=overlap
-                )
+    truncated = False
+    try:
+        for left, right in sorted(overlaps):
+            if meter is not None:
+                meter.tick(op="join.jaccard")
+            overlap = overlaps[(left, right)]
+            union = (
+                profiles[left].num_unique + profiles[right].num_unique - overlap
             )
+            jaccard = overlap / union if union else 0.0
+            if jaccard >= threshold:
+                pairs.append(
+                    JoinablePair(
+                        left=left, right=right, jaccard=jaccard, overlap=overlap
+                    )
+                )
+    except BudgetExceeded:
+        truncated = True
     pairs.sort(key=lambda p: (p.left, p.right))
-    return pairs
+    return pairs, truncated
 
 
 @dataclasses.dataclass(frozen=True)
@@ -122,6 +151,43 @@ class JoinabilityAnalysis:
     column_neighbors: dict[int, list[int]]
     #: table index -> set of joinable partner table indexes.
     table_neighbors: dict[int, set[int]]
+    #: Whether a work budget cut the pair search short.
+    truncated: bool = False
+
+
+def empty_joinability_analysis(
+    portal_code: str,
+    tables: list[IngestedTable],
+    truncated: bool = True,
+) -> JoinabilityAnalysis:
+    """The degraded stand-in when the pair search blew its budget.
+
+    Table counts stay honest; everything join-specific is zero.
+    """
+    stats = JoinabilityStats(
+        portal_code=portal_code,
+        total_pairs=0,
+        total_tables=len(tables),
+        joinable_tables=0,
+        median_table_degree=0.0,
+        max_table_degree=0,
+        total_columns=0,
+        joinable_columns=0,
+        key_joinable_columns=0,
+        nonkey_joinable_columns=0,
+        median_column_degree=0.0,
+        max_column_degree=0,
+    )
+    return JoinabilityAnalysis(
+        portal_code=portal_code,
+        tables=tables,
+        profiles=[],
+        pairs=[],
+        stats=stats,
+        column_neighbors={},
+        table_neighbors={},
+        truncated=truncated,
+    )
 
 
 def analyze_joinability(
@@ -129,10 +195,20 @@ def analyze_joinability(
     tables: list[IngestedTable],
     threshold: float = JACCARD_THRESHOLD,
     min_unique: int = MIN_UNIQUE_VALUES,
+    meter: WorkMeter | None = None,
 ) -> JoinabilityAnalysis:
-    """Run joinable-pair discovery and compute Table 6's statistics."""
-    profiles, total_columns = build_profiles(tables, min_unique=min_unique)
-    pairs = find_joinable_pairs(profiles, threshold=threshold)
+    """Run joinable-pair discovery and compute Table 6's statistics.
+
+    With a *meter*, profiling and overlap accumulation propagate
+    :class:`BudgetExceeded` (no clean partial exists at those stages —
+    the executor's fallback takes over), while the Jaccard filter
+    truncates cleanly to a deterministic prefix of pairs flagged via
+    ``JoinabilityAnalysis.truncated``.
+    """
+    profiles, total_columns = build_profiles(
+        tables, min_unique=min_unique, meter=meter
+    )
+    pairs, truncated = joinable_pairs_flagged(profiles, threshold, meter)
 
     column_neighbors: dict[int, list[int]] = defaultdict(list)
     table_neighbors: dict[int, set[int]] = defaultdict(set)
@@ -173,4 +249,5 @@ def analyze_joinability(
         stats=stats,
         column_neighbors=dict(column_neighbors),
         table_neighbors=dict(table_neighbors),
+        truncated=truncated,
     )

@@ -12,6 +12,7 @@ import random
 from ..core.stats import fraction, mean
 from ..dataframe import Table
 from ..fd.fun import DEFAULT_MAX_LHS, discover_fds
+from ..resilience.budget import WorkMeter
 from .bcnf import DecompositionResult, bcnf_decompose
 
 #: The paper's size filter for the superlinear analyses (§4.2).
@@ -54,35 +55,99 @@ class NormalizationStats:
         return fraction(self.tables_with_single_lhs_fd, self.total_tables)
 
 
-def normalization_stats(
+@dataclasses.dataclass(frozen=True)
+class TableNormalization:
+    """One table's contribution to :class:`NormalizationStats`.
+
+    The guarded executor computes, journals, and replays these
+    per-table records; :func:`aggregate_normalization` folds them back
+    into the portal-level stats.  The payload round-trips through JSON
+    exactly (ints, bools, and repr-round-tripping floats only).
+    """
+
+    #: Whether a work budget cut FD discovery or decomposition short.
+    truncated: bool
+    has_fd: bool
+    has_single: bool
+    #: Final fragment count (1 = already in bounded BCNF).
+    fragments: int
+    fragment_columns: tuple[int, ...]
+    gains: tuple[float, ...]
+
+    def to_payload(self) -> dict:
+        """JSON-safe form for the study journal."""
+        return {
+            "truncated": self.truncated,
+            "has_fd": self.has_fd,
+            "has_single": self.has_single,
+            "fragments": self.fragments,
+            "fragment_columns": list(self.fragment_columns),
+            "gains": list(self.gains),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TableNormalization":
+        return cls(
+            truncated=payload["truncated"],
+            has_fd=payload["has_fd"],
+            has_single=payload["has_single"],
+            fragments=payload["fragments"],
+            fragment_columns=tuple(payload["fragment_columns"]),
+            gains=tuple(payload["gains"]),
+        )
+
+
+def table_normalization(
+    table: Table,
+    rng: random.Random,
+    max_lhs: int = DEFAULT_MAX_LHS,
+    meter: WorkMeter | None = None,
+) -> TableNormalization:
+    """FD discovery + BCNF decomposition for one table."""
+    fds = discover_fds(table, max_lhs=max_lhs, meter=meter)
+    if not fds.has_nontrivial:
+        return TableNormalization(
+            truncated=fds.truncated,
+            has_fd=False,
+            has_single=False,
+            fragments=1,
+            fragment_columns=(),
+            gains=(),
+        )
+    result = bcnf_decompose(table, rng, max_lhs=max_lhs, meter=meter)
+    return TableNormalization(
+        truncated=fds.truncated or (meter is not None and meter.exhausted),
+        has_fd=True,
+        has_single=fds.has_single_lhs,
+        fragments=result.num_fragments,
+        fragment_columns=tuple(f.num_columns for f in result.fragments),
+        gains=tuple(_uniqueness_gains(result)),
+    )
+
+
+def aggregate_normalization(
     portal_code: str,
     tables: list[Table],
-    seed: int = 0,
-    max_lhs: int = DEFAULT_MAX_LHS,
+    contributions: list[TableNormalization],
 ) -> NormalizationStats:
-    """Run the full §4.2/§4.3 analysis over already-filtered *tables*."""
-    rng = random.Random(f"{seed}:{portal_code}:bcnf")
+    """Fold per-table contributions into one portal's Table 5 column."""
     with_fd = 0
     with_single = 0
     fragment_histogram: dict[int, int] = {}
     fragment_counts: list[int] = []
     fragment_columns: list[int] = []
     gains: list[float] = []
-
-    for table in tables:
-        fds = discover_fds(table, max_lhs=max_lhs)
-        if not fds.has_nontrivial:
-            fragment_histogram[1] = fragment_histogram.get(1, 0) + 1
+    for contribution in contributions:
+        count = contribution.fragments
+        fragment_histogram[count] = fragment_histogram.get(count, 0) + 1
+        if not contribution.has_fd:
             continue
         with_fd += 1
-        if fds.has_single_lhs:
+        if contribution.has_single:
             with_single += 1
-        result = bcnf_decompose(table, rng, max_lhs=max_lhs)
-        count = result.num_fragments
-        fragment_histogram[count] = fragment_histogram.get(count, 0) + 1
         fragment_counts.append(count)
-        fragment_columns.extend(f.num_columns for f in result.fragments)
-        gains.extend(_uniqueness_gains(result))
+        fragment_columns.extend(contribution.fragment_columns)
+        gains.extend(contribution.gains)
 
     return NormalizationStats(
         portal_code=portal_code,
@@ -96,6 +161,20 @@ def normalization_stats(
         avg_uniqueness_gain=_winsorized_mean(gains),
         fragment_histogram=fragment_histogram,
     )
+
+
+def normalization_stats(
+    portal_code: str,
+    tables: list[Table],
+    seed: int = 0,
+    max_lhs: int = DEFAULT_MAX_LHS,
+) -> NormalizationStats:
+    """Run the full §4.2/§4.3 analysis over already-filtered *tables*."""
+    rng = random.Random(f"{seed}:{portal_code}:bcnf")
+    contributions = [
+        table_normalization(table, rng, max_lhs=max_lhs) for table in tables
+    ]
+    return aggregate_normalization(portal_code, tables, contributions)
 
 
 #: Cap applied to individual uniqueness-gain ratios before averaging: a

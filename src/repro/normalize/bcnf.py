@@ -19,6 +19,7 @@ from collections import Counter
 
 from ..dataframe import Table
 from ..fd.fun import DEFAULT_MAX_LHS, discover_fds
+from ..resilience.budget import WorkMeter
 
 #: Safety valve: decomposition of a k-column table can produce at most
 #: k-1 fragments, but we cap anyway against adversarial inputs.
@@ -68,6 +69,7 @@ def bcnf_decompose(
     rng: random.Random,
     max_lhs: int = DEFAULT_MAX_LHS,
     max_fragments: int = MAX_FRAGMENTS,
+    meter: WorkMeter | None = None,
 ) -> DecompositionResult:
     """Decompose *table* into bounded-BCNF fragments.
 
@@ -75,13 +77,18 @@ def bcnf_decompose(
     can both lose FDs (columns gone) and expose none, so re-running the
     profiler is the faithful data-driven equivalent of projecting the
     dependency set.
+
+    The *meter* is shared with those internal re-discoveries: once it
+    is exhausted they return empty truncated FD sets, so every fragment
+    still in the worklist finishes immediately and the decomposition
+    terminates with whatever splits it had already committed.
     """
     worklist = [table]
     finished: list[Table] = []
     steps = 0
     while worklist:
         current = worklist.pop()
-        fds = discover_fds(current, max_lhs=max_lhs)
+        fds = discover_fds(current, max_lhs=max_lhs, meter=meter)
         candidates = list(fds)
         if not candidates or len(finished) + len(worklist) + 2 > max_fragments:
             finished.append(current)

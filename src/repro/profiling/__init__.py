@@ -9,6 +9,7 @@ from .dictionary import (
 from .growth import GrowthCurve, growth_curve
 from .metadata import SAMPLE_SIZE, MetadataStats, metadata_stats
 from .nulls import NULL_RATIO_EDGES, NullStats, null_stats
+from .screen import CHARS_PER_TICK, TableScreen, screen_table
 from .sizes import (
     PortalSizeStats,
     SizePercentilePoint,
@@ -31,6 +32,7 @@ from .uniqueness import (
 )
 
 __all__ = [
+    "CHARS_PER_TICK",
     "ColumnDictionaryEntry",
     "ColumnUniqueness",
     "DataDictionary",
@@ -43,6 +45,7 @@ __all__ = [
     "SCORE_EDGES",
     "ShapeDistribution",
     "SizePercentilePoint",
+    "TableScreen",
     "TableSizeStats",
     "UniquenessGroupStats",
     "UniquenessStats",
@@ -52,6 +55,7 @@ __all__ = [
     "metadata_stats",
     "null_stats",
     "portal_size_stats",
+    "screen_table",
     "shape_distribution",
     "size_percentile_curve",
     "table_size_stats",

@@ -81,6 +81,48 @@ def render_bar_chart(
     return "\n".join(lines)
 
 
+def render_degradation_appendix(study) -> str | None:
+    """Appendix listing every degraded guarded stage of a *study*.
+
+    Returns ``None`` when no portal ran under the guarded executor or
+    every stage completed OK — the tables above then stand unqualified.
+    Quarantined and failed tables are excluded from every reproduced
+    statistic, so the appendix is the only place they surface.
+    """
+    from ..resilience.executor import StageStatus
+
+    rows = []
+    for portal in study:
+        executor = portal.executor
+        if executor is None:
+            continue
+        for outcome in executor.outcomes:
+            if outcome.status is StageStatus.OK:
+                continue
+            rows.append(
+                [
+                    outcome.portal,
+                    outcome.stage,
+                    outcome.table_id,
+                    outcome.status.value,
+                    outcome.ticks,
+                    outcome.detail or "",
+                ]
+            )
+    if not rows:
+        return None
+    return render_table(
+        "Appendix: degraded analysis stages",
+        ["portal", "stage", "table", "status", "ticks", "detail"],
+        rows,
+        note=(
+            "quarantined and failed tables are excluded from every "
+            "statistic above; truncated stages report a deterministic "
+            "partial result"
+        ),
+    )
+
+
 def percent(value: float, digits: int = 1) -> str:
     """Format a fraction as the paper prints percentages."""
     return f"{value * 100:.{digits}f}%"

@@ -1,0 +1,259 @@
+"""Guarded analysis executor: budgets, quarantine, and stage provenance.
+
+Real OGDP corpora contain pathological tables — FD lattice bombs,
+ultra-wide schemas, giant cells — that can hang or crash a naive
+analysis pass.  The executor runs each analysis unit (one ``(portal,
+stage, table)`` triple, or a portal-wide stage) under a fresh
+:class:`~repro.resilience.budget.WorkMeter` and converts every failure
+shape into a recorded :class:`StageOutcome` instead of letting it kill
+the study:
+
+* ``OK`` — the unit finished within budget;
+* ``TRUNCATED`` — the budget ran out but the unit produced a clean
+  partial result (e.g. FD search stopped at the last completed level);
+* ``QUARANTINED`` — the budget ran out with no usable partial: the
+  table is set aside, excluded from downstream analyses, and (when a
+  quarantine directory is configured) written out for inspection;
+* ``FAILED`` — the unit raised an unexpected exception.
+
+With a :class:`~repro.resilience.study_journal.StudyJournal` attached,
+finished units are checkpointed as they complete and replayed on
+resume, so a study killed mid-analysis picks up where it died without
+recomputing anything it already finished.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import pathlib
+from typing import Callable
+
+from .budget import BudgetExceeded, WorkMeter
+from .study_journal import StageRecord, StudyJournal
+
+#: Table id used for portal-wide stages (join pair search, unionability).
+PORTAL_WIDE = "*"
+
+
+class StageStatus(enum.Enum):
+    """Terminal state of one guarded analysis unit."""
+
+    OK = "ok"
+    TRUNCATED = "truncated"
+    QUARANTINED = "quarantined"
+    FAILED = "failed"
+
+
+@dataclasses.dataclass(frozen=True)
+class StageOutcome:
+    """Provenance of one guarded ``(portal, stage, table)`` unit."""
+
+    portal: str
+    stage: str
+    table_id: str
+    status: StageStatus
+    #: Ticks charged against the unit's meter.
+    ticks: int
+    #: Budget the unit ran under (None = unlimited).
+    budget: int | None
+    #: Failure / truncation detail (exception text), empty when OK.
+    detail: str = ""
+    #: Whether the outcome was replayed from a study journal.
+    replayed: bool = False
+
+
+class AnalysisExecutor:
+    """Runs analysis units under budget with quarantine and checkpoints.
+
+    One executor guards one portal's analyses.  It owns the per-study
+    bookkeeping: the append-ordered outcome log (for the degradation
+    appendix), the set of quarantined table ids (consulted by every
+    downstream stage), and the optional journal / quarantine directory.
+    """
+
+    def __init__(
+        self,
+        portal_code: str,
+        *,
+        stage_budget: int | None = None,
+        journal: StudyJournal | None = None,
+        quarantine_dir: str | pathlib.Path | None = None,
+    ):
+        self.portal_code = portal_code
+        self.stage_budget = stage_budget
+        self.journal = journal
+        self.quarantine_dir = (
+            pathlib.Path(quarantine_dir) if quarantine_dir is not None else None
+        )
+        #: Outcomes in execution order (replayed units included).
+        self.outcomes: list[StageOutcome] = []
+        #: Table ids quarantined by any stage so far.
+        self.quarantined: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # the guard
+    # ------------------------------------------------------------------
+    def guard(
+        self,
+        stage: str,
+        table_id: str,
+        compute: Callable[[WorkMeter], object],
+        *,
+        classify: Callable[[object], StageStatus] | None = None,
+        encode: Callable[[object], object] | None = None,
+        decode: Callable[[object], object] | None = None,
+        journal_stage: bool = False,
+        on_budget: StageStatus = StageStatus.QUARANTINED,
+        fallback: Callable[[], object] | None = None,
+    ) -> tuple[object | None, StageOutcome]:
+        """Run one analysis unit under a fresh meter.
+
+        ``compute(meter)`` does the work; analyses that truncate
+        internally (FD discovery) flag their result and ``classify``
+        maps it to OK/TRUNCATED.  A :class:`BudgetExceeded` escaping
+        ``compute`` means no usable partial exists: the unit is recorded
+        with *on_budget* (QUARANTINED for per-table stages, TRUNCATED
+        for portal-wide ones) and *fallback* supplies the degraded
+        stand-in result.  Any other exception records FAILED.
+
+        With ``journal_stage=True`` and a journal attached, finished
+        units are checkpointed (payload via *encode*) and future calls
+        replay them (via *decode*) without recomputation.
+        """
+        if journal_stage and self.journal is not None:
+            record = self.journal.get(stage, table_id)
+            if record is not None:
+                return self._replay(record, decode, fallback)
+
+        meter = WorkMeter(self.stage_budget)
+        detail = ""
+        try:
+            result = compute(meter)
+            status = classify(result) if classify else StageStatus.OK
+        except BudgetExceeded as exc:
+            result, status, detail = None, on_budget, str(exc)
+        except Exception as exc:  # noqa: BLE001 — the guard's whole point
+            result = None
+            status = StageStatus.FAILED
+            detail = f"{type(exc).__name__}: {exc}"
+
+        outcome = StageOutcome(
+            portal=self.portal_code,
+            stage=stage,
+            table_id=table_id,
+            status=status,
+            ticks=meter.spent,
+            budget=self.stage_budget,
+            detail=detail,
+        )
+        self._note(outcome)
+        if journal_stage and self.journal is not None:
+            payload = (
+                encode(result)
+                if encode is not None and result is not None
+                else None
+            )
+            self.journal.record(
+                StageRecord(
+                    stage=stage,
+                    table_id=table_id,
+                    status=status.name,
+                    ticks=meter.spent,
+                    budget=self.stage_budget,
+                    detail=detail,
+                    payload=payload,
+                )
+            )
+        if result is None and fallback is not None:
+            result = fallback()
+        return result, outcome
+
+    def _replay(
+        self,
+        record: StageRecord,
+        decode: Callable[[object], object] | None,
+        fallback: Callable[[], object] | None,
+    ) -> tuple[object | None, StageOutcome]:
+        """Reconstruct a checkpointed unit without recomputation."""
+        status = StageStatus[record.status]
+        outcome = StageOutcome(
+            portal=self.portal_code,
+            stage=record.stage,
+            table_id=record.table_id,
+            status=status,
+            ticks=record.ticks,
+            budget=record.budget,
+            detail=record.detail,
+            replayed=True,
+        )
+        self._note(outcome)
+        result = None
+        if record.payload is not None and decode is not None:
+            result = decode(record.payload)
+        if result is None and fallback is not None:
+            result = fallback()
+        return result, outcome
+
+    def _note(self, outcome: StageOutcome) -> None:
+        """Log one outcome and apply its quarantine side effects."""
+        self.outcomes.append(outcome)
+        if outcome.status is StageStatus.QUARANTINED:
+            self.quarantined.add(outcome.table_id)
+            self._write_quarantine_file(outcome)
+        elif outcome.status is StageStatus.FAILED and not outcome.replayed:
+            # Crashed tables are excluded like quarantined ones (a table
+            # that crashed profiling will crash every later stage too)
+            # but carry the FAILED label and skip the quarantine dir.
+            self.quarantined.add(outcome.table_id)
+
+    def _write_quarantine_file(self, outcome: StageOutcome) -> None:
+        if self.quarantine_dir is None or outcome.table_id == PORTAL_WIDE:
+            return
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        path = (
+            self.quarantine_dir
+            / f"{outcome.portal}-{outcome.table_id}.json"
+        )
+        path.write_text(
+            json.dumps(
+                {
+                    "portal": outcome.portal,
+                    "stage": outcome.stage,
+                    "table_id": outcome.table_id,
+                    "status": outcome.status.name,
+                    "ticks": outcome.ticks,
+                    "budget": outcome.budget,
+                    "detail": outcome.detail,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_quarantined(self, table_id: str) -> bool:
+        """Whether *table_id* has been set aside by any stage."""
+        return table_id in self.quarantined
+
+    def status_counts(self) -> dict[StageStatus, int]:
+        """Outcome counts by status, for the degradation appendix."""
+        counts = {status: 0 for status in StageStatus}
+        for outcome in self.outcomes:
+            counts[outcome.status] += 1
+        return counts
+
+    @property
+    def ticks_spent(self) -> int:
+        """Total ticks charged across all units (replays excluded)."""
+        return sum(o.ticks for o in self.outcomes if not o.replayed)
+
+    def close(self) -> None:
+        """Close the attached journal, if any."""
+        if self.journal is not None:
+            self.journal.close()

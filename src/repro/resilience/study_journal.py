@@ -1,0 +1,117 @@
+"""Study journal: per-(stage, table) checkpoints for resumable analyses.
+
+The analysis mirror of :mod:`repro.resilience.checkpoint`: where the
+crawl journal checkpoints fetched resources, the study journal
+checkpoints finished *analysis stage units* — one JSON line per
+``(stage, table)`` pair, carrying the recorded
+:class:`~repro.resilience.executor.StageOutcome` fields plus an optional
+stage-specific payload (e.g. the per-table FD/normalization
+contribution).  A study killed mid-analysis and rerun with the same
+journal replays completed units instead of recomputing them.
+
+Flush and recovery semantics are identical to ``CrawlJournal``: every
+record is flushed line-by-line as it completes, and a torn trailing
+line left by a mid-write kill is skipped on reload (the torn unit is
+simply recomputed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import IO, Iterator
+
+
+@dataclasses.dataclass(frozen=True)
+class StageRecord:
+    """One journalled (stage, table) analysis unit."""
+
+    #: Stage identifier, e.g. ``"screen"``, ``"fd"``.
+    stage: str
+    #: Resource id of the table, or ``"*"`` for portal-wide stages.
+    table_id: str
+    #: ``StageStatus.name`` of the recorded outcome.
+    status: str
+    #: Ticks the unit charged against its meter.
+    ticks: int
+    #: Budget the unit ran under (None = unlimited).
+    budget: int | None
+    #: Human-readable failure/truncation detail.
+    detail: str = ""
+    #: Stage-specific JSON payload (replayed verbatim), or None.
+    payload: object | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The journal key of this record."""
+        return (self.stage, self.table_id)
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "StageRecord":
+        return cls(**json.loads(line))
+
+
+class StudyJournal:
+    """Append-only, stage-keyed checkpoint store for one portal's analyses.
+
+    Opening an existing journal loads all previously completed units;
+    ``record`` appends new ones and flushes immediately, so an
+    interrupted process loses at most the unit it was computing.
+    """
+
+    def __init__(self, path: str | pathlib.Path):
+        self.path = pathlib.Path(path)
+        self._records: dict[tuple[str, str], StageRecord] = {}
+        self._handle: IO[str] | None = None
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = StageRecord.from_json(line)
+                    except (ValueError, KeyError, TypeError):
+                        # Torn trailing line from a mid-write kill:
+                        # everything before it is still valid, and the
+                        # torn unit is simply recomputed.
+                        continue
+                    self._records[record.key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._records
+
+    def __iter__(self) -> Iterator[StageRecord]:
+        return iter(self._records.values())
+
+    def get(self, stage: str, table_id: str) -> StageRecord | None:
+        """The checkpointed record for ``(stage, table_id)``, if any."""
+        return self._records.get((stage, table_id))
+
+    def record(self, record: StageRecord) -> None:
+        """Append *record* and flush it to disk immediately."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._records[record.key] = record
+        self._handle.write(record.to_json() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (records stay readable)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "StudyJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

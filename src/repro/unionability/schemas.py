@@ -14,6 +14,7 @@ from collections import defaultdict
 from ..core.stats import fraction, median
 from ..dataframe import Table
 from ..ingest.pipeline import IngestedTable
+from ..resilience.budget import WorkMeter
 
 #: Schema fingerprint: ((name, dtype), ...) with names case-folded.
 Fingerprint = tuple[tuple[str, str], ...]
@@ -96,14 +97,46 @@ class UnionabilityAnalysis:
         return [g for g in self.groups if g.is_unionable]
 
 
-def analyze_unionability(
+def empty_unionability_analysis(
     portal_code: str, tables: list[IngestedTable]
 ) -> UnionabilityAnalysis:
-    """Group a portal's cleaned tables by schema and compute Table 11."""
+    """The degraded stand-in when schema grouping blew its budget."""
+    stats = UnionabilityStats(
+        portal_code=portal_code,
+        total_tables=len(tables),
+        unionable_tables=0,
+        median_degree=0.0,
+        max_degree=0,
+        unique_schemas=0,
+        avg_tables_per_schema=0.0,
+        unionable_schemas=0,
+        unionable_schemas_single_dataset=0,
+    )
+    return UnionabilityAnalysis(
+        portal_code=portal_code, tables=tables, groups=[], stats=stats
+    )
+
+
+def analyze_unionability(
+    portal_code: str,
+    tables: list[IngestedTable],
+    meter: WorkMeter | None = None,
+) -> UnionabilityAnalysis:
+    """Group a portal's cleaned tables by schema and compute Table 11.
+
+    With a *meter*, each fingerprint charges one tick per schema column;
+    :class:`BudgetExceeded` propagates (a partial grouping would
+    misreport schema multiplicities, so the executor's fallback takes
+    over instead of truncating here).
+    """
     by_fingerprint: dict[Fingerprint, list[int]] = defaultdict(list)
     for index, ingested in enumerate(tables):
         table = ingested.clean
         assert table is not None
+        if meter is not None:
+            meter.tick(
+                max(1, len(table.column_names)), op="union.fingerprint"
+            )
         by_fingerprint[schema_fingerprint(table)].append(index)
 
     groups = [

@@ -72,6 +72,44 @@ class TestParser:
         assert config.checkpoint_dir == str(tmp_path)
         assert config.resume is False
 
+    def test_guard_defaults_are_seed_behavior(self):
+        config = config_from_args(
+            build_parser().parse_args(["run", "table01"])
+        )
+        assert config.stage_budget is None
+        assert config.quarantine_dir is None
+        assert config.poison_rate == 0.0
+        assert not config.analysis_guarded
+
+    def test_guard_flags_reach_config(self, tmp_path):
+        config = config_from_args(
+            build_parser().parse_args(
+                [
+                    "run", "table01",
+                    "--stage-budget", "40000",
+                    "--quarantine-dir", str(tmp_path),
+                    "--poison-rate", "0.25",
+                ]
+            )
+        )
+        assert config.stage_budget == 40000
+        assert config.quarantine_dir == str(tmp_path)
+        assert config.poison_rate == 0.25
+        assert config.analysis_guarded
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--stage-budget", "0"],
+            ["--stage-budget", "-5"],
+            ["--poison-rate", "1.5"],
+            ["--poison-rate", "-0.1"],
+        ],
+    )
+    def test_bad_guard_values_rejected(self, flags):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table01", *flags])
+
 
 class TestMain:
     def test_list_prints_ids(self, capsys):
@@ -105,3 +143,29 @@ class TestMain:
         # One crawl journal per portal was written.
         journals = sorted(p.name for p in tmp_path.glob("crawl-*.jsonl"))
         assert journals  # e.g. crawl-CA.jsonl, crawl-SG.jsonl, ...
+
+    def test_guarded_run_prints_outcome_summary(self, capsys, tmp_path):
+        code = main(
+            [
+                "run", "table05",
+                "--scale", "0.08",
+                "--seed", "2",
+                "--stage-budget", "40000",
+                "--poison-rate", "0.25",
+                "--quarantine-dir", str(tmp_path / "quarantine"),
+                "--checkpoint-dir", str(tmp_path / "checkpoints"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guarded-stage outcomes:" in out
+        assert "ticks spent" in out
+        # Study journals were written next to the crawl journals.
+        assert sorted(
+            p.name for p in (tmp_path / "checkpoints").glob("study-*.jsonl")
+        )
+
+    def test_unguarded_run_prints_no_summary(self, capsys):
+        code = main(["run", "table05", "--scale", "0.08", "--seed", "2"])
+        assert code == 0
+        assert "guarded-stage outcomes:" not in capsys.readouterr().out

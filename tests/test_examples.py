@@ -5,6 +5,7 @@ in the suite — but they are exactly what keeps the README's commands
 honest.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,6 +13,7 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 EXAMPLES = [
     ("quickstart.py", []),
@@ -27,12 +29,20 @@ EXAMPLES = [
     "script,args", EXAMPLES, ids=[name for name, _ in EXAMPLES]
 )
 def test_example_runs(script, args, tmp_path):
+    # The subprocess does not inherit pytest's import path, so ``src``
+    # must be put on PYTHONPATH explicitly (prepended, in case the
+    # caller's PYTHONPATH points at another checkout).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script), *args],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=tmp_path,  # exports (ground_truth/) land in a temp dir
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), f"{script} printed nothing"

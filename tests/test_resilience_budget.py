@@ -1,0 +1,121 @@
+"""WorkMeter unit tests plus determinism properties for guarded FDs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import Column, Table
+from repro.fd import discover_fds, discover_fds_naive, discover_fds_tane
+from repro.resilience import BudgetExceeded, WorkMeter
+
+
+class TestWorkMeter:
+    def test_counts_without_budget(self):
+        meter = WorkMeter()
+        for _ in range(5):
+            meter.tick(3)
+        assert meter.spent == 15
+        assert meter.unlimited
+        assert not meter.exhausted
+        assert meter.remaining is None
+
+    def test_raises_over_budget(self):
+        meter = WorkMeter(budget=10)
+        meter.tick(10, op="setup")
+        assert meter.remaining == 0
+        assert not meter.exhausted  # spent == budget is still in budget
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.tick(op="overflow")
+        assert excinfo.value.op == "overflow"
+        assert excinfo.value.spent == 11
+        assert excinfo.value.budget == 10
+        assert meter.exhausted
+
+    def test_exhausted_meter_keeps_raising(self):
+        meter = WorkMeter(budget=1)
+        with pytest.raises(BudgetExceeded):
+            meter.tick(2)
+        # Even a zero-cost tick raises once the meter is exhausted:
+        # callers unwinding with partial results must not restart work.
+        with pytest.raises(BudgetExceeded):
+            meter.tick(0)
+
+    def test_charge_precedes_check(self):
+        meter = WorkMeter(budget=5)
+        with pytest.raises(BudgetExceeded):
+            meter.tick(100)
+        assert meter.spent == 100  # the attempted work is on the books
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            WorkMeter(budget=0)
+        with pytest.raises(ValueError):
+            WorkMeter().tick(-1)
+
+
+@st.composite
+def small_tables(draw):
+    n_cols = draw(st.integers(2, 5))
+    n_rows = draw(st.integers(0, 30))
+    domain = draw(st.integers(1, 5))
+    columns = [
+        Column(
+            f"c{i}",
+            draw(
+                st.lists(
+                    st.one_of(st.integers(0, domain), st.none()),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            ),
+        )
+        for i in range(n_cols)
+    ]
+    return Table("t", columns)
+
+
+def _snapshot(fds):
+    return (fds.as_frozenset(), fds.truncated)
+
+
+@given(small_tables(), st.integers(1, 500))
+@settings(max_examples=80, deadline=None)
+def test_guarded_fds_deterministic(table, budget):
+    """Equal table + equal budget => identical (possibly truncated) FDs."""
+    first = discover_fds(table, meter=WorkMeter(budget))
+    second = discover_fds(table, meter=WorkMeter(budget))
+    assert _snapshot(first) == _snapshot(second)
+
+
+@given(small_tables())
+@settings(max_examples=80, deadline=None)
+def test_unlimited_meter_reproduces_unguarded(table):
+    unguarded = discover_fds(table)
+    metered = discover_fds(table, meter=WorkMeter())
+    assert not metered.truncated
+    assert unguarded.as_frozenset() == metered.as_frozenset()
+
+
+@given(small_tables(), st.integers(1, 500))
+@settings(max_examples=60, deadline=None)
+def test_truncated_fds_are_a_subset(table, budget):
+    """A budget never invents FDs: it only cuts whole lattice levels."""
+    full = discover_fds(table).as_frozenset()
+    cut = discover_fds(table, meter=WorkMeter(budget))
+    assert cut.as_frozenset() <= full
+    if not cut.truncated:
+        assert cut.as_frozenset() == full
+
+
+@given(small_tables(), st.integers(1, 500))
+@settings(max_examples=40, deadline=None)
+def test_all_engines_accept_meters(table, budget):
+    """Every FD engine honors a meter: deterministic when budgeted,
+    unchanged when the meter is unlimited."""
+    for engine in (discover_fds, discover_fds_naive, discover_fds_tane):
+        once = engine(table, meter=WorkMeter(budget))
+        again = engine(table, meter=WorkMeter(budget))
+        assert _snapshot(once) == _snapshot(again)
+        unlimited = engine(table, meter=WorkMeter())
+        assert not unlimited.truncated
+        assert unlimited.as_frozenset() == engine(table).as_frozenset()

@@ -1,0 +1,246 @@
+"""AnalysisExecutor guard semantics and StudyJournal recovery."""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    PORTAL_WIDE,
+    AnalysisExecutor,
+    StageRecord,
+    StageStatus,
+    StudyJournal,
+    WorkMeter,
+)
+
+
+def spend(ticks):
+    """A compute function charging *ticks* then returning them."""
+
+    def compute(meter: WorkMeter):
+        meter.tick(ticks, op="test.spend")
+        return ticks
+
+    return compute
+
+
+class TestGuard:
+    def test_ok_within_budget(self):
+        executor = AnalysisExecutor("SG", stage_budget=100)
+        result, outcome = executor.guard("stage", "t1", spend(40))
+        assert result == 40
+        assert outcome.status is StageStatus.OK
+        assert outcome.ticks == 40
+        assert outcome.budget == 100
+        assert not executor.is_quarantined("t1")
+
+    def test_budget_blowup_quarantines(self, tmp_path):
+        executor = AnalysisExecutor(
+            "SG", stage_budget=10, quarantine_dir=tmp_path
+        )
+        result, outcome = executor.guard("stage", "t1", spend(50))
+        assert result is None
+        assert outcome.status is StageStatus.QUARANTINED
+        assert "work budget exhausted" in outcome.detail
+        assert executor.is_quarantined("t1")
+        record = json.loads((tmp_path / "SG-t1.json").read_text())
+        assert record["status"] == "QUARANTINED"
+        assert record["ticks"] == 50
+
+    def test_portal_wide_budget_truncates_with_fallback(self, tmp_path):
+        executor = AnalysisExecutor(
+            "SG", stage_budget=10, quarantine_dir=tmp_path
+        )
+        result, outcome = executor.guard(
+            "pairs",
+            PORTAL_WIDE,
+            spend(50),
+            on_budget=StageStatus.TRUNCATED,
+            fallback=lambda: "degraded",
+        )
+        assert result == "degraded"
+        assert outcome.status is StageStatus.TRUNCATED
+        assert not executor.is_quarantined(PORTAL_WIDE)
+        # Portal-wide units never leave quarantine files.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_classify_marks_clean_truncation(self):
+        executor = AnalysisExecutor("SG", stage_budget=100)
+        _, outcome = executor.guard(
+            "fd",
+            "t1",
+            spend(40),
+            classify=lambda _result: StageStatus.TRUNCATED,
+        )
+        assert outcome.status is StageStatus.TRUNCATED
+        assert not executor.is_quarantined("t1")
+
+    def test_crash_records_failed_and_excludes(self, tmp_path):
+        executor = AnalysisExecutor("SG", quarantine_dir=tmp_path)
+
+        def explode(meter):
+            raise ZeroDivisionError("boom")
+
+        result, outcome = executor.guard("stage", "t1", explode)
+        assert result is None
+        assert outcome.status is StageStatus.FAILED
+        assert outcome.detail == "ZeroDivisionError: boom"
+        # Crashed tables are excluded downstream like quarantined ones,
+        # but carry no quarantine file.
+        assert executor.is_quarantined("t1")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_status_counts_and_ticks(self):
+        executor = AnalysisExecutor("SG", stage_budget=10)
+        executor.guard("stage", "a", spend(5))
+        executor.guard("stage", "b", spend(50))
+        counts = executor.status_counts()
+        assert counts[StageStatus.OK] == 1
+        assert counts[StageStatus.QUARANTINED] == 1
+        assert executor.ticks_spent == 55
+
+
+class TestJournalReplay:
+    def test_replay_skips_recomputation(self, tmp_path):
+        path = tmp_path / "study-SG.jsonl"
+        with StudyJournal(path) as journal:
+            executor = AnalysisExecutor("SG", stage_budget=100, journal=journal)
+            executor.guard(
+                "fd",
+                "t1",
+                spend(40),
+                encode=lambda r: {"ticks": r},
+                journal_stage=True,
+            )
+
+        calls = []
+
+        def must_not_run(meter):
+            calls.append(1)
+            return 0
+
+        with StudyJournal(path) as journal:
+            executor = AnalysisExecutor("SG", stage_budget=100, journal=journal)
+            result, outcome = executor.guard(
+                "fd",
+                "t1",
+                must_not_run,
+                decode=lambda payload: payload["ticks"],
+                journal_stage=True,
+            )
+        assert calls == []
+        assert result == 40
+        assert outcome.replayed
+        assert outcome.ticks == 40
+        # Replays are free: they do not count toward spent work.
+        assert executor.ticks_spent == 0
+
+    def test_replayed_quarantine_still_excludes(self, tmp_path):
+        path = tmp_path / "study-SG.jsonl"
+        with StudyJournal(path) as journal:
+            executor = AnalysisExecutor(
+                "SG", stage_budget=10, journal=journal
+            )
+            executor.guard("screen", "t1", spend(50), journal_stage=True)
+            assert executor.is_quarantined("t1")
+
+        with StudyJournal(path) as journal:
+            executor = AnalysisExecutor("SG", stage_budget=10, journal=journal)
+            _, outcome = executor.guard(
+                "screen", "t1", spend(0), journal_stage=True
+            )
+        assert outcome.replayed
+        assert outcome.status is StageStatus.QUARANTINED
+        assert executor.is_quarantined("t1")
+
+    def test_unjournaled_stage_always_recomputes(self, tmp_path):
+        path = tmp_path / "study-SG.jsonl"
+        with StudyJournal(path) as journal:
+            executor = AnalysisExecutor("SG", journal=journal)
+            executor.guard("pairs", PORTAL_WIDE, spend(5))
+        with StudyJournal(path) as journal:
+            executor = AnalysisExecutor("SG", journal=journal)
+            _, outcome = executor.guard("pairs", PORTAL_WIDE, spend(5))
+        assert not outcome.replayed
+
+
+class TestStudyJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        record = StageRecord(
+            stage="fd",
+            table_id="t1",
+            status="OK",
+            ticks=12,
+            budget=100,
+            payload={"a": 1},
+        )
+        with StudyJournal(path) as journal:
+            journal.record(record)
+        reloaded = StudyJournal(path)
+        assert len(reloaded) == 1
+        assert ("fd", "t1") in reloaded
+        assert reloaded.get("fd", "t1") == record
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with StudyJournal(path) as journal:
+            journal.record(
+                StageRecord(
+                    stage="fd", table_id="t1", status="OK", ticks=1, budget=None
+                )
+            )
+            journal.record(
+                StageRecord(
+                    stage="fd", table_id="t2", status="OK", ticks=2, budget=None
+                )
+            )
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) - 20], encoding="utf-8")
+
+        journal = StudyJournal(path)
+        assert journal.get("fd", "t1") is not None
+        assert journal.get("fd", "t2") is None  # torn unit is recomputed
+
+    def test_append_after_reload(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with StudyJournal(path) as journal:
+            journal.record(
+                StageRecord(
+                    stage="fd", table_id="t1", status="OK", ticks=1, budget=None
+                )
+            )
+        with StudyJournal(path) as journal:
+            journal.record(
+                StageRecord(
+                    stage="fd", table_id="t2", status="OK", ticks=2, budget=None
+                )
+            )
+        reloaded = StudyJournal(path)
+        assert len(reloaded) == 2
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with StudyJournal(path) as journal:
+            journal.record(
+                StageRecord(
+                    stage="fd", table_id="t1", status="OK", ticks=1, budget=None
+                )
+            )
+            journal.record(
+                StageRecord(
+                    stage="fd",
+                    table_id="t1",
+                    status="TRUNCATED",
+                    ticks=9,
+                    budget=5,
+                )
+            )
+        reloaded = StudyJournal(path)
+        assert len(reloaded) == 1
+        assert reloaded.get("fd", "t1").status == "TRUNCATED"
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        AnalysisExecutor("SG", stage_budget=0).guard("s", "t", spend(1))
