@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench
+.PHONY: test lint bench-smoke bench smoke-trace
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,3 +17,12 @@ bench-smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# A small guarded run with tracing enabled, then the attribution
+# report over the resulting trace — exercises run --trace-out and
+# stats end to end.
+smoke-trace:
+	$(PYTHON) -m repro.experiments.cli run table05 \
+		--scale 0.08 --seed 2 --stage-budget 40000 --poison-rate 0.1 \
+		--quarantine-dir smoke-quarantine --trace-out smoke-trace.jsonl
+	$(PYTHON) -m repro.experiments.cli stats smoke-trace.jsonl

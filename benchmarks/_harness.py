@@ -3,26 +3,102 @@
 Every bench regenerates one paper artifact against the shared
 full-scale study and writes the reproduced table/figure text to
 ``benchmarks/output/<id>.txt`` so that a bench run leaves the complete
-reproduction on disk next to the timing numbers.
+reproduction on disk next to the timing numbers.  Each run also appends
+one machine-readable record — wall-clock timing plus the deterministic
+op-count deltas from the study's metrics registry — to
+``BENCH_<id>.json`` at the repository root, so successive runs build a
+comparable history.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 from repro.core.results import ExperimentResult
 from repro.core.study import Study
 from repro.experiments.registry import run_experiment
+from repro.obs.metrics import Histogram
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _counter_values(study: Study) -> dict[str, float]:
+    """Scalar metric values of the study's observer (empty if none)."""
+    obs = getattr(study, "obs", None)
+    if obs is None:
+        return {}
+    return {
+        name: snap["value"]
+        for name, snap in obs.metrics.snapshot().items()
+        if not isinstance(obs.metrics.get(name), Histogram)
+    }
+
+
+def _benchmark_seconds(benchmark, fallback: float) -> float:
+    """The plugin's measured mean, or our own stopwatch reading."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        inner = getattr(stats, "stats", stats)
+        mean = getattr(inner, "mean", None)
+        if isinstance(mean, (int, float)):
+            return float(mean)
+    return fallback
+
+
+def _append_bench_record(experiment_id: str, record: dict) -> None:
+    """Append *record* to ``BENCH_<id>.json``, tolerating a bad file."""
+    path = REPO_ROOT / f"BENCH_{experiment_id}.json"
+    records: list = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, list):
+                records = loaded
+        except (OSError, ValueError):
+            records = []
+    records.append(record)
+    path.write_text(
+        json.dumps(records, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 def run_and_record(
     benchmark, study: Study, experiment_id: str
 ) -> ExperimentResult:
-    """Benchmark one experiment and persist its reproduction text."""
+    """Benchmark one experiment and persist its reproduction text.
+
+    Op-count deltas are honest about the study cache: the first bench
+    to touch a stage pays (and records) its ops, later benches sharing
+    the cached result record zero.
+    """
+    before = _counter_values(study)
+    started = time.perf_counter()
     result = benchmark.pedantic(
         run_experiment, args=(experiment_id, study), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - started
+    after = _counter_values(study)
+    ops = {
+        name: after[name] - before.get(name, 0)
+        for name in sorted(after)
+        if after[name] != before.get(name, 0)
+    }
+    _append_bench_record(
+        experiment_id,
+        {
+            "experiment": experiment_id,
+            "scale": study.config.scale,
+            "seed": study.config.seed,
+            "seconds": _benchmark_seconds(benchmark, elapsed),
+            "ops": ops,
+            "total_ops": sum(
+                v for k, v in ops.items() if k.startswith("ops.")
+            ),
+        },
     )
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"{experiment_id}.txt"

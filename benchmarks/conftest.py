@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.config import StudyConfig
 from repro.core.study import Study
+from repro.obs import Observer
 
 #: Full benchmark scale: the calibrated corpus (~800 readable tables
 #: across the four portals, ~1/100 of the real portals' table counts).
@@ -15,5 +16,11 @@ BENCH_SEED = 7
 
 @pytest.fixture(scope="session")
 def study() -> Study:
-    """The shared benchmark corpus (built once per session)."""
-    return Study.build(StudyConfig(scale=BENCH_SCALE, seed=BENCH_SEED))
+    """The shared benchmark corpus (built once per session).
+
+    A metrics-only observer (no trace file) rides along so the bench
+    harness can attribute deterministic op counts to each experiment.
+    """
+    return Study.build(
+        StudyConfig(scale=BENCH_SCALE, seed=BENCH_SEED), obs=Observer()
+    )

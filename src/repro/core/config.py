@@ -58,6 +58,13 @@ class StudyConfig:
     #: (see :func:`repro.generator.profiles.poison_profile`).  0.0 keeps
     #: the calibrated corpora bit-for-bit identical to the seed.
     poison_rate: float = 0.0
+    #: Path of the JSONL telemetry trace (see :mod:`repro.obs`); None
+    #: disables tracing entirely — zero overhead, byte-identical study
+    #: outputs.
+    trace_out: str | None = None
+    #: Attach wall-clock milliseconds to trace spans.  Off by default so
+    #: that equal-seed runs produce byte-identical trace files.
+    wall_clock: bool = False
 
     @property
     def analysis_guarded(self) -> bool:

@@ -17,6 +17,7 @@ import pathlib
 from ..generator.portal_gen import GeneratedPortal, generate_portal
 from ..generator.profiles import PROFILES_BY_CODE, poison_profile
 from ..ingest.pipeline import IngestedTable, IngestReport, ingest_portal
+from ..obs import Observer, maybe_span
 from ..portal.ckan import CkanApi
 from ..portal.http import HttpClient
 from ..resilience import (
@@ -29,6 +30,7 @@ from ..resilience import (
     RetryPolicy,
     StageStatus,
     StudyJournal,
+    WorkMeter,
 )
 from .config import StudyConfig
 
@@ -57,12 +59,24 @@ class PortalStudy:
     generated: GeneratedPortal
     report: IngestReport
     executor: AnalysisExecutor | None = None
+    obs: Observer | None = None
     _cache: dict = dataclasses.field(default_factory=dict)
 
     @property
     def code(self) -> str:
         """Portal code (SG/CA/UK/US)."""
         return self.report.portal_code
+
+    def _stage_meter(self) -> WorkMeter | None:
+        """An unlimited, metrics-fed meter for unguarded traced stages.
+
+        Unlimited meters never raise, so metering an unguarded stage
+        changes nothing about its result — it only attributes the
+        operation count to the enclosing stage span.
+        """
+        if self.obs is None:
+            return None
+        return WorkMeter(None, metrics=self.obs.metrics)
 
     # ------------------------------------------------------------------
     # guarded screening
@@ -80,14 +94,19 @@ class PortalStudy:
             if self.executor is not None:
                 from ..profiling.screen import screen_table
 
-                for ingested in tables:
-                    clean = ingested.clean
-                    self.executor.guard(
-                        "screen",
-                        ingested.resource_id,
-                        lambda meter, table=clean: screen_table(table, meter),
-                        journal_stage=True,
-                    )
+                with maybe_span(
+                    self.obs, "screen", kind="stage", portal=self.code
+                ):
+                    for ingested in tables:
+                        clean = ingested.clean
+                        self.executor.guard(
+                            "screen",
+                            ingested.resource_id,
+                            lambda meter, table=clean: screen_table(
+                                table, meter
+                            ),
+                            journal_stage=True,
+                        )
                 tables = [
                     t
                     for t in tables
@@ -113,36 +132,46 @@ class PortalStudy:
         )
         key = ("joinability", threshold)
         if key not in self._cache:
-            tables = self.screened_tables()
-            if self.executor is None:
-                self._cache[key] = analyze_joinability(
-                    self.code,
-                    tables,
-                    threshold=threshold,
-                    min_unique=self.config.min_unique_values,
-                )
-            else:
-                analysis, _ = self.executor.guard(
-                    f"pairs@{threshold}",
-                    PORTAL_WIDE,
-                    lambda meter: analyze_joinability(
+            with maybe_span(
+                self.obs,
+                f"pairs@{threshold}",
+                kind="stage",
+                portal=self.code,
+            ) as span:
+                tables = self.screened_tables()
+                if self.executor is None:
+                    meter = self._stage_meter()
+                    self._cache[key] = analyze_joinability(
                         self.code,
                         tables,
                         threshold=threshold,
                         min_unique=self.config.min_unique_values,
                         meter=meter,
-                    ),
-                    classify=lambda a: (
-                        StageStatus.TRUNCATED
-                        if a.truncated
-                        else StageStatus.OK
-                    ),
-                    on_budget=StageStatus.TRUNCATED,
-                    fallback=lambda: empty_joinability_analysis(
-                        self.code, tables
-                    ),
-                )
-                self._cache[key] = analysis
+                    )
+                    if span is not None:
+                        span.add_ops(meter.spent)
+                else:
+                    analysis, _ = self.executor.guard(
+                        f"pairs@{threshold}",
+                        PORTAL_WIDE,
+                        lambda meter: analyze_joinability(
+                            self.code,
+                            tables,
+                            threshold=threshold,
+                            min_unique=self.config.min_unique_values,
+                            meter=meter,
+                        ),
+                        classify=lambda a: (
+                            StageStatus.TRUNCATED
+                            if a.truncated
+                            else StageStatus.OK
+                        ),
+                        on_budget=StageStatus.TRUNCATED,
+                        fallback=lambda: empty_joinability_analysis(
+                            self.code, tables
+                        ),
+                    )
+                    self._cache[key] = analysis
         return self._cache[key]
 
     def labeled_join_sample(
@@ -195,24 +224,30 @@ class PortalStudy:
         )
 
         if "unionability" not in self._cache:
-            tables = self.screened_tables()
-            if self.executor is None:
-                self._cache["unionability"] = analyze_unionability(
-                    self.code, tables
-                )
-            else:
-                analysis, _ = self.executor.guard(
-                    "union",
-                    PORTAL_WIDE,
-                    lambda meter: analyze_unionability(
+            with maybe_span(
+                self.obs, "union", kind="stage", portal=self.code
+            ) as span:
+                tables = self.screened_tables()
+                if self.executor is None:
+                    meter = self._stage_meter()
+                    self._cache["unionability"] = analyze_unionability(
                         self.code, tables, meter=meter
-                    ),
-                    on_budget=StageStatus.TRUNCATED,
-                    fallback=lambda: empty_unionability_analysis(
-                        self.code, tables
-                    ),
-                )
-                self._cache["unionability"] = analysis
+                    )
+                    if span is not None:
+                        span.add_ops(meter.spent)
+                else:
+                    analysis, _ = self.executor.guard(
+                        "union",
+                        PORTAL_WIDE,
+                        lambda meter: analyze_unionability(
+                            self.code, tables, meter=meter
+                        ),
+                        on_budget=StageStatus.TRUNCATED,
+                        fallback=lambda: empty_unionability_analysis(
+                            self.code, tables
+                        ),
+                    )
+                    self._cache["unionability"] = analysis
         return self._cache["unionability"]
 
     def labeled_union_sample(self) -> list["LabeledUnionPair"]:
@@ -257,6 +292,15 @@ class PortalStudy:
         RNG instead, so results do not depend on which tables were
         replayed, quarantined, or recomputed in which order.
         """
+        if "normalization" not in self._cache:
+            with maybe_span(
+                self.obs, "fd", kind="stage", portal=self.code
+            ) as span:
+                self._compute_normalization(span)
+        return self._cache["normalization"]
+
+    def _compute_normalization(self, span) -> None:
+        """Populate the normalization cache (see :meth:`normalization`)."""
         from ..normalize.analysis import (
             TableNormalization,
             aggregate_normalization,
@@ -264,50 +308,52 @@ class PortalStudy:
             table_normalization,
         )
 
-        if "normalization" not in self._cache:
-            if self.executor is None:
-                self._cache["normalization"] = normalization_stats(
-                    self.code,
-                    self.filtered_tables(),
-                    seed=self.config.seed,
-                    max_lhs=self.config.max_lhs,
-                )
-            else:
-                kept_tables: list[Table] = []
-                contributions: list[TableNormalization] = []
-                for ingested in self._filtered_ingested():
-                    clean = ingested.clean
-                    rng = random.Random(
-                        f"{self.config.seed}:{self.code}:bcnf:"
-                        f"{ingested.resource_id}"
+        if self.executor is None:
+            meter = self._stage_meter()
+            self._cache["normalization"] = normalization_stats(
+                self.code,
+                self.filtered_tables(),
+                seed=self.config.seed,
+                max_lhs=self.config.max_lhs,
+                meter=meter,
+            )
+            if span is not None:
+                span.add_ops(meter.spent)
+            return
+        kept_tables: list[Table] = []
+        contributions: list[TableNormalization] = []
+        for ingested in self._filtered_ingested():
+            clean = ingested.clean
+            rng = random.Random(
+                f"{self.config.seed}:{self.code}:bcnf:"
+                f"{ingested.resource_id}"
+            )
+            contribution, _ = self.executor.guard(
+                "fd",
+                ingested.resource_id,
+                lambda meter, table=clean, rng=rng: (
+                    table_normalization(
+                        table,
+                        rng,
+                        max_lhs=self.config.max_lhs,
+                        meter=meter,
                     )
-                    contribution, _ = self.executor.guard(
-                        "fd",
-                        ingested.resource_id,
-                        lambda meter, table=clean, rng=rng: (
-                            table_normalization(
-                                table,
-                                rng,
-                                max_lhs=self.config.max_lhs,
-                                meter=meter,
-                            )
-                        ),
-                        classify=lambda c: (
-                            StageStatus.TRUNCATED
-                            if c.truncated
-                            else StageStatus.OK
-                        ),
-                        encode=lambda c: c.to_payload(),
-                        decode=TableNormalization.from_payload,
-                        journal_stage=True,
-                    )
-                    if contribution is not None:
-                        kept_tables.append(clean)
-                        contributions.append(contribution)
-                self._cache["normalization"] = aggregate_normalization(
-                    self.code, kept_tables, contributions
-                )
-        return self._cache["normalization"]
+                ),
+                classify=lambda c: (
+                    StageStatus.TRUNCATED
+                    if c.truncated
+                    else StageStatus.OK
+                ),
+                encode=lambda c: c.to_payload(),
+                decode=TableNormalization.from_payload,
+                journal_stage=True,
+            )
+            if contribution is not None:
+                kept_tables.append(clean)
+                contributions.append(contribution)
+        self._cache["normalization"] = aggregate_normalization(
+            self.code, kept_tables, contributions
+        )
 
     def key_distribution(self):
         """Cached minimum-key-size distribution (Figure 6)."""
@@ -338,12 +384,18 @@ class PortalStudy:
 class Study:
     """The full four-portal study."""
 
-    def __init__(self, config: StudyConfig, portals: dict[str, PortalStudy]):
+    def __init__(
+        self,
+        config: StudyConfig,
+        portals: dict[str, PortalStudy],
+        obs: Observer | None = None,
+    ):
         self.config = config
         self.portals = portals
+        self.obs = obs
 
     @classmethod
-    def build(cls, config: StudyConfig) -> "Study":
+    def build(cls, config: StudyConfig, *, obs: Observer | None = None) -> "Study":
         """Generate and ingest every configured portal.
 
         The crawl honours the config's resilience knobs: a positive
@@ -352,31 +404,52 @@ class Study:
         plus circuit breaking and rate limiting), and ``checkpoint_dir``
         journals per-resource outcomes so an interrupted build resumes
         without re-fetching completed resources.
+
+        With ``config.trace_out`` set (or an explicit *obs*), the whole
+        study runs inside a root ``study`` span: per-portal build and
+        analysis stages nest under it and every executor unit emits a
+        trace span, until :meth:`close` finishes the trace.
         """
+        if obs is None:
+            obs = Observer.from_config(config)
+        if obs is not None:
+            obs.tracer.start(
+                "study",
+                kind="study",
+                seed=config.seed,
+                scale=config.scale,
+                portals=",".join(config.portal_codes),
+            )
         portals: dict[str, PortalStudy] = {}
         for code in config.portal_codes:
-            profile = PROFILES_BY_CODE[code]
-            if config.poison_rate > 0:
-                profile = poison_profile(profile, config.poison_rate)
-            generated = generate_portal(
-                profile, seed=config.seed, scale=config.scale
-            )
-            client = _build_client(HttpClient(generated.store), config)
-            journal = _open_journal(config, code)
-            try:
-                report = ingest_portal(
-                    CkanApi(generated.portal), client, journal=journal
+            with maybe_span(obs, "build", kind="portal", portal=code):
+                profile = PROFILES_BY_CODE[code]
+                if config.poison_rate > 0:
+                    profile = poison_profile(profile, config.poison_rate)
+                with maybe_span(obs, "generate", kind="stage", portal=code):
+                    generated = generate_portal(
+                        profile, seed=config.seed, scale=config.scale
+                    )
+                client = _build_client(HttpClient(generated.store), config)
+                journal = _open_journal(config, code)
+                try:
+                    report = ingest_portal(
+                        CkanApi(generated.portal),
+                        client,
+                        journal=journal,
+                        obs=obs,
+                    )
+                finally:
+                    if journal is not None:
+                        journal.close()
+                portals[code] = PortalStudy(
+                    config=config,
+                    generated=generated,
+                    report=report,
+                    executor=_build_executor(config, code, obs),
+                    obs=obs,
                 )
-            finally:
-                if journal is not None:
-                    journal.close()
-            portals[code] = PortalStudy(
-                config=config,
-                generated=generated,
-                report=report,
-                executor=_build_executor(config, code),
-            )
-        return cls(config=config, portals=portals)
+        return cls(config=config, portals=portals, obs=obs)
 
     def __iter__(self):
         return iter(self.portals.values())
@@ -391,10 +464,12 @@ class Study:
         return tuple(self.portals)
 
     def close(self) -> None:
-        """Flush and close every portal's study journal, if any."""
+        """Close study journals, then finish and flush the trace."""
         for portal in self.portals.values():
             if portal.executor is not None:
                 portal.executor.close()
+        if self.obs is not None:
+            self.obs.close()
 
     def __enter__(self) -> "Study":
         return self
@@ -432,7 +507,9 @@ def _open_journal(config: StudyConfig, code: str) -> CrawlJournal | None:
     return CrawlJournal(path)
 
 
-def _build_executor(config: StudyConfig, code: str) -> AnalysisExecutor | None:
+def _build_executor(
+    config: StudyConfig, code: str, obs: Observer | None = None
+) -> AnalysisExecutor | None:
     """The portal's guarded analysis executor, when the config asks.
 
     The study journal only attaches when *both* the guard and a
@@ -446,10 +523,13 @@ def _build_executor(config: StudyConfig, code: str) -> AnalysisExecutor | None:
         path = pathlib.Path(config.checkpoint_dir) / f"study-{code}.jsonl"
         if not config.resume and path.exists():
             path.unlink()
-        journal = StudyJournal(path)
+        journal = StudyJournal(
+            path, metrics=obs.metrics if obs is not None else None
+        )
     return AnalysisExecutor(
         code,
         stage_budget=config.stage_budget,
         journal=journal,
         quarantine_dir=config.quarantine_dir,
+        obs=obs,
     )

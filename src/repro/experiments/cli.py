@@ -5,14 +5,21 @@ Examples::
     ogdp-repro list
     ogdp-repro run table05
     ogdp-repro run all --scale 0.5 --seed 11
+    ogdp-repro run table03 --trace-out trace.jsonl
+    ogdp-repro stats trace.jsonl --top 5
+
+Output discipline: rendered experiment results, the degradation
+appendix, and ``stats`` reports go to **stdout** (they are the product);
+diagnostics go through :mod:`repro.obs.log` to **stderr**, gated by
+``--quiet`` / ``-v``.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
 from ..core.config import StudyConfig
+from ..obs.log import QUIET, configure_log, get_log
 from .corpus import get_study
 from .registry import experiment_ids, run_all, run_experiment
 
@@ -53,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
             "Government Datasets From a Data Design and Integration "
             "Perspective' (EDBT 2024) on a simulated corpus."
         ),
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress diagnostics on stderr (warnings still shown)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="enable debug diagnostics on stderr",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list available experiments")
@@ -118,6 +138,41 @@ def build_parser() -> argparse.ArgumentParser:
             "(default 0.0 = the calibrated corpus)"
         ),
     )
+    run_parser.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "write a hierarchical span trace (JSONL) of the run to "
+            "this file; inspect it with 'ogdp-repro stats'"
+        ),
+    )
+    run_parser.add_argument(
+        "--wall-clock",
+        action="store_true",
+        help=(
+            "attach wall-clock millisecond timings to trace spans "
+            "(makes the trace non-reproducible across runs)"
+        ),
+    )
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="work-budget attribution report from a run trace",
+    )
+    stats_parser.add_argument(
+        "trace", help="trace file written by 'run --trace-out'"
+    )
+    stats_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON document instead of text",
+    )
+    stats_parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        help="how many of the most expensive tables to list (default 10)",
+    )
     return parser
 
 
@@ -132,53 +187,78 @@ def config_from_args(args: argparse.Namespace) -> StudyConfig:
         stage_budget=args.stage_budget,
         quarantine_dir=args.quarantine_dir,
         poison_rate=args.poison_rate,
+        trace_out=args.trace_out,
+        wall_clock=args.wall_clock,
     )
 
 
-def print_outcome_summary(study, stream=None) -> None:
-    """Print each guarded portal's per-stage outcome tallies."""
+def log_outcome_summary(study) -> None:
+    """Log each guarded portal's per-stage outcome tallies (stderr)."""
     from ..resilience.executor import StageStatus
 
-    stream = stream if stream is not None else sys.stdout
-    header_shown = False
+    log = get_log()
     for portal in study:
         executor = portal.executor
         if executor is None or not executor.outcomes:
             continue
-        if not header_shown:
-            print("guarded-stage outcomes:", file=stream)
-            header_shown = True
         counts = executor.status_counts()
-        tallies = ", ".join(
-            f"{counts[status]} {status.value}"
+        fields = {
+            status.value: counts[status]
             for status in StageStatus
             if counts[status]
-        )
-        print(
-            f"  {portal.code}: {tallies or '0 stages'}"
-            f" ({executor.ticks_spent} ticks spent)",
-            file=stream,
+        }
+        log.info(
+            "guarded-outcomes",
+            portal=portal.code,
+            ticks=executor.ticks_spent,
+            **fields,
         )
 
 
 def _print_guarded_footer(study) -> None:
-    """Per-stage outcome summary plus the degradation appendix."""
+    """Per-stage outcome diagnostics plus the degradation appendix.
+
+    The appendix is part of the rendered product, so it stays on
+    stdout; the tallies are diagnostics and go through the logger.
+    """
     from ..report.render import render_degradation_appendix
 
-    print_outcome_summary(study)
+    log_outcome_summary(study)
     appendix = render_degradation_appendix(study)
     if appendix is not None:
         print()
         print(appendix)
 
 
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: attribution report from a trace file."""
+    import json
+    import pathlib
+
+    from ..obs.stats import load_trace, render_stats, stats_json
+
+    path = pathlib.Path(args.trace)
+    if not path.exists():
+        get_log().error("trace-missing", path=str(path))
+        return 2
+    trace = load_trace(path)
+    if args.as_json:
+        print(json.dumps(stats_json(trace, top=args.top), sort_keys=True))
+    else:
+        print(render_stats(trace, top=args.top))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run, print, return exit code."""
     args = build_parser().parse_args(argv)
+    configure_log(QUIET if args.quiet else args.verbose)
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
         return 0
+    if args.command == "stats":
+        return _run_stats(args)
     config = config_from_args(args)
     study = get_study(config=config)
     try:
@@ -192,7 +272,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             result = run_experiment(args.experiment, study)
         except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
+            get_log().error("unknown-experiment", message=exc.args[0])
             return 2
         print(result.text)
         if config.analysis_guarded:
@@ -200,6 +280,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     finally:
         study.close()
+        if config.trace_out is not None:
+            get_log().info("trace-written", path=config.trace_out)
 
 
 def _entry() -> int:

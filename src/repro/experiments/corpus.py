@@ -17,7 +17,7 @@ BENCH_SCALE = 1.0
 #: Default seed for benchmark runs.
 BENCH_SEED = 7
 
-_CACHE: dict[tuple, Study] = {}
+_CACHE: dict[StudyConfig, Study] = {}
 
 
 def get_study(
@@ -25,30 +25,17 @@ def get_study(
     seed: int = BENCH_SEED,
     config: StudyConfig | None = None,
 ) -> Study:
-    """A cached study for the given parameters."""
+    """A cached study for the given parameters.
+
+    The frozen config itself is the cache key, so every knob — present
+    and future — participates automatically.
+    """
     if config is None:
         config = StudyConfig(scale=scale, seed=seed)
-    key = (
-        config.scale,
-        config.seed,
-        config.portal_codes,
-        config.jaccard_threshold,
-        config.min_unique_values,
-        config.max_lhs,
-        config.join_sample_per_subbucket,
-        config.union_sample_size,
-        config.metadata_sample_size,
-        config.max_retries,
-        config.checkpoint_dir,
-        config.resume,
-        config.stage_budget,
-        config.quarantine_dir,
-        config.poison_rate,
-    )
-    study = _CACHE.get(key)
+    study = _CACHE.get(config)
     if study is None:
         study = Study.build(config)
-        _CACHE[key] = study
+        _CACHE[config] = study
     return study
 
 

@@ -98,6 +98,9 @@ def discover_fds(
         for attr in sorted(constant_attrs):
             pending.append(FD(frozenset(), names[attr]))
 
+        if meter is not None:
+            meter.event("fd.level1.nodes", len(free_level))
+
         # Check level-1 FDs: X={a} -> b.
         for single in free_level:
             (attr,) = tuple(single)
@@ -118,6 +121,8 @@ def discover_fds(
             if not current_free:
                 break
             candidates = _generate_candidates(current_free, level)
+            if meter is not None:
+                meter.event(f"fd.level{level}.nodes", len(candidates))
             next_free: list[frozenset[int]] = []
             next_labels: dict[frozenset[int], Labels] = {}
             for candidate in candidates:

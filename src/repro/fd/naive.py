@@ -8,6 +8,7 @@ tables and the ablation bench compares their runtimes.
 
 from __future__ import annotations
 
+import math
 from itertools import combinations
 
 from ..dataframe import Table
@@ -70,6 +71,10 @@ def discover_fds_naive(
             pending.append(FD(frozenset(), names[attr]))
 
         for size in range(1, max_lhs + 1):
+            if meter is not None:
+                meter.event(
+                    f"fd.level{size}.nodes", math.comb(len(usable), size)
+                )
             _commit(fds, pending)
             for rhs, lhs_set in pending_lhs:
                 minimal_lhs[rhs].append(lhs_set)

@@ -144,6 +144,8 @@ def discover_fds_tane(
 
         size = 1
         while level and size < max_lhs + 1:
+            if meter is not None:
+                meter.event(f"fd.level{size}.nodes", len(level))
             # Compute dependencies at this level: for X in level, check
             # (X \ {A}) -> A for A in X ∩ C+(X)  [level >= 2],
             # and X -> A for A outside X         [done via next level's

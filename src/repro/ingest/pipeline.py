@@ -36,6 +36,7 @@ from ..dataframe import (
     read_raw_rows,
     rows_to_table,
 )
+from ..obs import maybe_span
 from ..portal.ckan import CkanApi
 from ..portal.http import HttpClient
 from ..portal.magic import detect_mime
@@ -128,6 +129,7 @@ def ingest_portal(
     client: HttpClient | ResilientHttpClient,
     *,
     journal: CrawlJournal | None = None,
+    obs=None,
 ) -> IngestReport:
     """Run the full pipeline over one portal's catalog.
 
@@ -136,7 +138,32 @@ def ingest_portal(
     circuit breaking, rate limiting).  When *journal* is given, finished
     resources are checkpointed as the crawl progresses and resources
     already present in the journal are replayed without any fetch.
+
+    With an *obs* observer, the whole crawl runs inside one
+    ``ingest`` stage span whose operation count is the total number of
+    fetch attempts, and the crawl's retry/breaker/journal provenance is
+    folded into the metrics registry.
     """
+    with maybe_span(
+        obs, "ingest", kind="stage", portal=api.portal_code
+    ) as span:
+        report = _ingest_portal(api, client, journal=journal)
+        if obs is not None:
+            attempts = sum(
+                report.resilience.attempts_per_resource.values()
+            )
+            span.add_ops(attempts)
+            _feed_crawl_metrics(obs.metrics, report)
+    return report
+
+
+def _ingest_portal(
+    api: CkanApi,
+    client: HttpClient | ResilientHttpClient,
+    *,
+    journal: CrawlJournal | None = None,
+) -> IngestReport:
+    """The uninstrumented pipeline body (see :func:`ingest_portal`)."""
     resilient = (
         client
         if isinstance(client, ResilientHttpClient)
@@ -195,6 +222,35 @@ def ingest_portal(
         tables_per_dataset=tables_per_dataset,
         resilience=stats,
     )
+
+
+#: Fixed bucket boundaries for the attempts-per-resource histogram.
+ATTEMPT_BUCKETS = (1, 2, 3, 5, 8)
+
+
+def _feed_crawl_metrics(metrics, report: IngestReport) -> None:
+    """Fold one portal's crawl provenance into the metrics registry."""
+    stats = report.resilience
+    attempts = stats.attempts_per_resource
+    metrics.inc("crawl.resources", len(attempts))
+    metrics.inc("crawl.attempts", sum(attempts.values()))
+    metrics.inc(
+        "crawl.retries", sum(max(0, a - 1) for a in attempts.values())
+    )
+    metrics.inc("crawl.recovered_after_retry", stats.recovered_after_retry)
+    metrics.inc("crawl.circuit_open_skips", stats.circuit_open_skips)
+    metrics.inc("crawl.breaker_transitions", len(stats.circuit_events))
+    metrics.inc("crawl.degraded_tables", stats.degraded_tables)
+    metrics.inc("crawl.resumed_resources", stats.resumed_resources)
+    metrics.inc("crawl.wait_seconds", stats.simulated_wait_seconds)
+    histogram = metrics.histogram(
+        "crawl.attempts_per_resource", ATTEMPT_BUCKETS
+    )
+    for count in attempts.values():
+        histogram.observe(count)
+    for outcome, count in report.outcome_counts.items():
+        if count:
+            metrics.inc(f"crawl.outcome.{outcome.name.lower()}", count)
 
 
 def _account(

@@ -82,6 +82,8 @@ def joinable_pairs_flagged(
                     continue
                 overlaps[(left, right)] += 1
 
+    if meter is not None:
+        meter.event("join.candidate_pairs", len(overlaps))
     pairs: list[JoinablePair] = []
     truncated = False
     try:
@@ -101,6 +103,10 @@ def joinable_pairs_flagged(
                 )
     except BudgetExceeded:
         truncated = True
+    if meter is not None:
+        meter.event("join.pairs_verified", len(pairs))
+        if not truncated:
+            meter.event("join.pairs_pruned", len(overlaps) - len(pairs))
     pairs.sort(key=lambda p: (p.left, p.right))
     return pairs, truncated
 

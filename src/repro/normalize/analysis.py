@@ -168,11 +168,17 @@ def normalization_stats(
     tables: list[Table],
     seed: int = 0,
     max_lhs: int = DEFAULT_MAX_LHS,
+    meter: WorkMeter | None = None,
 ) -> NormalizationStats:
-    """Run the full §4.2/§4.3 analysis over already-filtered *tables*."""
+    """Run the full §4.2/§4.3 analysis over already-filtered *tables*.
+
+    The optional *meter* is shared across all tables; an unlimited one
+    (telemetry-only) leaves every number bit-for-bit unchanged.
+    """
     rng = random.Random(f"{seed}:{portal_code}:bcnf")
     contributions = [
-        table_normalization(table, rng, max_lhs=max_lhs) for table in tables
+        table_normalization(table, rng, max_lhs=max_lhs, meter=meter)
+        for table in tables
     ]
     return aggregate_normalization(portal_code, tables, contributions)
 

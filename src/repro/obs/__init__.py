@@ -1,0 +1,121 @@
+"""Study telemetry: tracing, metrics, and structured logging.
+
+The resilience layer (DESIGN.md §6–§7) made the pipeline survive
+faults, but survival is silent: retries, breaker trips, budget
+truncations, and quarantines leave no machine-readable record of where
+the work went.  This package is the measurement of the measurement
+process itself:
+
+* :mod:`repro.obs.trace` — hierarchical spans (``study → portal →
+  stage → table unit``) written to a torn-line-tolerant JSONL trace
+  file.  Span "durations" are deterministic :class:`WorkMeter`
+  operation counts, so two equal-seed runs produce *byte-identical*
+  traces; wall-clock timings attach only on request.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms fed by the resilience layer (retries,
+  breaker transitions, journal resume hits, truncations, quarantines)
+  and the analysis engines (lattice nodes per FD level, join
+  candidates pruned vs. verified, cells screened).
+* :mod:`repro.obs.log` — a small structured logger replacing bare
+  ``print`` diagnostics, honoring ``--quiet`` / ``-v``.
+* :mod:`repro.obs.stats` — the work-budget attribution report behind
+  ``ogdp-repro stats``: per-portal/per-stage breakdowns, top-N most
+  expensive tables, and the degradation ledger.
+
+Everything is opt-in: with no :class:`Observer` configured the hooks
+collapse to ``is None`` checks and study outputs are byte-identical to
+an uninstrumented run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .log import Logger, configure_log, get_log
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span, TraceWriter, Tracer, read_trace
+
+#: Trace file format version, written in the header record.
+TRACE_VERSION = 1
+
+
+class Observer:
+    """One run's telemetry bundle: a tracer plus a metrics registry.
+
+    With ``trace_path=None`` the observer still aggregates metrics and
+    tracks span structure in memory (the benchmark harness uses this
+    for op-count attribution) but writes nothing to disk.
+    """
+
+    def __init__(
+        self,
+        trace_path=None,
+        *,
+        wall_clock: bool = False,
+        meta: dict | None = None,
+    ):
+        self.metrics = MetricsRegistry()
+        writer = None
+        if trace_path is not None:
+            header = {"version": TRACE_VERSION, "wall_clock": wall_clock}
+            header.update(meta or {})
+            writer = TraceWriter(trace_path, header=header)
+        self.tracer = Tracer(writer, wall_clock=wall_clock)
+
+    @classmethod
+    def from_config(cls, config) -> "Observer | None":
+        """The observer a study config asks for, or None for zero overhead."""
+        if config.trace_out is None:
+            return None
+        return cls(
+            config.trace_out,
+            wall_clock=config.wall_clock,
+            meta={
+                "seed": config.seed,
+                "scale": config.scale,
+                "portals": list(config.portal_codes),
+                "stage_budget": config.stage_budget,
+            },
+        )
+
+    def span(self, name: str, kind: str = "span", **attrs):
+        """Context manager for one traced span (delegates to the tracer)."""
+        return self.tracer.span(name, kind=kind, **attrs)
+
+    def close(self) -> None:
+        """Finish dangling spans, flush metrics, and close the trace file."""
+        while self.tracer.open_spans:
+            self.tracer.finish(self.tracer.open_spans[-1])
+        writer = self.tracer.writer
+        if writer is not None:
+            for name, snap in self.metrics.snapshot().items():
+                writer.write({"type": "metric", "name": name, **snap})
+            writer.write(
+                {"type": "footer", "spans": self.tracer.spans_finished}
+            )
+            writer.close()
+
+
+def maybe_span(obs: "Observer | None", name: str, kind: str = "span", **attrs):
+    """``obs.span(...)`` when observing, a null context otherwise."""
+    if obs is None:
+        return contextlib.nullcontext(None)
+    return obs.span(name, kind=kind, **attrs)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Logger",
+    "MetricsRegistry",
+    "Observer",
+    "Span",
+    "TRACE_VERSION",
+    "TraceWriter",
+    "Tracer",
+    "configure_log",
+    "get_log",
+    "maybe_span",
+    "read_trace",
+]

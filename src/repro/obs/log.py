@@ -1,0 +1,89 @@
+"""Structured logging for pipeline diagnostics.
+
+Replaces the bare ``print()`` diagnostics that used to live in the CLI:
+every message is one line of ``[level] event key=value ...`` on stderr,
+so machine output on stdout (rendered tables, ``stats --json``) stays
+clean and greppable diagnostics stay out of redirected results.
+
+Verbosity maps onto the CLI flags: ``--quiet`` → warnings and errors
+only, default → info, ``-v`` → debug.  Deliberately no timestamps —
+diagnostic output of a fixed-seed run should be reproducible too.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Verbosity levels (smaller = quieter).
+QUIET = -1
+NORMAL = 0
+VERBOSE = 1
+
+_SEVERITY = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+
+def _threshold(verbosity: int) -> int:
+    if verbosity <= QUIET:
+        return _SEVERITY["warn"]
+    if verbosity >= VERBOSE:
+        return _SEVERITY["debug"]
+    return _SEVERITY["info"]
+
+
+def _format_value(value: object) -> str:
+    text = str(value)
+    if any(ch.isspace() for ch in text) or text == "":
+        return json.dumps(text)
+    return text
+
+
+class Logger:
+    """One-line structured event logger."""
+
+    def __init__(self, verbosity: int = NORMAL, stream=None):
+        self.verbosity = verbosity
+        self._stream = stream
+
+    @property
+    def stream(self):
+        # Late-bound so pytest's capsys sees redirected stderr.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit ``[level] event key=value ...`` if *level* is enabled."""
+        if _SEVERITY[level] < _threshold(self.verbosity):
+            return
+        parts = [f"[{level}]", event]
+        parts.extend(
+            f"{key}={_format_value(value)}" for key, value in fields.items()
+        )
+        print(" ".join(parts), file=self.stream)  # noqa: T201
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warn(self, event: str, **fields) -> None:
+        self.log("warn", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+#: Process-wide default logger (the CLI reconfigures it from its flags).
+_default = Logger()
+
+
+def get_log() -> Logger:
+    """The process-wide default logger."""
+    return _default
+
+
+def configure_log(verbosity: int, stream=None) -> Logger:
+    """Reconfigure and return the process-wide default logger."""
+    global _default
+    _default = Logger(verbosity, stream)
+    return _default

@@ -59,6 +59,8 @@ def screen_table(table: Table, meter: WorkMeter | None = None) -> TableScreen:
         cells += len(column)
         if meter is not None:
             meter.tick(cost, op="screen.column")
+    if meter is not None:
+        meter.event("screen.cells", cells)
     return TableScreen(
         table_name=table.name,
         n_rows=table.num_rows,

@@ -33,12 +33,20 @@ class WorkMeter:
     ``budget=None`` means unlimited: ticks are still counted (cheap
     integer adds) but :class:`BudgetExceeded` is never raised, so
     guarded code paths produce exactly the unguarded result.
+
+    With a *metrics* registry attached (see
+    :class:`repro.obs.metrics.MetricsRegistry`), every tick also feeds
+    a per-operation counter (``ops.<op>``) and :meth:`event` records
+    named analysis-engine occurrences (lattice nodes per level, pairs
+    pruned vs. verified); without one, both are single ``is None``
+    branches, so unobserved runs pay nothing.
     """
 
-    def __init__(self, budget: int | None = None):
+    def __init__(self, budget: int | None = None, metrics=None):
         if budget is not None and budget < 1:
             raise ValueError(f"budget must be >= 1 or None, got {budget}")
         self.budget = budget
+        self._metrics = metrics
         self._spent = 0
         self._exhausted = False
 
@@ -76,6 +84,19 @@ class WorkMeter:
         if cost < 0:
             raise ValueError(f"cost must be >= 0, got {cost}")
         self._spent += cost
+        if self._metrics is not None:
+            self._metrics.inc("ops." + op, cost)
         if self.budget is not None and self._spent > self.budget:
             self._exhausted = True
             raise BudgetExceeded(op, self._spent, self.budget)
+
+    def event(self, name: str, value: int = 1) -> None:
+        """Record a named occurrence in the attached metrics registry.
+
+        Free (a single branch) when no registry is attached; never
+        charges the budget.  Analysis engines use this for structural
+        telemetry that is not work — lattice nodes examined per level,
+        candidate pairs pruned vs. verified, cells screened.
+        """
+        if self._metrics is not None:
+            self._metrics.inc(name, value)

@@ -36,6 +36,9 @@ from .study_journal import StageRecord, StudyJournal
 #: Table id used for portal-wide stages (join pair search, unionability).
 PORTAL_WIDE = "*"
 
+#: Fixed bucket boundaries for the per-unit tick histogram.
+UNIT_TICK_BUCKETS = (10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
 
 class StageStatus(enum.Enum):
     """Terminal state of one guarded analysis unit."""
@@ -71,6 +74,11 @@ class AnalysisExecutor:
     bookkeeping: the append-ordered outcome log (for the degradation
     appendix), the set of quarantined table ids (consulted by every
     downstream stage), and the optional journal / quarantine directory.
+
+    With an :class:`~repro.obs.Observer` attached, every unit —
+    computed or replayed — additionally emits exactly one trace span
+    (``kind="unit"``) whose operation count is the meter's spend, and
+    feeds the outcome/journal counters of the metrics registry.
     """
 
     def __init__(
@@ -80,10 +88,12 @@ class AnalysisExecutor:
         stage_budget: int | None = None,
         journal: StudyJournal | None = None,
         quarantine_dir: str | pathlib.Path | None = None,
+        obs=None,
     ):
         self.portal_code = portal_code
         self.stage_budget = stage_budget
         self.journal = journal
+        self.obs = obs
         self.quarantine_dir = (
             pathlib.Path(quarantine_dir) if quarantine_dir is not None else None
         )
@@ -127,7 +137,19 @@ class AnalysisExecutor:
             if record is not None:
                 return self._replay(record, decode, fallback)
 
-        meter = WorkMeter(self.stage_budget)
+        meter = WorkMeter(
+            self.stage_budget,
+            metrics=self.obs.metrics if self.obs is not None else None,
+        )
+        span = None
+        if self.obs is not None:
+            span = self.obs.tracer.start(
+                stage,
+                kind="unit",
+                portal=self.portal_code,
+                stage=stage,
+                table=table_id,
+            )
         detail = ""
         try:
             result = compute(meter)
@@ -148,6 +170,12 @@ class AnalysisExecutor:
             budget=self.stage_budget,
             detail=detail,
         )
+        if span is not None:
+            span.attrs["replayed"] = False
+            if detail:
+                span.attrs["detail"] = detail
+            self.obs.tracer.finish(span, status=status.value, ops=meter.spent)
+            self._observe_outcome(outcome)
         self._note(outcome)
         if journal_stage and self.journal is not None:
             payload = (
@@ -166,6 +194,8 @@ class AnalysisExecutor:
                     payload=payload,
                 )
             )
+            if self.obs is not None:
+                self.obs.metrics.inc("journal.records_written")
         if result is None and fallback is not None:
             result = fallback()
         return result, outcome
@@ -188,6 +218,23 @@ class AnalysisExecutor:
             detail=record.detail,
             replayed=True,
         )
+        if self.obs is not None:
+            # Replays charge 0 ops this run (no work was redone); the
+            # originally recorded spend stays visible as an attribute.
+            span = self.obs.tracer.start(
+                record.stage,
+                kind="unit",
+                portal=self.portal_code,
+                stage=record.stage,
+                table=record.table_id,
+                replayed=True,
+                recorded_ticks=record.ticks,
+            )
+            if record.detail:
+                span.attrs["detail"] = record.detail
+            self.obs.tracer.finish(span, status=status.value, ops=0)
+            self.obs.metrics.inc("journal.resume_hits")
+            self._observe_outcome(outcome)
         self._note(outcome)
         result = None
         if record.payload is not None and decode is not None:
@@ -195,6 +242,17 @@ class AnalysisExecutor:
         if result is None and fallback is not None:
             result = fallback()
         return result, outcome
+
+    def _observe_outcome(self, outcome: StageOutcome) -> None:
+        """Feed one outcome's counters into the metrics registry."""
+        metrics = self.obs.metrics
+        metrics.inc(f"stage.{outcome.status.value}")
+        if outcome.replayed:
+            metrics.inc("stage.replayed")
+        else:
+            metrics.histogram("unit.ticks", UNIT_TICK_BUCKETS).observe(
+                outcome.ticks
+            )
 
     def _note(self, outcome: StageOutcome) -> None:
         """Log one outcome and apply its quarantine side effects."""

@@ -63,8 +63,9 @@ class StudyJournal:
     interrupted process loses at most the unit it was computing.
     """
 
-    def __init__(self, path: str | pathlib.Path):
+    def __init__(self, path: str | pathlib.Path, metrics=None):
         self.path = pathlib.Path(path)
+        self._metrics = metrics
         self._records: dict[tuple[str, str], StageRecord] = {}
         self._handle: IO[str] | None = None
         if self.path.exists():
@@ -79,8 +80,12 @@ class StudyJournal:
                         # Torn trailing line from a mid-write kill:
                         # everything before it is still valid, and the
                         # torn unit is simply recomputed.
+                        if metrics is not None:
+                            metrics.inc("journal.torn_lines")
                         continue
                     self._records[record.key] = record
+            if metrics is not None and self._records:
+                metrics.inc("journal.loaded_records", len(self._records))
 
     def __len__(self) -> int:
         return len(self._records)

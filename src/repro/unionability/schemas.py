@@ -139,6 +139,9 @@ def analyze_unionability(
             )
         by_fingerprint[schema_fingerprint(table)].append(index)
 
+    if meter is not None:
+        meter.event("union.tables_grouped", len(tables))
+        meter.event("union.unique_schemas", len(by_fingerprint))
     groups = [
         UnionGroup(
             fingerprint=fingerprint,

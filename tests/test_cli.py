@@ -97,6 +97,32 @@ class TestParser:
         assert config.poison_rate == 0.25
         assert config.analysis_guarded
 
+    def test_obs_defaults_are_seed_behavior(self):
+        config = config_from_args(
+            build_parser().parse_args(["run", "table01"])
+        )
+        assert config.trace_out is None
+        assert config.wall_clock is False
+
+    def test_trace_flags_reach_config(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        config = config_from_args(
+            build_parser().parse_args(
+                ["run", "table01", "--trace-out", trace, "--wall-clock"]
+            )
+        )
+        assert config.trace_out == trace
+        assert config.wall_clock is True
+
+    def test_stats_command_parses(self):
+        args = build_parser().parse_args(
+            ["stats", "trace.jsonl", "--json", "--top", "5"]
+        )
+        assert args.command == "stats"
+        assert args.trace == "trace.jsonl"
+        assert args.as_json is True
+        assert args.top == 5
+
     @pytest.mark.parametrize(
         "flags",
         [
@@ -144,7 +170,7 @@ class TestMain:
         journals = sorted(p.name for p in tmp_path.glob("crawl-*.jsonl"))
         assert journals  # e.g. crawl-CA.jsonl, crawl-SG.jsonl, ...
 
-    def test_guarded_run_prints_outcome_summary(self, capsys, tmp_path):
+    def test_guarded_run_logs_outcome_summary(self, capsys, tmp_path):
         code = main(
             [
                 "run", "table05",
@@ -157,15 +183,38 @@ class TestMain:
             ]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "guarded-stage outcomes:" in out
-        assert "ticks spent" in out
+        captured = capsys.readouterr()
+        # Diagnostics are structured log lines on stderr, not stdout.
+        assert "guarded-outcomes" in captured.err
+        assert "ticks=" in captured.err
+        assert "guarded-outcomes" not in captured.out
         # Study journals were written next to the crawl journals.
         assert sorted(
             p.name for p in (tmp_path / "checkpoints").glob("study-*.jsonl")
         )
 
-    def test_unguarded_run_prints_no_summary(self, capsys):
+    def test_quiet_suppresses_outcome_summary(self, capsys, tmp_path):
+        code = main(
+            [
+                "-q",
+                "run", "table05",
+                "--scale", "0.08",
+                "--seed", "2",
+                "--stage-budget", "40000",
+                "--quarantine-dir", str(tmp_path / "quarantine"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "guarded-outcomes" not in captured.err
+        assert "Table 5" in captured.out
+
+    def test_unguarded_run_logs_no_summary(self, capsys):
         code = main(["run", "table05", "--scale", "0.08", "--seed", "2"])
         assert code == 0
-        assert "guarded-stage outcomes:" not in capsys.readouterr().out
+        assert "guarded-outcomes" not in capsys.readouterr().err
+
+    def test_stats_missing_trace_file(self, capsys, tmp_path):
+        code = main(["stats", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "trace-missing" in capsys.readouterr().err

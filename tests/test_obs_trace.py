@@ -1,0 +1,176 @@
+"""Tests for the span tracer, trace writer/reader, and validation."""
+
+import json
+
+import pytest
+
+from repro.obs import Observer, maybe_span
+from repro.obs.stats import load_trace, validate_spans
+from repro.obs.trace import TraceWriter, Tracer, read_trace
+
+
+class TestTracer:
+    def test_parenting_and_sequence_numbers(self):
+        tracer = Tracer()
+        root = tracer.start("study", kind="study")
+        child = tracer.start("portal", kind="portal")
+        assert child.parent_id == root.span_id
+        tracer.finish(child)
+        tracer.finish(root)
+        assert root.seq_open < child.seq_open
+        assert child.seq_open < child.seq_close < root.seq_close
+        assert tracer.spans_finished == 2
+
+    def test_ops_roll_up_to_parent(self):
+        tracer = Tracer()
+        root = tracer.start("root")
+        child = tracer.start("child")
+        grandchild = tracer.start("grandchild")
+        tracer.finish(grandchild, ops=5)
+        tracer.finish(child, ops=2)
+        tracer.finish(root)
+        assert grandchild.total_ops == 5
+        assert child.self_ops == 2 and child.total_ops == 7
+        assert root.self_ops == 0 and root.total_ops == 7
+
+    def test_finish_non_innermost_raises(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        with pytest.raises(ValueError):
+            tracer.finish(outer)
+
+    def test_context_manager_marks_errors(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.open_spans == []
+        assert tracer.spans_finished == 1
+
+
+class TestTraceFile:
+    def _write_small_trace(self, path):
+        writer = TraceWriter(path, header={"version": 1, "seed": 2})
+        tracer = Tracer(writer)
+        with tracer.span("study", kind="study"):
+            with tracer.span("portal", kind="portal", portal="SG") as span:
+                span.add_ops(3)
+        writer.write({"type": "footer", "spans": tracer.spans_finished})
+        writer.close()
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_small_trace(path)
+        records = list(read_trace(path))
+        assert records[0]["type"] == "header"
+        assert records[0]["seed"] == 2
+        spans = [r for r in records if r["type"] == "span"]
+        # Children finish (and are written) before their parents.
+        assert [s["name"] for s in spans] == ["portal", "study"]
+        assert spans[0]["ops"] == 3
+        assert records[-1] == {"type": "footer", "spans": 2}
+
+    def test_no_wall_ms_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_small_trace(path)
+        assert not any("wall_ms" in r for r in read_trace(path))
+
+    def test_wall_clock_attaches_wall_ms(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(path)
+        tracer = Tracer(writer, wall_clock=True)
+        with tracer.span("timed"):
+            pass
+        writer.close()
+        spans = [r for r in read_trace(path) if r["type"] == "span"]
+        assert all("wall_ms" in s for s in spans)
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_small_trace(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "id": 99, "nam')
+        records = list(read_trace(path))
+        assert all(r.get("id") != 99 for r in records)
+        assert sum(1 for r in records if r["type"] == "span") == 2
+
+    def test_load_trace_flags_footer_mismatch(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_small_trace(path)
+        lines = path.read_text().splitlines()
+        # Drop one span record but keep the footer's original count.
+        del lines[1]
+        path.write_text("\n".join(lines) + "\n")
+        trace = load_trace(path)
+        assert not trace.valid
+        assert any("footer" in p for p in trace.problems)
+
+
+class TestValidation:
+    def test_clean_tree_passes(self):
+        spans = [
+            {"id": 2, "parent": 1, "open": 2, "close": 3},
+            {"id": 1, "parent": None, "open": 1, "close": 4},
+        ]
+        assert validate_spans(spans) == []
+
+    def test_detects_broken_nesting(self):
+        spans = [
+            {"id": 1, "parent": None, "open": 1, "close": 3},
+            {"id": 2, "parent": 1, "open": 2, "close": 4},
+        ]
+        assert any("not nested" in p for p in validate_spans(spans))
+
+    def test_detects_sibling_overlap(self):
+        spans = [
+            {"id": 1, "parent": None, "open": 1, "close": 6},
+            {"id": 2, "parent": 1, "open": 2, "close": 4},
+            {"id": 3, "parent": 1, "open": 3, "close": 5},
+        ]
+        problems = validate_spans(spans)
+        assert any("overlap" in p for p in problems)
+
+    def test_detects_duplicate_ids(self):
+        spans = [
+            {"id": 1, "parent": None, "open": 1, "close": 2},
+            {"id": 1, "parent": None, "open": 3, "close": 4},
+        ]
+        assert any("duplicate span id" in p for p in validate_spans(spans))
+
+
+class TestObserver:
+    def test_maybe_span_null_context(self):
+        with maybe_span(None, "anything") as span:
+            assert span is None
+
+    def test_metrics_only_observer_writes_nothing(self, tmp_path):
+        obs = Observer()
+        with obs.span("root"):
+            obs.metrics.inc("hits")
+        obs.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_close_finishes_dangling_spans_and_writes_metrics(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs = Observer(path, meta={"seed": 5})
+        obs.tracer.start("study", kind="study")
+        obs.tracer.start("portal", kind="portal")
+        obs.metrics.inc("crawl.retries", 2)
+        obs.close()
+        records = list(read_trace(path))
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "header" and kinds[-1] == "footer"
+        assert kinds.count("span") == 2
+        metric = next(r for r in records if r["type"] == "metric")
+        assert metric["name"] == "crawl.retries"
+        assert metric["value"] == 2
+
+    def test_header_carries_meta(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs = Observer(path, meta={"seed": 5, "scale": 0.1})
+        obs.close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["seed"] == 5
+        assert header["scale"] == 0.1
+        assert header["wall_clock"] is False
