@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench smoke-trace
+.PHONY: test lint bench-smoke bench smoke-trace experiments fidelity
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,11 +12,27 @@ lint:
 # One full-scale figure benchmark as a smoke test of the pipeline
 # (figure01 profiles table sizes, so it exercises generator -> ingest
 # -> profiling end to end without the expensive join/FD stages).
+# Extra pytest flags for the bench suite, e.g.
+# `make bench PYTEST_BENCH_FLAGS=--fail-on-regression` to gate each
+# bench against its rolling BENCH_*.json op-count baseline.
+PYTEST_BENCH_FLAGS ?=
+
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/test_bench_figure01.py --benchmark-disable -q
+	$(PYTHON) -m pytest benchmarks/test_bench_figure01.py --benchmark-disable -q $(PYTEST_BENCH_FLAGS)
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only $(PYTEST_BENCH_FLAGS)
+
+# Regenerate EXPERIMENTS.md from the calibrated full-scale study
+# (scale 1.0, seed 7).  CI asserts the committed file matches, so the
+# paper-vs-measured prose cannot drift from the code that measures it.
+experiments:
+	$(PYTHON) -m repro.experiments.reporting 1.0 7
+
+# The paper-fidelity scoreboard over the same full-scale study,
+# writing fidelity.json alongside the text report.
+fidelity:
+	$(PYTHON) -m repro.experiments.cli fidelity --out fidelity.json
 
 # A small guarded run with tracing enabled, then the attribution
 # report over the resulting trace — exercises run --trace-out and

@@ -13,16 +13,27 @@ comparable history.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 
 from repro.core.results import ExperimentResult
 from repro.core.study import Study
 from repro.experiments.registry import run_experiment
+from repro.obs import baseline
 from repro.obs.metrics import Histogram
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Regression-gate configuration; ``conftest.py`` overwrites these from
+#: the ``--fail-on-regression`` / ``--regression-threshold`` options.
+GATE = {
+    "fail_on_regression": False,
+    "threshold": baseline.DEFAULT_THRESHOLD,
+    "window": baseline.DEFAULT_WINDOW,
+    "min_ops": baseline.DEFAULT_MIN_OPS,
+}
 
 
 def _counter_values(study: Study) -> dict[str, float]:
@@ -48,22 +59,49 @@ def _benchmark_seconds(benchmark, fallback: float) -> float:
     return fallback
 
 
-def _append_bench_record(experiment_id: str, record: dict) -> None:
-    """Append *record* to ``BENCH_<id>.json``, tolerating a bad file."""
-    path = REPO_ROOT / f"BENCH_{experiment_id}.json"
+def _append_bench_record(
+    experiment_id: str, record: dict, *, root: pathlib.Path | None = None
+) -> pathlib.Path:
+    """Append *record* to ``BENCH_<id>.json``, tolerating a bad file.
+
+    Existing records are recovered with the tolerant baseline reader
+    (so a previously truncated file loses only its torn tail, not its
+    history), and the updated array is written via a same-directory
+    temp file plus :func:`os.replace` so readers never observe a
+    partially written file.
+    """
+    path = (root or REPO_ROOT) / f"BENCH_{experiment_id}.json"
     records: list = []
     if path.exists():
         try:
-            loaded = json.loads(path.read_text(encoding="utf-8"))
-            if isinstance(loaded, list):
-                records = loaded
-        except (OSError, ValueError):
-            records = []
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        records = baseline.salvage_json_objects(text)
     records.append(record)
-    path.write_text(
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
         json.dumps(records, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    os.replace(tmp, path)
+    return path
+
+
+def _check_regression_gate(history_path: pathlib.Path) -> None:
+    """Fail the bench if the just-appended record regressed the gate."""
+    if not GATE["fail_on_regression"]:
+        return
+    verdict = baseline.evaluate_gate(
+        baseline.read_history(history_path),
+        threshold=GATE["threshold"],
+        window=GATE["window"],
+        min_ops=GATE["min_ops"],
+    )
+    if verdict is not None and verdict.regressed:
+        raise AssertionError(
+            f"bench regression gate: {verdict.experiment}: {verdict.reason}"
+        )
 
 
 def run_and_record(
@@ -87,7 +125,7 @@ def run_and_record(
         for name in sorted(after)
         if after[name] != before.get(name, 0)
     }
-    _append_bench_record(
+    history_path = _append_bench_record(
         experiment_id,
         {
             "experiment": experiment_id,
@@ -100,6 +138,7 @@ def run_and_record(
             ),
         },
     )
+    _check_regression_gate(history_path)
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"{experiment_id}.txt"
     path.write_text(result.text + "\n", encoding="utf-8")

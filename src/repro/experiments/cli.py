@@ -7,6 +7,9 @@ Examples::
     ogdp-repro run all --scale 0.5 --seed 11
     ogdp-repro run table03 --trace-out trace.jsonl
     ogdp-repro stats trace.jsonl --top 5
+    ogdp-repro fidelity --json --out fidelity.json
+    ogdp-repro diff runs/a runs/b
+    ogdp-repro bench-report
 
 Output discipline: rendered experiment results, the degradation
 appendix, and ``stats`` reports go to **stdout** (they are the product);
@@ -173,6 +176,83 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="how many of the most expensive tables to list (default 10)",
     )
+    fidelity_parser = subparsers.add_parser(
+        "fidelity",
+        help="PASS/NEAR/DIVERGENT scoreboard of paper fidelity",
+    )
+    fidelity_parser.add_argument(
+        "--scale", type=float, default=1.0, help="corpus scale (default 1.0)"
+    )
+    fidelity_parser.add_argument(
+        "--seed", type=int, default=7, help="master seed (default 7)"
+    )
+    fidelity_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON document instead of text",
+    )
+    fidelity_parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON document to this file (e.g. fidelity.json)",
+    )
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help="compare two runs' traces/metrics/fidelity for drift",
+    )
+    diff_parser.add_argument(
+        "run_a", help="first run: a trace file or a run directory"
+    )
+    diff_parser.add_argument(
+        "run_b", help="second run: a trace file or a run directory"
+    )
+    diff_parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help=(
+            "relative tolerance for op-count and metric comparisons "
+            "(default 0.0 = exact; equal seeds must diff empty)"
+        ),
+    )
+    diff_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON document instead of text",
+    )
+    diff_parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON diff report to this file",
+    )
+    bench_parser = subparsers.add_parser(
+        "bench-report",
+        help="summarize BENCH_*.json histories against rolling baselines",
+    )
+    bench_parser.add_argument(
+        "--root",
+        default=".",
+        help="directory holding BENCH_*.json files (default: cwd)",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative op-count regression threshold (default 0.25)",
+    )
+    bench_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON document instead of text",
+    )
+    bench_parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any experiment regressed its baseline",
+    )
     return parser
 
 
@@ -249,6 +329,88 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fidelity(args: argparse.Namespace) -> int:
+    """The ``fidelity`` subcommand: paper-fidelity scoreboard."""
+    import json
+    import pathlib
+
+    from ..obs import fidelity
+    from .registry import fidelity_checks
+
+    config = StudyConfig(scale=args.scale, seed=args.seed)
+    study = get_study(config=config)
+    board = [
+        fidelity.evaluate_experiment(
+            result, fidelity_checks(result.experiment_id)
+        )
+        for result in run_all(study)
+    ]
+    meta = {"scale": args.scale, "seed": args.seed}
+    doc = fidelity.scoreboard_json(board, meta=meta)
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        get_log().info("fidelity-written", path=args.out)
+    if args.as_json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        print(fidelity.render_scoreboard(board, meta=meta))
+    return 0
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    """The ``diff`` subcommand: 0 = no drift, 1 = drift, 2 = unreadable."""
+    import json
+    import pathlib
+
+    from ..obs.diff import RunLoadError, diff_runs, load_run, render_diff
+
+    try:
+        run_a = load_run(args.run_a)
+        run_b = load_run(args.run_b)
+    except RunLoadError as exc:
+        get_log().error("diff-unreadable", message=str(exc))
+        return 2
+    report = diff_runs(run_a, run_b, rel_tol=args.rel_tol)
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(
+            json.dumps(report.as_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        get_log().info("diff-written", path=args.out)
+    if args.as_json:
+        print(json.dumps(report.as_json(), sort_keys=True))
+    else:
+        print(render_diff(report))
+    return 1 if report.has_drift else 0
+
+
+def _run_bench_report(args: argparse.Namespace) -> int:
+    """The ``bench-report`` subcommand: gate BENCH_*.json histories."""
+    import json
+
+    from ..obs import baseline
+
+    threshold = (
+        baseline.DEFAULT_THRESHOLD
+        if args.threshold is None
+        else args.threshold
+    )
+    verdicts = baseline.gate_all(args.root, threshold=threshold)
+    if args.as_json:
+        print(
+            json.dumps(
+                [verdict.as_json() for verdict in verdicts], sort_keys=True
+            )
+        )
+    else:
+        print(baseline.render_bench_report(verdicts))
+    regressed = any(verdict.regressed for verdict in verdicts)
+    return 1 if (regressed and args.fail_on_regression) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run, print, return exit code."""
     args = build_parser().parse_args(argv)
@@ -259,6 +421,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "fidelity":
+        return _run_fidelity(args)
+    if args.command == "diff":
+        return _run_diff(args)
+    if args.command == "bench-report":
+        return _run_bench_report(args)
     config = config_from_args(args)
     study = get_study(config=config)
     try:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..profiling.sizes import size_percentile_curve
 from ..report.render import render_table
 
@@ -55,3 +56,16 @@ def run(study: Study) -> ExperimentResult:
     )
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.claim(
+        "top_decile_dominates",
+        lambda data: all(
+            1.0 - entry["frac_below_p90"] > 0.4
+            for entry in data.values()
+            if isinstance(entry, dict) and "frac_below_p90" in entry
+        ),
+        note="the top decile carries the bulk of every portal's bytes",
+    ),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..profiling.growth import growth_curve
 from ..report.render import render_bar_chart
 
@@ -49,3 +50,21 @@ def run(study: Study) -> ExperimentResult:
     text = "\n".join(sections)
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.claim(
+        "uk_smooth_others_steplike",
+        lambda data: (
+            isinstance(data.get("UK"), dict)
+            and not data["UK"]["is_steplike"]
+            and all(
+                entry["is_steplike"]
+                for code, entry in data.items()
+                if isinstance(entry, dict)
+                and code != "UK"
+                and "is_steplike" in entry
+            )
+        ),
+    ),
+)

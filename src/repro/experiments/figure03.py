@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..profiling.tablesize import shape_distribution
 from ..report.render import render_table
 
@@ -59,3 +60,40 @@ def _bucket_labels(edges: list[float]) -> list[str]:
         labels.append(f"{left:.0f}-{right:.0f}")
     labels.append(f">{edges[-1]:.0f}")
     return labels
+
+
+def _frac_cols_at_most_5(entry: dict) -> float:
+    """Share of the portal's tables with at most five columns."""
+    total = sum(entry["column_counts"]) or 1
+    covered = sum(
+        count
+        for edge, count in zip(entry["column_edges"], entry["column_counts"])
+        if edge <= 5
+    )
+    return covered / total
+
+
+FIDELITY = (
+    fid.claim(
+        "majority_under_1000_rows",
+        lambda data: all(
+            entry["frac_under_1000_rows"] > 0.4
+            for entry in data.values()
+            if isinstance(entry, dict) and "frac_under_1000_rows" in entry
+        ),
+        note="SG hovers near ~47% under 1000 rows at corpus scale; "
+        "every other portal is a clear majority",
+    ),
+    fid.claim(
+        "sg_narrowest",
+        lambda data: isinstance(data.get("SG"), dict)
+        and _frac_cols_at_most_5(data["SG"]) > 0.8
+        and all(
+            _frac_cols_at_most_5(entry) < _frac_cols_at_most_5(data["SG"])
+            for code, entry in data.items()
+            if isinstance(entry, dict)
+            and code != "SG"
+            and "column_counts" in entry
+        ),
+    ),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..profiling.nulls import NULL_RATIO_EDGES, null_stats
 from ..report.render import percent, render_table
 
@@ -58,3 +59,19 @@ def _bucket_labels() -> list[str]:
         labels.append(f"({left:.0%}, {right:.0%}]")
     labels.append(f"> {edges[-1]:.0%}")
     return labels
+
+
+FIDELITY = (
+    fid.absolute("frac_with_nulls", pass_abs=0.10, near_abs=0.25),
+    fid.absolute("frac_half_empty", pass_abs=0.05, near_abs=0.15),
+    fid.absolute(
+        "frac_entirely_null_non_sg", pass_abs=0.02, near_abs=0.06,
+        measure=lambda data: {
+            code: entry["frac_entirely_null"]
+            for code, entry in data.items()
+            if isinstance(entry, dict)
+            and code != "SG"
+            and "frac_entirely_null" in entry
+        },
+    ),
+)

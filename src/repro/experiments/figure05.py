@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..profiling.uniqueness import SCORE_EDGES, uniqueness_stats
 from ..report.render import percent, render_table
 
@@ -56,3 +57,8 @@ def _score_labels() -> list[str]:
         labels.append(f"({left}, {right}]")
     labels.append(f"> {edges[-1]}")
     return labels
+
+
+FIDELITY = (
+    fid.absolute("frac_score_below_0_1", pass_abs=0.07, near_abs=0.20),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..keys.candidates import NO_KEY
 from ..report.render import percent, render_table
 
@@ -61,3 +62,20 @@ def run(study: Study) -> ExperimentResult:
 
 def _single_key_share(portal) -> float:
     return 1.0 - portal.single_key_fraction()
+
+
+FIDELITY = (
+    fid.absolute(
+        "frac_no_single_key_all_tables", pass_abs=0.10, near_abs=0.25,
+    ),
+    fid.absolute(
+        "frac_no_key_at_all", pass_abs=0.08, near_abs=0.15,
+        measure=lambda data: {
+            code: entry["frac_no_key"]
+            for code, entry in data.items()
+            if isinstance(entry, dict) and "frac_no_key" in entry
+        },
+        note="SG's melted tables always carry a composite key in the "
+        "simulation, sitting below the paper's ~10%",
+    ),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..report.render import render_table
 
 EXPERIMENT_ID = "figure07"
@@ -43,3 +44,20 @@ def run(study: Study) -> ExperimentResult:
     text = render_table(TITLE, ["portal -> # sub-tables", "tables"], rows)
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.claim(
+        "frac_3plus_non_sg",
+        lambda data: all(
+            entry["frac_3plus"] > 0.4
+            for code, entry in data.items()
+            if isinstance(entry, dict)
+            and code != "SG"
+            and "frac_3plus" in entry
+        ),
+        note="the paper states >40% of non-SG decomposed tables split "
+        "into 3+ sub-tables",
+    ),
+    fid.relative("avg_fragments", pass_rel=0.30, near_rel=0.60),
+)

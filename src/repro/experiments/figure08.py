@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..report.letters import letter_values, render_letter_values
 
 EXPERIMENT_ID = "figure08"
@@ -46,3 +47,24 @@ def run(study: Study) -> ExperimentResult:
         }
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, "\n".join(sections), data)
+
+
+FIDELITY = (
+    fid.rank(
+        "median", near_inversions=1,
+        note="the US expansion median lands near ~4x rather than the "
+        "paper's 24x at 1/100 scale (EXPERIMENTS.md known deviations); "
+        "CA/UK lowest reproduces",
+    ),
+    fid.claim(
+        "us_upper_quartile_over_100",
+        lambda data: isinstance(data.get("US"), dict)
+        and all(
+            data["US"]["max"] >= entry["max"]
+            for entry in data.values()
+            if isinstance(entry, dict) and "max" in entry
+        ),
+        note="the literal >100x quartile is a 1/100-scale casualty; the "
+        "reproduced shape is the US tail dominating every portal",
+    ),
+)

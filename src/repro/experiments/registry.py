@@ -1,4 +1,5 @@
-"""Experiment registry: one entry per paper table and figure."""
+"""Experiment registry: one entry per paper table, figure, and
+supplementary artifact."""
 
 from __future__ import annotations
 
@@ -15,6 +16,7 @@ from . import (
     figure06,
     figure07,
     figure08,
+    supplementary,
     table01,
     table02,
     table03,
@@ -33,6 +35,7 @@ _MODULES: tuple[ModuleType, ...] = (
     table07, table08, table09, table10, table11,
     figure01, figure02, figure03, figure04,
     figure05, figure06, figure07, figure08,
+    supplementary,
 )
 
 EXPERIMENTS: dict[str, ModuleType] = {
@@ -41,8 +44,25 @@ EXPERIMENTS: dict[str, ModuleType] = {
 
 
 def experiment_ids() -> list[str]:
-    """All experiment ids, tables first then figures."""
+    """All experiment ids: tables, then figures, then supplementary."""
     return list(EXPERIMENTS)
+
+
+def fidelity_checks(experiment_id: str):
+    """The experiment's FIDELITY spec (see :mod:`repro.obs.fidelity`).
+
+    Paper-side values are *not* part of the spec: checks reference
+    metrics of the module's ``PAPER`` dict by name and the scoreboard
+    reads the values from the experiment result itself, so the paper
+    constants exist in exactly one place.
+    """
+    module = EXPERIMENTS.get(experiment_id)
+    if module is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {experiment_ids()}"
+        )
+    return module.FIDELITY
 
 
 def run_experiment(experiment_id: str, study: Study) -> ExperimentResult:

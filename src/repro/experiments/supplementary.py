@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..joinability.labeling import breakdown_by
 from ..joinability.sampling import SIZE_BUCKETS
 from ..report.render import percent, render_table
@@ -77,3 +78,30 @@ def run(study: Study) -> ExperimentResult:
     )
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+def _strictly_trending(values: list[float]) -> bool:
+    """Monotone with an actual trend (flat sequences do not count)."""
+    ordered = values == sorted(values) or values == sorted(values, reverse=True)
+    return ordered and values[0] != values[-1]
+
+
+FIDELITY = (
+    fid.claim(
+        "no_clear_size_correlation",
+        lambda data: not any(
+            len(buckets) >= 3
+            and _strictly_trending(
+                [cell["frac_useful"] for cell in buckets.values()]
+            )
+            for buckets in data.values()
+            if isinstance(buckets, dict)
+            and buckets
+            and all(
+                isinstance(cell, dict) and "frac_useful" in cell
+                for cell in buckets.values()
+            )
+        ),
+        note="usefulness is not monotone in T1 size for any portal",
+    ),
+)

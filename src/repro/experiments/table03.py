@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..profiling.metadata import metadata_stats
 from ..report.render import percent, render_table
 
@@ -53,3 +54,9 @@ def run(study: Study) -> ExperimentResult:
     }
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.absolute("structured", pass_abs=0.05, near_abs=0.15),
+    fid.absolute("lacking", pass_abs=0.10, near_abs=0.25),
+)

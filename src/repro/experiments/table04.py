@@ -5,6 +5,7 @@ from __future__ import annotations
 from ..core.results import ExperimentResult
 from ..core.stats import format_count
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..profiling.uniqueness import UniquenessGroupStats, uniqueness_stats
 from ..report.render import render_table
 
@@ -69,3 +70,20 @@ def _group_dict(group: UniquenessGroupStats) -> dict:
         "avg_score": group.avg_score,
         "median_score": group.median_score,
     }
+
+
+FIDELITY = (
+    fid.band(
+        "median_unique_all", 0.3, 2.0,
+        note="uniqueness medians scatter at 1/100 scale; the US maximum "
+        "is the reproduced shape",
+    ),
+    fid.claim(
+        "text_less_unique_than_number",
+        lambda data: all(
+            entry["text"]["avg_score"] < entry["number"]["avg_score"]
+            for entry in data.values()
+            if isinstance(entry, dict) and "text" in entry
+        ),
+    ),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..report.render import percent, render_table
 
 EXPERIMENT_ID = "table05"
@@ -55,3 +56,27 @@ def run(study: Study) -> ExperimentResult:
     }
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.absolute(
+        "frac_with_fd", pass_abs=0.08, near_abs=0.30,
+        note="FD prevalence runs above the paper: smaller synthetic "
+        "tables carry more spurious FDs (EXPERIMENTS.md known "
+        "deviations)",
+    ),
+    fid.rank(
+        "frac_with_fd", ends="min",
+        note="SG lowest is the paper's shape-critical ordering",
+    ),
+    fid.absolute(
+        "frac_single_lhs", pass_abs=0.10, near_abs=0.30,
+        note="the |LHS|=1 share sits below the paper for the same "
+        "spurious-FD reason",
+    ),
+    fid.relative("avg_fragments", pass_rel=0.30, near_rel=0.60),
+    fid.band(
+        "uniqueness_gain", 0.5, 2.0,
+        note="gains stay in the paper's low single digits",
+    ),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..joinability.labeling import breakdown
 from ..report.render import percent, render_table
 
@@ -54,3 +55,16 @@ def run(study: Study) -> ExperimentResult:
     )
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.absolute(
+        "frac_accidental", pass_abs=0.15, near_abs=0.35,
+        note="accidental joins dominate as in the paper; the labeled "
+        "sample's composition shifts at corpus scale",
+    ),
+    fid.absolute(
+        "frac_useful", pass_abs=0.15, near_abs=0.35,
+        note="complement of frac_accidental",
+    ),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..joinability.labeling import breakdown_by
 from ..report.render import percent, render_table
 from .table07 import LABELED_PORTALS
@@ -55,3 +56,16 @@ def run(study: Study) -> ExperimentResult:
     )
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.absolute(
+        "useful_inter", pass_abs=0.10, near_abs=0.25,
+        note="inter/intra cells are small labeled subsamples",
+    ),
+    fid.absolute(
+        "useful_intra", pass_abs=0.20, near_abs=0.60,
+        note="the US intra cell is a handful of labeled pairs at corpus "
+        "scale",
+    ),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..joinability.labeling import breakdown_by
 from ..joinability.sampling import KEY_COMBOS
 from ..report.render import percent, render_table
@@ -53,3 +54,12 @@ def run(study: Study) -> ExperimentResult:
     )
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.absolute(
+        "useful_key_key", pass_abs=0.15, near_abs=0.30,
+        note="key-key usefulness leads nonkey-nonkey, as in the paper",
+    ),
+    fid.absolute("useful_nonkey_nonkey", pass_abs=0.05, near_abs=0.15),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..joinability.coltypes import SemanticType
 from ..joinability.labeling import breakdown_by
 from ..report.render import percent, render_table
@@ -66,3 +67,13 @@ def run(study: Study) -> ExperimentResult:
     )
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.absolute("useful_incremental", pass_abs=0.06, near_abs=0.15),
+    fid.absolute(
+        "useful_categorical", pass_abs=0.15, near_abs=0.30,
+        note="categorical columns lead useful joins; the US labeled "
+        "cell is tiny at corpus scale",
+    ),
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.results import ExperimentResult
 from ..core.study import Study
+from ..obs import fidelity as fid
 from ..report.render import percent, render_table
 from ..unionability.labeling import union_label_stats
 
@@ -88,3 +89,26 @@ def run(study: Study) -> ExperimentResult:
         }
     data["paper"] = PAPER
     return ExperimentResult(EXPERIMENT_ID, TITLE, text, data)
+
+
+FIDELITY = (
+    fid.absolute(
+        "frac_unionable_tables", pass_abs=0.12, near_abs=0.35,
+        note="SG's standardized schemas make almost everything "
+        "unionable at corpus scale",
+    ),
+    fid.absolute(
+        "frac_single_dataset_schemas", pass_abs=0.10, near_abs=0.30,
+        note="the UK single-dataset share overshoots at 1/100 scale",
+    ),
+    fid.claim(
+        "union_sample_mostly_useful",
+        lambda data: sum(
+            1
+            for entry in data.values()
+            if isinstance(entry, dict)
+            and entry.get("sample_frac_useful", 0) >= 0.75
+        ) >= 3,
+        note="paper: overwhelming majority useful, 100% in CA/UK",
+    ),
+)

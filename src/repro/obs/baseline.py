@@ -1,0 +1,285 @@
+"""Bench history baselines and the op-count regression gate.
+
+``benchmarks/_harness.run_and_record`` appends one record per bench run
+to ``BENCH_<experiment>.json`` at the repository root; until now that
+history was write-only.  This module reads it back:
+
+* a tolerant reader that salvages complete records from malformed or
+  partially written files (a crashed bench run must not poison the
+  gate);
+* a rolling baseline — the median ``total_ops`` of the most recent
+  comparable records (same scale and seed as the latest run), excluding
+  the latest run itself;
+* a gate verdict comparing the latest run against that baseline, used
+  by the bench harness's ``--fail-on-regression`` flag and rendered by
+  ``ogdp-repro bench-report``.
+
+Only deterministic op counts gate: wall-clock seconds are reported for
+context but never fail a run, because timing depends on the machine
+while ``total_ops`` depends only on (scale, seed, code).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import re
+import statistics
+from typing import Iterable, Mapping
+
+#: Filename pattern for bench histories at the repository root.
+BENCH_GLOB = "BENCH_*.json"
+_BENCH_RE = re.compile(r"^BENCH_(?P<experiment>[A-Za-z0-9_]+)\.json$")
+
+#: Default gate tuning (see DESIGN.md §9).
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_WINDOW = 5
+#: Absolute op floor: tiny cached benches (zero or near-zero ops) jitter
+#: in relative terms without meaning anything; ignore deltas below this.
+DEFAULT_MIN_OPS = 1000
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchRecord:
+    """One parsed entry of a ``BENCH_*.json`` history."""
+
+    experiment: str
+    scale: float
+    seed: int
+    seconds: float
+    total_ops: float
+    index: int
+
+    @classmethod
+    def from_mapping(
+        cls, raw: Mapping, *, experiment: str, index: int
+    ) -> "BenchRecord | None":
+        """A record from one raw JSON object, or None if malformed."""
+        try:
+            return cls(
+                experiment=str(raw.get("experiment", experiment)),
+                scale=float(raw["scale"]),
+                seed=int(raw["seed"]),
+                seconds=float(raw.get("seconds", 0.0)),
+                total_ops=float(raw["total_ops"]),
+                index=index,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+def salvage_json_objects(text: str) -> list[dict]:
+    """Every complete JSON object in *text*, in order.
+
+    Accepts a well-formed JSON array, but also recovers the complete
+    leading objects from a truncated or otherwise mangled file — a
+    bench run killed mid-write must not discard the history before it.
+    """
+    try:
+        loaded = json.loads(text)
+    except ValueError:
+        pass
+    else:
+        if isinstance(loaded, list):
+            return [item for item in loaded if isinstance(item, dict)]
+        return [loaded] if isinstance(loaded, dict) else []
+    decoder = json.JSONDecoder()
+    objects: list[dict] = []
+    pos = 0
+    while True:
+        start = text.find("{", pos)
+        if start < 0:
+            break
+        try:
+            obj, end = decoder.raw_decode(text, start)
+        except ValueError:
+            pos = start + 1
+            continue
+        if isinstance(obj, dict):
+            objects.append(obj)
+        pos = end
+    return objects
+
+
+def read_history(path: str | pathlib.Path) -> list[BenchRecord]:
+    """Parsed records of one ``BENCH_*.json`` file (oldest first)."""
+    p = pathlib.Path(path)
+    match = _BENCH_RE.match(p.name)
+    experiment = match.group("experiment") if match else p.stem
+    try:
+        text = p.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    records = []
+    for index, raw in enumerate(salvage_json_objects(text)):
+        record = BenchRecord.from_mapping(
+            raw, experiment=experiment, index=index
+        )
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def scan_histories(
+    root: str | pathlib.Path,
+) -> dict[str, list[BenchRecord]]:
+    """All bench histories under *root*, keyed by experiment id."""
+    histories = {}
+    for path in sorted(pathlib.Path(root).glob(BENCH_GLOB)):
+        records = read_history(path)
+        if records:
+            histories[records[-1].experiment] = records
+    return histories
+
+
+def comparable_history(records: Iterable[BenchRecord]) -> list[BenchRecord]:
+    """Records sharing the latest record's (scale, seed) configuration."""
+    records = list(records)
+    if not records:
+        return []
+    latest = records[-1]
+    return [
+        r
+        for r in records
+        if r.scale == latest.scale and r.seed == latest.seed
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class GateVerdict:
+    """The regression gate's decision for one experiment."""
+
+    experiment: str
+    latest_ops: float
+    baseline_ops: float | None
+    ops_ratio: float | None
+    latest_seconds: float
+    baseline_seconds: float | None
+    comparable_runs: int
+    regressed: bool
+    reason: str
+
+    def as_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def evaluate_gate(
+    records: Iterable[BenchRecord],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    min_ops: float = DEFAULT_MIN_OPS,
+) -> GateVerdict | None:
+    """Gate the latest record against the rolling baseline.
+
+    The baseline is the median ``total_ops`` of the up-to-*window* most
+    recent comparable prior records.  A run regresses when its op count
+    exceeds the baseline by more than *threshold* (relative) **and** by
+    at least *min_ops* (absolute).  Returns None when the history is
+    empty; a verdict with ``baseline_ops=None`` when there is nothing
+    comparable to gate against.
+    """
+    comparable = comparable_history(records)
+    if not comparable:
+        return None
+    latest = comparable[-1]
+    prior = comparable[:-1][-window:]
+    if not prior:
+        return GateVerdict(
+            experiment=latest.experiment,
+            latest_ops=latest.total_ops,
+            baseline_ops=None,
+            ops_ratio=None,
+            latest_seconds=latest.seconds,
+            baseline_seconds=None,
+            comparable_runs=len(comparable),
+            regressed=False,
+            reason="first comparable run; no baseline yet",
+        )
+    baseline_ops = statistics.median(r.total_ops for r in prior)
+    baseline_seconds = statistics.median(r.seconds for r in prior)
+    ratio = (
+        latest.total_ops / baseline_ops if baseline_ops > 0 else None
+    )
+    excess = latest.total_ops - baseline_ops
+    regressed = (
+        excess >= min_ops
+        and baseline_ops > 0
+        and latest.total_ops > baseline_ops * (1.0 + threshold)
+    )
+    if regressed:
+        reason = (
+            f"total_ops {latest.total_ops:.0f} exceeds baseline "
+            f"{baseline_ops:.0f} by {excess / baseline_ops:.0%} "
+            f"(threshold {threshold:.0%})"
+        )
+    elif excess > 0:
+        reason = (
+            f"total_ops {latest.total_ops:.0f} within threshold of "
+            f"baseline {baseline_ops:.0f}"
+        )
+    else:
+        reason = (
+            f"total_ops {latest.total_ops:.0f} at or below baseline "
+            f"{baseline_ops:.0f}"
+        )
+    return GateVerdict(
+        experiment=latest.experiment,
+        latest_ops=latest.total_ops,
+        baseline_ops=baseline_ops,
+        ops_ratio=ratio,
+        latest_seconds=latest.seconds,
+        baseline_seconds=baseline_seconds,
+        comparable_runs=len(comparable),
+        regressed=regressed,
+        reason=reason,
+    )
+
+
+def gate_all(
+    root: str | pathlib.Path,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    min_ops: float = DEFAULT_MIN_OPS,
+) -> list[GateVerdict]:
+    """Gate every bench history under *root*, sorted by experiment."""
+    verdicts = []
+    histories = scan_histories(root)
+    for experiment in sorted(histories):
+        verdict = evaluate_gate(
+            histories[experiment],
+            threshold=threshold,
+            window=window,
+            min_ops=min_ops,
+        )
+        if verdict is not None:
+            verdicts.append(verdict)
+    return verdicts
+
+
+def render_bench_report(verdicts: list[GateVerdict]) -> str:
+    """Human-readable bench-history report."""
+    if not verdicts:
+        return "no bench history found (run `make bench` first)"
+    lines = [
+        f"{'experiment':<16} {'runs':>4} {'latest ops':>12} "
+        f"{'baseline':>12} {'ratio':>6}  verdict"
+    ]
+    regressions = 0
+    for v in verdicts:
+        baseline = f"{v.baseline_ops:.0f}" if v.baseline_ops else "-"
+        ratio = f"{v.ops_ratio:.2f}" if v.ops_ratio else "-"
+        verdict = "REGRESSED" if v.regressed else "ok"
+        regressions += v.regressed
+        lines.append(
+            f"{v.experiment:<16} {v.comparable_runs:>4} "
+            f"{v.latest_ops:>12.0f} {baseline:>12} {ratio:>6}  {verdict}"
+        )
+    lines.append("")
+    if regressions:
+        lines.append(f"regressions: {regressions}")
+    else:
+        lines.append("no regressions against rolling baselines")
+    return "\n".join(lines)

@@ -31,11 +31,23 @@ def _threshold(verbosity: int) -> int:
     return _SEVERITY["info"]
 
 
+#: Characters allowed in an unquoted ``key=value`` token.  Anything
+#: else (whitespace, ``=``, quotes, brackets, backslashes, control
+#: characters, ...) is JSON-quoted so the line stays unambiguous to
+#: split on spaces and ``=``.
+_PLAIN = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789"
+    "_-.:/+%@,~"
+)
+
+
 def _format_value(value: object) -> str:
     text = str(value)
-    if any(ch.isspace() for ch in text) or text == "":
-        return json.dumps(text)
-    return text
+    if text and all(ch in _PLAIN for ch in text):
+        return text
+    return json.dumps(text)
 
 
 class Logger:

@@ -13,9 +13,8 @@ whose totals reconcile exactly with the executor's recorded
 from __future__ import annotations
 
 import dataclasses
+import json
 import pathlib
-
-from .trace import read_trace
 
 #: Width of the '#' attribution bars in the text report.
 BAR_WIDTH = 24
@@ -32,6 +31,9 @@ class TraceData:
     footer: dict | None
     #: Structural problems found by validation; empty = trace is sound.
     problems: list[str]
+    #: Torn/malformed lines skipped while reading (expected after a
+    #: mid-write kill; not a validity problem on their own).
+    torn: int = 0
 
     @property
     def valid(self) -> bool:
@@ -54,27 +56,47 @@ class TraceData:
 
 
 def load_trace(path: str | pathlib.Path) -> TraceData:
-    """Parse and validate one trace file."""
+    """Parse and validate one trace file.
+
+    Tolerates anything :func:`~repro.obs.trace.read_trace` tolerates —
+    an empty file, a torn-only file, a missing footer — and reports the
+    damage (``torn`` count, ``problems``) instead of raising, so
+    ``stats`` and ``diff`` can describe a broken trace rather than
+    crash on it.
+    """
     header: dict = {}
     spans: list[dict] = []
     metrics: dict[str, dict] = {}
     footer: dict | None = None
-    for record in read_trace(path):
-        rtype = record.get("type")
-        if rtype == "header":
-            header = record
-        elif rtype == "span":
-            spans.append(record)
-        elif rtype == "metric":
-            name = record.get("name")
-            if name is not None:
-                metrics[name] = {
-                    k: v
-                    for k, v in record.items()
-                    if k not in ("type", "name")
-                }
-        elif rtype == "footer":
-            footer = record
+    torn = 0
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                torn += 1
+                continue
+            if not isinstance(record, dict):
+                torn += 1
+                continue
+            rtype = record.get("type")
+            if rtype == "header":
+                header = record
+            elif rtype == "span":
+                spans.append(record)
+            elif rtype == "metric":
+                name = record.get("name")
+                if name is not None:
+                    metrics[name] = {
+                        k: v
+                        for k, v in record.items()
+                        if k not in ("type", "name")
+                    }
+            elif rtype == "footer":
+                footer = record
     problems = validate_spans(spans)
     if footer is not None and footer.get("spans") != len(spans):
         problems.append(
@@ -88,6 +110,7 @@ def load_trace(path: str | pathlib.Path) -> TraceData:
         metrics=metrics,
         footer=footer,
         problems=problems,
+        torn=torn,
     )
 
 
@@ -258,6 +281,7 @@ def stats_json(trace: TraceData, top: int = 10) -> dict:
         },
         "valid": trace.valid,
         "problems": trace.problems,
+        "torn_lines": trace.torn,
         "span_count": len(trace.spans),
         "total_ops": trace.total_ops,
         "unit_ops": trace.unit_ops,
@@ -294,8 +318,21 @@ def render_stats(trace: TraceData, top: int = 10) -> str:
         f"trace {trace.path}: {len(trace.spans)} spans, nesting {nesting}"
         + (f", {meta}" if meta else "")
     )
+    if trace.torn:
+        lines.append(
+            f"  note: {trace.torn} torn line(s) skipped "
+            "(file cut off mid-write?)"
+        )
     for problem in trace.problems:
         lines.append(f"  problem: {problem}")
+
+    if not trace.spans:
+        lines.append("")
+        lines.append(
+            "no spans: the trace holds no completed spans "
+            "(empty, torn, or killed before any unit finished)"
+        )
+        return "\n".join(lines)
 
     total = trace.total_ops
     lines.append("")

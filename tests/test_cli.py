@@ -136,6 +136,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "table01", *flags])
 
+    def test_fidelity_command_parses(self):
+        args = build_parser().parse_args(
+            ["fidelity", "--scale", "0.2", "--json", "--out", "f.json"]
+        )
+        assert args.command == "fidelity"
+        assert args.scale == 0.2
+        assert args.as_json is True
+        assert args.out == "f.json"
+
+    def test_diff_command_parses(self):
+        args = build_parser().parse_args(
+            ["diff", "runs/a", "runs/b", "--rel-tol", "0.05"]
+        )
+        assert args.command == "diff"
+        assert args.run_a == "runs/a"
+        assert args.run_b == "runs/b"
+        assert args.rel_tol == 0.05
+
+    def test_bench_report_command_parses(self):
+        args = build_parser().parse_args(
+            ["bench-report", "--root", "/tmp", "--fail-on-regression"]
+        )
+        assert args.command == "bench-report"
+        assert args.root == "/tmp"
+        assert args.fail_on_regression is True
+
 
 class TestMain:
     def test_list_prints_ids(self, capsys):
@@ -218,3 +244,87 @@ class TestMain:
         code = main(["stats", str(tmp_path / "nope.jsonl")])
         assert code == 2
         assert "trace-missing" in capsys.readouterr().err
+
+    def test_stats_empty_trace_reports_no_spans(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 0
+        assert "no spans" in capsys.readouterr().out
+
+
+class TestDriftCommands:
+    """End-to-end fidelity/diff/bench-report through main()."""
+
+    RUN_FLAGS = [
+        "--scale", "0.08", "--seed", "2", "--stage-budget", "40000",
+    ]
+
+    def _trace_run(self, tmp_path, name, extra=()):
+        run_dir = tmp_path / name
+        run_dir.mkdir()
+        code = main(
+            [
+                "-q", "run", "table05", *self.RUN_FLAGS, *extra,
+                "--quarantine-dir", str(tmp_path / f"q-{name}"),
+                "--trace-out", str(run_dir / "trace.jsonl"),
+            ]
+        )
+        assert code == 0
+        clear_cache()
+        return run_dir
+
+    def test_equal_seed_runs_diff_empty(self, capsys, tmp_path):
+        run_a = self._trace_run(tmp_path, "a")
+        run_b = self._trace_run(tmp_path, "b")
+        code = main(["diff", str(run_a), str(run_b)])
+        assert code == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_poisoned_run_drifts_nonzero(self, capsys, tmp_path):
+        run_a = self._trace_run(tmp_path, "a")
+        run_p = self._trace_run(
+            tmp_path, "p", extra=["--poison-rate", "0.05"]
+        )
+        out_file = tmp_path / "diff.json"
+        code = main(
+            ["diff", str(run_a), str(run_p), "--out", str(out_file)]
+        )
+        assert code == 1
+        assert "outcome transitions" in capsys.readouterr().out
+        import json
+
+        doc = json.loads(out_file.read_text())
+        assert doc["drift_count"] > 0
+        assert doc["outcome_transitions"]
+
+    def test_diff_unreadable_run_exits_2(self, capsys, tmp_path):
+        code = main(["diff", str(tmp_path / "x"), str(tmp_path / "y")])
+        assert code == 2
+        assert "diff-unreadable" in capsys.readouterr().err
+
+    def test_bench_report_empty_root(self, capsys, tmp_path):
+        code = main(["bench-report", "--root", str(tmp_path)])
+        assert code == 0
+        assert "no bench history" in capsys.readouterr().out
+
+    def test_bench_report_gates_regression(self, capsys, tmp_path):
+        import json
+
+        records = [
+            {
+                "experiment": "table05",
+                "scale": 1.0,
+                "seed": 7,
+                "seconds": 1.0,
+                "ops": {},
+                "total_ops": ops,
+            }
+            for ops in (100_000, 101_000, 99_000, 200_000)
+        ]
+        (tmp_path / "BENCH_table05.json").write_text(json.dumps(records))
+        assert main(["bench-report", "--root", str(tmp_path)]) == 0
+        code = main(
+            ["bench-report", "--root", str(tmp_path), "--fail-on-regression"]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out

@@ -6,14 +6,17 @@ from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experime
 
 
 class TestRegistry:
-    def test_nineteen_experiments(self):
+    def test_twenty_experiments(self):
         ids = experiment_ids()
-        assert len(ids) == 19
+        assert len(ids) == 20
         assert [i for i in ids if i.startswith("table")] == [
             f"table{n:02d}" for n in range(1, 12)
         ]
         assert [i for i in ids if i.startswith("figure")] == [
             f"figure{n:02d}" for n in range(1, 9)
+        ]
+        assert [i for i in ids if i.startswith("supplementary")] == [
+            "supplementary01"
         ]
 
     def test_unknown_experiment(self, study):

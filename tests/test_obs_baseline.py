@@ -1,0 +1,265 @@
+"""Tests for bench-history baselines, the regression gate, and the
+append semantics of the bench harness's history writer."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import baseline
+from repro.obs.baseline import (
+    BenchRecord,
+    comparable_history,
+    evaluate_gate,
+    gate_all,
+    read_history,
+    render_bench_report,
+    salvage_json_objects,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def record(total_ops, *, seconds=1.0, scale=1.0, seed=7, experiment="table05"):
+    return {
+        "experiment": experiment,
+        "scale": scale,
+        "seed": seed,
+        "seconds": seconds,
+        "ops": {},
+        "total_ops": total_ops,
+    }
+
+
+def write_history(path, records):
+    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+
+
+class TestSalvage:
+    def test_well_formed_array(self):
+        text = json.dumps([record(10), record(20)])
+        assert [r["total_ops"] for r in salvage_json_objects(text)] == [10, 20]
+
+    def test_truncated_tail_keeps_leading_records(self):
+        text = json.dumps([record(10), record(20)], indent=2)
+        torn = text[: len(text) - 40]  # cut mid-record
+        salvaged = salvage_json_objects(torn)
+        assert [r["total_ops"] for r in salvaged] == [10]
+
+    def test_garbage_between_records(self):
+        text = (
+            json.dumps(record(10)) + "\nGARBAGE\n" + json.dumps(record(20))
+        )
+        assert [r["total_ops"] for r in salvage_json_objects(text)] == [10, 20]
+
+    def test_empty_and_hopeless_inputs(self):
+        assert salvage_json_objects("") == []
+        assert salvage_json_objects("not json at all") == []
+        assert salvage_json_objects("[1, 2, 3]") == []
+
+
+class TestReadHistory:
+    def test_reads_records_in_order(self, tmp_path):
+        path = tmp_path / "BENCH_table05.json"
+        write_history(path, [record(10), record(20)])
+        records = read_history(path)
+        assert [r.total_ops for r in records] == [10, 20]
+        assert records[0].experiment == "table05"
+        assert records[0].index == 0 and records[1].index == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_history(tmp_path / "BENCH_nope.json") == []
+
+    def test_malformed_records_are_dropped(self, tmp_path):
+        path = tmp_path / "BENCH_table05.json"
+        write_history(
+            path,
+            [
+                record(10),
+                {"experiment": "table05"},  # no total_ops
+                {"scale": "not-a-number", "seed": 7, "total_ops": 5},
+                record(20),
+            ],
+        )
+        assert [r.total_ops for r in read_history(path)] == [10, 20]
+
+    def test_partially_written_file(self, tmp_path):
+        path = tmp_path / "BENCH_table05.json"
+        text = json.dumps([record(10), record(20)], indent=2)
+        path.write_text(text[: len(text) - 40])
+        assert [r.total_ops for r in read_history(path)] == [10]
+
+
+class TestComparableHistory:
+    def test_filters_to_latest_configuration(self):
+        records = [
+            BenchRecord("e", 0.5, 7, 1.0, 100, 0),
+            BenchRecord("e", 1.0, 7, 1.0, 200, 1),
+            BenchRecord("e", 1.0, 3, 1.0, 300, 2),
+            BenchRecord("e", 1.0, 7, 1.0, 210, 3),
+        ]
+        assert [r.total_ops for r in comparable_history(records)] == [200, 210]
+
+    def test_empty_history(self):
+        assert comparable_history([]) == []
+
+
+class TestGate:
+    def _records(self, ops_list):
+        return [
+            BenchRecord("table05", 1.0, 7, 1.0, ops, i)
+            for i, ops in enumerate(ops_list)
+        ]
+
+    def test_no_history_returns_none(self):
+        assert evaluate_gate([]) is None
+
+    def test_first_run_has_no_baseline(self):
+        verdict = evaluate_gate(self._records([100_000]))
+        assert verdict is not None
+        assert verdict.baseline_ops is None
+        assert not verdict.regressed
+
+    def test_double_ops_regresses(self):
+        verdict = evaluate_gate(
+            self._records([100_000, 101_000, 99_000, 200_000])
+        )
+        assert verdict.regressed
+        assert verdict.baseline_ops == pytest.approx(100_000)
+        assert verdict.ops_ratio == pytest.approx(2.0)
+        assert "exceeds baseline" in verdict.reason
+
+    def test_within_threshold_passes(self):
+        verdict = evaluate_gate(self._records([100_000, 101_000, 110_000]))
+        assert not verdict.regressed
+
+    def test_improvement_passes(self):
+        verdict = evaluate_gate(self._records([100_000, 100_000, 50_000]))
+        assert not verdict.regressed
+        assert "below baseline" in verdict.reason
+
+    def test_min_ops_floor_ignores_tiny_jitter(self):
+        # 2x relative blow-up, but only 400 ops in absolute terms —
+        # under the floor, cached/near-empty benches must not gate.
+        verdict = evaluate_gate(self._records([400, 400, 800]))
+        assert not verdict.regressed
+        assert evaluate_gate(
+            self._records([400, 400, 800]), min_ops=100
+        ).regressed
+
+    def test_window_bounds_the_baseline(self):
+        ops = [1_000_000] * 10 + [100_000] * 5 + [130_000]
+        verdict = evaluate_gate(self._records(ops), window=5)
+        assert verdict.baseline_ops == pytest.approx(100_000)
+        assert verdict.regressed
+
+    def test_config_change_resets_comparability(self):
+        records = [
+            BenchRecord("e", 0.5, 7, 1.0, 100, 0),
+            BenchRecord("e", 1.0, 7, 1.0, 100_000, 1),
+        ]
+        verdict = evaluate_gate(records)
+        assert verdict.baseline_ops is None  # scale changed; no baseline
+        assert not verdict.regressed
+
+
+class TestGateAllAndReport:
+    def test_gate_all_scans_root(self, tmp_path):
+        write_history(
+            tmp_path / "BENCH_table05.json",
+            [record(100_000), record(250_000)],
+        )
+        write_history(
+            tmp_path / "BENCH_figure01.json",
+            [record(50_000, experiment="figure01")] * 3,
+        )
+        verdicts = gate_all(tmp_path)
+        assert [v.experiment for v in verdicts] == ["figure01", "table05"]
+        assert [v.regressed for v in verdicts] == [False, True]
+
+    def test_report_renders_verdicts(self, tmp_path):
+        write_history(
+            tmp_path / "BENCH_table05.json",
+            [record(100_000), record(250_000)],
+        )
+        text = render_bench_report(gate_all(tmp_path))
+        assert "table05" in text
+        assert "REGRESSED" in text
+        assert "regressions: 1" in text
+
+    def test_report_with_no_history(self):
+        assert "no bench history" in render_bench_report([])
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location(
+        "bench_harness", REPO_ROOT / "benchmarks" / "_harness.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestAppendBenchRecord:
+    """Append semantics of the bench harness's history writer."""
+
+    def test_appends_and_round_trips(self, tmp_path):
+        harness = _load_harness()
+        for ops in (10, 20, 30):
+            harness._append_bench_record(
+                "table05", record(ops), root=tmp_path
+            )
+        assert [
+            r.total_ops
+            for r in read_history(tmp_path / "BENCH_table05.json")
+        ] == [10, 20, 30]
+
+    def test_append_salvages_partially_written_file(self, tmp_path):
+        harness = _load_harness()
+        path = tmp_path / "BENCH_table05.json"
+        text = json.dumps([record(10), record(20)], indent=2)
+        path.write_text(text[: len(text) - 40])  # torn tail
+        harness._append_bench_record("table05", record(30), root=tmp_path)
+        assert [r.total_ops for r in read_history(path)] == [10, 30]
+
+    def test_append_replaces_atomically(self, tmp_path):
+        harness = _load_harness()
+        harness._append_bench_record("table05", record(10), root=tmp_path)
+        # No temp file left behind, and the result is valid JSON.
+        assert list(tmp_path.iterdir()) == [tmp_path / "BENCH_table05.json"]
+        loaded = json.loads(
+            (tmp_path / "BENCH_table05.json").read_text()
+        )
+        assert isinstance(loaded, list) and len(loaded) == 1
+
+    def test_gate_fires_through_harness(self, tmp_path):
+        harness = _load_harness()
+        write_history(
+            tmp_path / "BENCH_table05.json",
+            [record(100_000), record(101_000), record(99_000)],
+        )
+        path = harness._append_bench_record(
+            "table05", record(200_000), root=tmp_path
+        )
+        harness.GATE["fail_on_regression"] = True
+        try:
+            with pytest.raises(AssertionError, match="regression gate"):
+                harness._check_regression_gate(path)
+        finally:
+            harness.GATE["fail_on_regression"] = False
+
+    def test_gate_quiet_when_disabled(self, tmp_path):
+        harness = _load_harness()
+        write_history(
+            tmp_path / "BENCH_table05.json",
+            [record(100_000), record(200_000)],
+        )
+        harness._check_regression_gate(tmp_path / "BENCH_table05.json")
+
+
+class TestDefaultsExist:
+    def test_module_defaults(self):
+        assert 0 < baseline.DEFAULT_THRESHOLD < 1
+        assert baseline.DEFAULT_WINDOW >= 2
+        assert baseline.DEFAULT_MIN_OPS > 0

@@ -1,0 +1,102 @@
+"""Tests for the structured logger, focused on key=value parseability."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import QUIET, VERBOSE, Logger, _format_value
+
+
+def parse_line(line: str) -> dict:
+    """Parse one ``[level] event key=value ...`` line back into fields.
+
+    This is the round-trip contract ``_format_value`` must uphold: a
+    reader that splits on spaces and the first ``=``, and JSON-decodes
+    anything starting with a double quote, recovers every value.
+    """
+    tokens = line.split(" ")
+    assert tokens[0].startswith("[") and tokens[0].endswith("]")
+    fields = {}
+    rest = " ".join(tokens[2:])
+    while rest:
+        key, _, remainder = rest.partition("=")
+        if remainder.startswith('"'):
+            decoded, end = json.JSONDecoder().raw_decode(remainder)
+            fields[key] = decoded
+            rest = remainder[end:].lstrip(" ")
+        else:
+            value, _, rest = remainder.partition(" ")
+            fields[key] = value
+    return fields
+
+
+class TestFormatValue:
+    def test_plain_tokens_stay_bare(self):
+        for value in ("table05", "runs/a", "0.08", "a-b_c.d:e", "x+y%z@w"):
+            assert _format_value(value) == value
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "has space",
+            "",
+            "key=value",
+            'quoted "inner"',
+            "[bracketed]",
+            "{braced}",
+            "semi;colon",
+            "back\\slash",
+            "new\nline",
+            "tab\there",
+            "parens()",
+            "<angle>",
+        ],
+    )
+    def test_ambiguous_values_are_json_quoted(self, value):
+        formatted = _format_value(value)
+        assert formatted.startswith('"')
+        assert json.loads(formatted) == value
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "plain",
+            "a=b",
+            "x [1, 2]",
+            'say "hi" k=v',
+            "trailing space ",
+            "",
+            "multi=eq=signs",
+        ],
+    )
+    def test_round_trip_through_a_log_line(self, value):
+        stream = io.StringIO()
+        Logger(stream=stream).info("event", field=value, tail="end")
+        line = stream.getvalue().rstrip("\n")
+        fields = parse_line(line)
+        assert fields["field"] == value
+        assert fields["tail"] == "end"
+
+    def test_non_string_values(self):
+        assert _format_value(5) == "5"
+        assert _format_value(0.25) == "0.25"
+        assert _format_value(None) == "None"
+        assert _format_value(True) == "True"
+        assert _format_value([1, 2]) == '"[1, 2]"'
+
+
+class TestLogger:
+    def test_quiet_drops_info_keeps_warn(self):
+        stream = io.StringIO()
+        log = Logger(verbosity=QUIET, stream=stream)
+        log.info("dropped")
+        log.warn("kept", reason="x=y")
+        output = stream.getvalue()
+        assert "dropped" not in output
+        assert '[warn] kept reason="x=y"' in output
+
+    def test_verbose_emits_debug(self):
+        stream = io.StringIO()
+        Logger(verbosity=VERBOSE, stream=stream).debug("detail", n=3)
+        assert "[debug] detail n=3" in stream.getvalue()

@@ -107,6 +107,75 @@ class TestTraceFile:
         assert any("footer" in p for p in trace.problems)
 
 
+class TestDegenerateTraces:
+    """Empty and torn-only inputs must report, not crash (ISSUE 5)."""
+
+    def test_empty_file(self, tmp_path):
+        from repro.obs.stats import render_stats, stats_json
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        trace = load_trace(path)
+        assert trace.valid
+        assert trace.spans == [] and trace.torn == 0
+        report = render_stats(trace)
+        assert "no spans" in report
+        doc = stats_json(trace)
+        assert doc["span_count"] == 0
+        assert doc["total_ops"] == 0
+
+    def test_torn_only_file(self, tmp_path):
+        from repro.obs.stats import render_stats
+
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"type": "header", "se\n{"type": "span", "id"\n')
+        trace = load_trace(path)
+        assert trace.spans == []
+        assert trace.torn == 2
+        report = render_stats(trace)
+        assert "no spans" in report
+        assert "2 torn line(s)" in report
+
+    def test_non_dict_lines_count_as_torn(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('[1, 2, 3]\n"just a string"\n')
+        trace = load_trace(path)
+        assert trace.spans == []
+        assert trace.torn == 2
+
+    def test_orphan_span_is_a_problem_not_a_crash(self, tmp_path):
+        from repro.obs.stats import render_stats
+
+        path = tmp_path / "orphan.jsonl"
+        span = {
+            "type": "span",
+            "id": 7,
+            "parent": 99,
+            "open": 1,
+            "close": 2,
+            "name": "stage",
+        }
+        path.write_text(json.dumps(span) + "\n")
+        trace = load_trace(path)
+        assert not trace.valid
+        assert any("missing" in p and "parent" in p for p in trace.problems)
+        assert "BROKEN" in render_stats(trace)
+
+    def test_orphan_span_through_validate_spans(self):
+        spans = [{"id": 7, "parent": 99, "open": 1, "close": 2}]
+        problems = validate_spans(spans)
+        assert any("missing" in p and "parent 99" in p for p in problems)
+
+    def test_torn_tail_keeps_complete_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        TestTraceFile()._write_small_trace(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "id": 99, "nam')
+        trace = load_trace(path)
+        assert len(trace.spans) == 2
+        assert trace.torn == 1
+
+
 class TestValidation:
     def test_clean_tree_passes(self):
         spans = [
