@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench smoke-trace experiments fidelity
+.PHONY: test lint bench-smoke bench smoke-trace smoke-shard experiments fidelity
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,3 +42,16 @@ smoke-trace:
 		--scale 0.08 --seed 2 --stage-budget 40000 --poison-rate 0.1 \
 		--quarantine-dir smoke-quarantine --trace-out smoke-trace.jsonl
 	$(PYTHON) -m repro.experiments.cli stats smoke-trace.jsonl
+
+# The sharded-execution equivalence check CI's shard-gate job runs:
+# the same guarded run serially, pooled (4 workers), and pooled under
+# seeded chaos kills must produce traces that diff empty.
+smoke-shard:
+	$(PYTHON) -m repro.experiments.cli -q run table05 \
+		--scale 0.08 --seed 2 --stage-budget 40000 --poison-rate 0.1 \
+		--quarantine-dir smoke-shard-q1 --trace-out smoke-serial.jsonl
+	$(PYTHON) -m repro.experiments.cli -q run table05 \
+		--scale 0.08 --seed 2 --stage-budget 40000 --poison-rate 0.1 \
+		--workers 4 --chaos-kill-rate 0.2 \
+		--quarantine-dir smoke-shard-q2 --trace-out smoke-chaos.jsonl
+	$(PYTHON) -m repro.experiments.cli diff smoke-serial.jsonl smoke-chaos.jsonl

@@ -131,6 +131,7 @@ def run_and_record(
             "experiment": experiment_id,
             "scale": study.config.scale,
             "seed": study.config.seed,
+            "workers": study.config.workers,
             "seconds": _benchmark_seconds(benchmark, elapsed),
             "ops": ops,
             "total_ops": sum(

@@ -65,11 +65,32 @@ class StudyConfig:
     #: Attach wall-clock milliseconds to trace spans.  Off by default so
     #: that equal-seed runs produce byte-identical trace files.
     wall_clock: bool = False
+    #: Number of analysis worker processes (see
+    #: :mod:`repro.resilience.pool`).  1 (the default) runs everything
+    #: in-process on the pre-PR serial path, byte for byte.
+    workers: int = 1
+    #: Times a unit whose worker died mid-flight is re-dispatched before
+    #: it is escalated to QUARANTINED as a poison unit.
+    unit_retries: int = 3
+    #: Seeded probability that a worker SIGKILLs itself mid-unit (chaos
+    #: mode, exercising supervision); 0.0 disables chaos entirely.
+    chaos_kill_rate: float = 0.0
+    #: Heartbeat gap, in deterministic ticks, after which a silent
+    #: worker is treated as hung and killed; None disables straggler
+    #: detection.
+    straggler_ticks: int | None = None
+    #: Directory for per-worker shard journals; None keeps them in a
+    #: temporary directory that is discarded after the merge.
+    shard_dir: str | None = None
 
     @property
     def analysis_guarded(self) -> bool:
         """Whether analyses run under the guarded executor."""
-        return self.stage_budget is not None or self.quarantine_dir is not None
+        return (
+            self.stage_budget is not None
+            or self.quarantine_dir is not None
+            or self.workers > 1
+        )
 
     def __post_init__(self):
         if self.scale <= 0:
@@ -85,6 +106,22 @@ class StudyConfig:
         if not 0.0 <= self.poison_rate <= 1.0:
             raise ValueError(
                 f"poison_rate must be in [0, 1], got {self.poison_rate}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.unit_retries < 0:
+            raise ValueError(
+                f"unit_retries must be >= 0, got {self.unit_retries}"
+            )
+        if not 0.0 <= self.chaos_kill_rate <= 1.0:
+            raise ValueError(
+                f"chaos_kill_rate must be in [0, 1], got "
+                f"{self.chaos_kill_rate}"
+            )
+        if self.straggler_ticks is not None and self.straggler_ticks < 1:
+            raise ValueError(
+                f"straggler_ticks must be >= 1 or None, got "
+                f"{self.straggler_ticks}"
             )
         if not 0.0 < self.jaccard_threshold <= 1.0:
             raise ValueError(

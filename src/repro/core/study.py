@@ -9,7 +9,6 @@ from one study so that expensive intermediates are computed once.
 from __future__ import annotations
 
 import dataclasses
-import random
 from typing import TYPE_CHECKING
 
 import pathlib
@@ -92,20 +91,25 @@ class PortalStudy:
         if "screened-tables" not in self._cache:
             tables = self.report.clean_tables
             if self.executor is not None:
-                from ..profiling.screen import screen_table
+                from ..resilience.units import (
+                    SCREEN_STAGE,
+                    PlannedUnit,
+                    unit_request,
+                )
 
                 with maybe_span(
                     self.obs, "screen", kind="stage", portal=self.code
                 ):
                     for ingested in tables:
-                        clean = ingested.clean
-                        self.executor.guard(
-                            "screen",
-                            ingested.resource_id,
-                            lambda meter, table=clean: screen_table(
-                                table, meter
+                        planned = PlannedUnit(
+                            self.code, SCREEN_STAGE, ingested.resource_id
+                        )
+                        self.executor.guard_unit(
+                            unit_request(
+                                planned, ingested.clean, self.config
                             ),
-                            journal_stage=True,
+                            SCREEN_STAGE,
+                            ingested.resource_id,
                         )
                 tables = [
                     t
@@ -305,7 +309,6 @@ class PortalStudy:
             TableNormalization,
             aggregate_normalization,
             normalization_stats,
-            table_normalization,
         )
 
         if self.executor is None:
@@ -320,33 +323,17 @@ class PortalStudy:
             if span is not None:
                 span.add_ops(meter.spent)
             return
+        from ..resilience.units import FD_STAGE, PlannedUnit, unit_request
+
         kept_tables: list[Table] = []
         contributions: list[TableNormalization] = []
         for ingested in self._filtered_ingested():
             clean = ingested.clean
-            rng = random.Random(
-                f"{self.config.seed}:{self.code}:bcnf:"
-                f"{ingested.resource_id}"
-            )
-            contribution, _ = self.executor.guard(
-                "fd",
+            planned = PlannedUnit(self.code, FD_STAGE, ingested.resource_id)
+            contribution, _ = self.executor.guard_unit(
+                unit_request(planned, clean, self.config),
+                FD_STAGE,
                 ingested.resource_id,
-                lambda meter, table=clean, rng=rng: (
-                    table_normalization(
-                        table,
-                        rng,
-                        max_lhs=self.config.max_lhs,
-                        meter=meter,
-                    )
-                ),
-                classify=lambda c: (
-                    StageStatus.TRUNCATED
-                    if c.truncated
-                    else StageStatus.OK
-                ),
-                encode=lambda c: c.to_payload(),
-                decode=TableNormalization.from_payload,
-                journal_stage=True,
             )
             if contribution is not None:
                 kept_tables.append(clean)
@@ -449,6 +436,15 @@ class Study:
                     executor=_build_executor(config, code, obs),
                     obs=obs,
                 )
+        if config.workers > 1:
+            # Sharded execution: compute every per-table unit across
+            # the worker pool up front, then let each executor adopt
+            # the results lazily as the analyses ask for them (see
+            # repro.resilience.pool).  Portal-wide stages still run
+            # in this process, exactly as at --workers 1.
+            from ..resilience.pool import run_pool
+
+            run_pool(portals, config, obs)
         return cls(config=config, portals=portals, obs=obs)
 
     def __iter__(self):

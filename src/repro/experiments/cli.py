@@ -157,6 +157,52 @@ def build_parser() -> argparse.ArgumentParser:
             "(makes the trace non-reproducible across runs)"
         ),
     )
+    run_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "analysis worker processes (default 1 = the serial path); "
+            "> 1 shards per-table units across a crash-supervised pool "
+            "whose results diff empty against a serial run"
+        ),
+    )
+    run_parser.add_argument(
+        "--unit-retries",
+        type=_nonnegative_int,
+        default=3,
+        help=(
+            "times a unit whose worker died is re-dispatched before "
+            "being quarantined as a poison unit (default 3)"
+        ),
+    )
+    run_parser.add_argument(
+        "--chaos-kill-rate",
+        type=_rate,
+        default=0.0,
+        help=(
+            "seeded probability that a worker SIGKILLs itself mid-unit "
+            "(chaos mode exercising the supervisor; default 0.0)"
+        ),
+    )
+    run_parser.add_argument(
+        "--straggler-ticks",
+        type=_positive_int,
+        default=None,
+        help=(
+            "kill a worker whose in-flight unit reports this many "
+            "ticks without finishing (deterministic hang detection; "
+            "default: off)"
+        ),
+    )
+    run_parser.add_argument(
+        "--shard-dir",
+        default=None,
+        help=(
+            "directory for per-worker shard journals (default: a "
+            "temporary directory discarded after the merge)"
+        ),
+    )
     stats_parser = subparsers.add_parser(
         "stats",
         help="work-budget attribution report from a run trace",
@@ -269,6 +315,11 @@ def config_from_args(args: argparse.Namespace) -> StudyConfig:
         poison_rate=args.poison_rate,
         trace_out=args.trace_out,
         wall_clock=args.wall_clock,
+        workers=args.workers,
+        unit_retries=args.unit_retries,
+        chaos_kill_rate=args.chaos_kill_rate,
+        straggler_ticks=args.straggler_ticks,
+        shard_dir=args.shard_dir,
     )
 
 

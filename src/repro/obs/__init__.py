@@ -67,15 +67,21 @@ class Observer:
         """The observer a study config asks for, or None for zero overhead."""
         if config.trace_out is None:
             return None
+        meta = {
+            "seed": config.seed,
+            "scale": config.scale,
+            "portals": list(config.portal_codes),
+            "stage_budget": config.stage_budget,
+        }
+        if getattr(config, "workers", 1) != 1:
+            # Recorded only for sharded runs so a --workers 1 trace
+            # stays byte-identical to the serial path's; diff treats
+            # header changes as informational, never drift.
+            meta["workers"] = config.workers
         return cls(
             config.trace_out,
             wall_clock=config.wall_clock,
-            meta={
-                "seed": config.seed,
-                "scale": config.scale,
-                "portals": list(config.portal_codes),
-                "stage_budget": config.stage_budget,
-            },
+            meta=meta,
         )
 
     def span(self, name: str, kind: str = "span", **attrs):

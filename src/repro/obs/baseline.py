@@ -8,8 +8,8 @@ history was write-only.  This module reads it back:
   partially written files (a crashed bench run must not poison the
   gate);
 * a rolling baseline — the median ``total_ops`` of the most recent
-  comparable records (same scale and seed as the latest run), excluding
-  the latest run itself;
+  comparable records (same scale, seed, and worker count as the latest
+  run), excluding the latest run itself;
 * a gate verdict comparing the latest run against that baseline, used
   by the bench harness's ``--fail-on-regression`` flag and rendered by
   ``ogdp-repro bench-report``.
@@ -50,6 +50,11 @@ class BenchRecord:
     seconds: float
     total_ops: float
     index: int
+    #: Worker-pool size of the recording run.  Part of the baseline
+    #: key: a sharded run duplicates fixed per-process work and must
+    #: never be gated against a serial history (or vice versa).
+    #: Records written before the field existed default to 1.
+    workers: int = 1
 
     @classmethod
     def from_mapping(
@@ -64,6 +69,7 @@ class BenchRecord:
                 seconds=float(raw.get("seconds", 0.0)),
                 total_ops=float(raw["total_ops"]),
                 index=index,
+                workers=int(raw.get("workers", 1)),
             )
         except (KeyError, TypeError, ValueError):
             return None
@@ -134,7 +140,7 @@ def scan_histories(
 
 
 def comparable_history(records: Iterable[BenchRecord]) -> list[BenchRecord]:
-    """Records sharing the latest record's (scale, seed) configuration."""
+    """Records sharing the latest record's (scale, seed, workers) key."""
     records = list(records)
     if not records:
         return []
@@ -142,7 +148,9 @@ def comparable_history(records: Iterable[BenchRecord]) -> list[BenchRecord]:
     return [
         r
         for r in records
-        if r.scale == latest.scale and r.seed == latest.seed
+        if r.scale == latest.scale
+        and r.seed == latest.seed
+        and r.workers == latest.workers
     ]
 
 

@@ -18,7 +18,10 @@ The comparison covers:
   ``ok → quarantined``, appearing/disappearing units, …);
 * **quarantine-set changes** — tables quarantined in one run only;
 * **metric drift** — counter/gauge values and histogram buckets from
-  the traces' metric blocks, beyond an optional relative tolerance;
+  the traces' metric blocks, beyond an optional relative tolerance
+  (``pool.*`` worker-scheduling counters are excluded, like
+  wall-clock: they describe how the run was executed, not what it
+  computed);
 * **fidelity changes** — per-experiment and per-check verdict moves,
   when both runs carry a fidelity file.
 
@@ -223,9 +226,20 @@ def _quarantined(trace: TraceData) -> set[tuple[str, str]]:
     }
 
 
+#: Metric-name prefixes excluded from drift comparison.  ``pool.*``
+#: counters record *scheduling* — who computed what, steals, restarts,
+#: heartbeats — which legitimately varies between a serial and a
+#: sharded run (and across sharded reruns under chaos) while every
+#: analysis result stays identical; like wall-clock, they are
+#: telemetry about the run, not properties of the study.
+EXCLUDED_METRIC_PREFIXES = ("pool.",)
+
+
 def _metric_drift(a: TraceData, b: TraceData, rel_tol: float) -> list[dict]:
     drift = []
     for name in sorted(set(a.metrics) | set(b.metrics)):
+        if name.startswith(EXCLUDED_METRIC_PREFIXES):
+            continue
         snap_a, snap_b = a.metrics.get(name), b.metrics.get(name)
         if snap_a is None or snap_b is None:
             drift.append(

@@ -23,11 +23,18 @@ from .budget import BudgetExceeded, WorkMeter
 from .checkpoint import CrawlJournal, JournalEntry
 from .client import FetchResult, ResilientHttpClient, host_of
 from .clock import SimulatedClock
-from .executor import PORTAL_WIDE, AnalysisExecutor, StageOutcome, StageStatus
+from .executor import (
+    PORTAL_WIDE,
+    AnalysisExecutor,
+    CompletedUnit,
+    StageOutcome,
+    StageStatus,
+    compute_unit,
+)
 from .ratelimit import RateLimitConfig, TokenBucket
 from .retry import DEFAULT_RETRYABLE_STATUSES, RetryPolicy
 from .stats import ResilienceStats
-from .study_journal import StageRecord, StudyJournal
+from .study_journal import MergeConflict, StageRecord, StudyJournal
 
 __all__ = [
     "AnalysisExecutor",
@@ -36,10 +43,12 @@ __all__ = [
     "BudgetExceeded",
     "CircuitBreaker",
     "CircuitState",
+    "CompletedUnit",
     "CrawlJournal",
     "DEFAULT_RETRYABLE_STATUSES",
     "FetchResult",
     "JournalEntry",
+    "MergeConflict",
     "PORTAL_WIDE",
     "RateLimitConfig",
     "ResilienceStats",
@@ -52,5 +61,6 @@ __all__ = [
     "StudyJournal",
     "TokenBucket",
     "WorkMeter",
+    "compute_unit",
     "host_of",
 ]

@@ -27,8 +27,9 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
 import pathlib
-from typing import Callable
+from typing import Callable, Mapping
 
 from .budget import BudgetExceeded, WorkMeter
 from .study_journal import StageRecord, StudyJournal
@@ -47,6 +48,50 @@ class StageStatus(enum.Enum):
     TRUNCATED = "truncated"
     QUARANTINED = "quarantined"
     FAILED = "failed"
+
+
+def compute_unit(
+    compute: Callable[[WorkMeter], object],
+    meter: WorkMeter,
+    *,
+    classify: Callable[[object], StageStatus] | None = None,
+    on_budget: StageStatus = StageStatus.QUARANTINED,
+) -> tuple[object | None, StageStatus, str]:
+    """Run one unit's compute under *meter*, mapping failures to statuses.
+
+    The failure-shape contract of :meth:`AnalysisExecutor.guard`,
+    extracted so a pool worker process can execute a unit with exactly
+    the semantics the in-process guard would apply: a clean return is
+    classified OK/TRUNCATED, an escaping :class:`BudgetExceeded` maps to
+    *on_budget* with no result, and any other exception maps to FAILED.
+    Returns ``(result, status, detail)``.
+    """
+    try:
+        result = compute(meter)
+        status = classify(result) if classify else StageStatus.OK
+        return result, status, ""
+    except BudgetExceeded as exc:
+        return None, on_budget, str(exc)
+    except Exception as exc:  # noqa: BLE001 — the guard's whole point
+        return None, StageStatus.FAILED, f"{type(exc).__name__}: {exc}"
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletedUnit:
+    """A unit computed outside the executor, offered for adoption.
+
+    Produced by pool workers: *record* is the finished
+    :class:`StageRecord` (payload already encoded), *worker* names the
+    lane that computed it, and *metrics* is the snapshot of counter
+    metrics the unit's meter charged in the worker process, keyed by
+    metric name with ``{"value": n}`` mappings.
+    """
+
+    record: StageRecord
+    worker: str
+    metrics: Mapping[str, Mapping[str, object]] = dataclasses.field(
+        default_factory=dict
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,6 +146,13 @@ class AnalysisExecutor:
         self.outcomes: list[StageOutcome] = []
         #: Table ids quarantined by any stage so far.
         self.quarantined: set[str] = set()
+        #: Units computed elsewhere (pool workers), adopted on demand:
+        #: ``(stage, table_id) -> CompletedUnit``.  Adoption is the
+        #: parallel path's identity trick — an adopted unit emits the
+        #: same span, counters, journal record, and quarantine side
+        #: effects the in-process computation would have, so a sharded
+        #: run's artifacts diff empty against a serial guarded run.
+        self.precomputed: dict[tuple[str, str], CompletedUnit] = {}
 
     # ------------------------------------------------------------------
     # the guard
@@ -137,6 +189,12 @@ class AnalysisExecutor:
             if record is not None:
                 return self._replay(record, decode, fallback)
 
+        completed = self.precomputed.pop((stage, table_id), None)
+        if completed is not None:
+            return self._adopt(
+                completed, decode, fallback, journal_stage=journal_stage
+            )
+
         meter = WorkMeter(
             self.stage_budget,
             metrics=self.obs.metrics if self.obs is not None else None,
@@ -150,16 +208,9 @@ class AnalysisExecutor:
                 stage=stage,
                 table=table_id,
             )
-        detail = ""
-        try:
-            result = compute(meter)
-            status = classify(result) if classify else StageStatus.OK
-        except BudgetExceeded as exc:
-            result, status, detail = None, on_budget, str(exc)
-        except Exception as exc:  # noqa: BLE001 — the guard's whole point
-            result = None
-            status = StageStatus.FAILED
-            detail = f"{type(exc).__name__}: {exc}"
+        result, status, detail = compute_unit(
+            compute, meter, classify=classify, on_budget=on_budget
+        )
 
         outcome = StageOutcome(
             portal=self.portal_code,
@@ -196,6 +247,88 @@ class AnalysisExecutor:
             )
             if self.obs is not None:
                 self.obs.metrics.inc("journal.records_written")
+        if result is None and fallback is not None:
+            result = fallback()
+        return result, outcome
+
+    def guard_unit(
+        self,
+        request,
+        stage: str,
+        table_id: str,
+        *,
+        journal_stage: bool = True,
+    ) -> tuple[object | None, StageOutcome]:
+        """Run one catalogued unit request (see ``resilience.units``).
+
+        Thin adapter over :meth:`guard` unpacking a ``UnitRequest``'s
+        hooks, so the serial path and the pool plan share one unit
+        definition.
+        """
+        return self.guard(
+            stage,
+            table_id,
+            request.compute,
+            classify=request.classify,
+            encode=request.encode,
+            decode=request.decode,
+            journal_stage=journal_stage,
+            on_budget=request.on_budget,
+            fallback=request.fallback,
+        )
+
+    def _adopt(
+        self,
+        completed: CompletedUnit,
+        decode: Callable[[object], object] | None,
+        fallback: Callable[[], object] | None,
+        *,
+        journal_stage: bool,
+    ) -> tuple[object | None, StageOutcome]:
+        """Take ownership of a unit a pool worker already computed.
+
+        Unlike :meth:`_replay`, adoption is *this run's* computation —
+        it merely happened in another process.  The unit therefore
+        emits a full-spend span (``replayed=False``), merges the
+        worker-side counter increments into this registry, appends the
+        record to the canonical journal, and applies quarantine side
+        effects, exactly as the local compute path would have.
+        """
+        record = completed.record
+        status = StageStatus[record.status]
+        outcome = StageOutcome(
+            portal=self.portal_code,
+            stage=record.stage,
+            table_id=record.table_id,
+            status=status,
+            ticks=record.ticks,
+            budget=record.budget,
+            detail=record.detail,
+        )
+        if self.obs is not None:
+            span = self.obs.tracer.start(
+                record.stage,
+                kind="unit",
+                portal=self.portal_code,
+                stage=record.stage,
+                table=record.table_id,
+                worker=completed.worker,
+            )
+            span.attrs["replayed"] = False
+            if record.detail:
+                span.attrs["detail"] = record.detail
+            self.obs.tracer.finish(span, status=status.value, ops=record.ticks)
+            for name, snapshot in completed.metrics.items():
+                self.obs.metrics.inc(name, int(snapshot["value"]))
+            self._observe_outcome(outcome)
+        self._note(outcome)
+        if journal_stage and self.journal is not None:
+            self.journal.record(record)
+            if self.obs is not None:
+                self.obs.metrics.inc("journal.records_written")
+        result = None
+        if record.payload is not None and decode is not None:
+            result = decode(record.payload)
         if result is None and fallback is not None:
             result = fallback()
         return result, outcome
@@ -274,7 +407,7 @@ class AnalysisExecutor:
             self.quarantine_dir
             / f"{outcome.portal}-{outcome.table_id}.json"
         )
-        path.write_text(
+        text = (
             json.dumps(
                 {
                     "portal": outcome.portal,
@@ -288,9 +421,13 @@ class AnalysisExecutor:
                 sort_keys=True,
                 indent=2,
             )
-            + "\n",
-            encoding="utf-8",
+            + "\n"
         )
+        # Write-then-rename so a process killed mid-write (a real event
+        # under the chaos-enabled pool) never leaves a torn record.
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
 
     # ------------------------------------------------------------------
     # queries

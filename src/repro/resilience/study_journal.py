@@ -23,6 +23,18 @@ import pathlib
 from typing import IO, Iterator
 
 
+class MergeConflict(RuntimeError):
+    """Two shard journals disagree about one completed unit.
+
+    Raised by :meth:`StudyJournal.merge` when the same ``(stage,
+    table_id)`` key appears in multiple shards with *different* record
+    contents.  Under the determinism contract this is impossible for
+    honestly computed units — equal inputs produce equal records — so a
+    conflict always means shard corruption or a scheduler bug, and the
+    merge refuses to guess which side is right.
+    """
+
+
 @dataclasses.dataclass(frozen=True)
 class StageRecord:
     """One journalled (stage, table) analysis unit."""
@@ -108,6 +120,89 @@ class StudyJournal:
         self._records[record.key] = record
         self._handle.write(record.to_json() + "\n")
         self._handle.flush()
+
+    @classmethod
+    def merge(
+        cls,
+        path: str | pathlib.Path,
+        shards: "list[str | pathlib.Path]",
+        metrics=None,
+    ) -> "StudyJournal":
+        """Reconcile per-worker shard journals into one canonical journal.
+
+        Reads every shard in sorted-path order (deterministic regardless
+        of which worker finished first), tolerating torn trailing lines
+        exactly like the constructor, and writes the union of their
+        records to *path*.  Units that appear in several shards — a
+        re-dispatched unit whose first worker died *after* persisting
+        its shard line — are deduplicated when the records are
+        identical; records that *differ* for the same ``(stage,
+        table_id)`` key raise :class:`MergeConflict`, because under the
+        determinism contract equal inputs must yield equal records.
+
+        Shard lines may be bare :class:`StageRecord` objects or pool
+        envelopes carrying a ``"record"`` field; non-record envelope
+        lines (shard headers) are ignored.  Records already present in
+        an existing journal at *path* are kept (and conflict-checked),
+        not rewritten.
+        """
+        merged: dict[tuple[str, str], StageRecord] = {}
+        origin: dict[tuple[str, str], pathlib.Path] = {}
+        for shard in sorted(pathlib.Path(s) for s in shards):
+            if not shard.exists():
+                continue
+            for record in cls._iter_shard_records(shard, metrics):
+                key = record.key
+                previous = merged.get(key)
+                if previous is not None:
+                    if previous != record:
+                        raise MergeConflict(
+                            f"shard {shard} disagrees with "
+                            f"{origin[key]} about unit {key!r}"
+                        )
+                    if metrics is not None:
+                        metrics.inc("journal.merge_duplicates")
+                    continue
+                merged[key] = record
+                origin[key] = shard
+        journal = cls(path, metrics=metrics)
+        for record in merged.values():
+            existing = journal.get(*record.key)
+            if existing is not None:
+                if existing != record:
+                    raise MergeConflict(
+                        f"shard {origin[record.key]} disagrees with "
+                        f"canonical journal {journal.path} about unit "
+                        f"{record.key!r}"
+                    )
+                continue
+            journal.record(record)
+        return journal
+
+    @staticmethod
+    def _iter_shard_records(
+        shard: pathlib.Path, metrics=None
+    ) -> Iterator[StageRecord]:
+        """Yield the valid records in one shard file, skipping torn lines."""
+        with shard.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    if not isinstance(obj, dict):
+                        raise TypeError("shard line is not an object")
+                    if "record" in obj:  # pool envelope
+                        obj = obj["record"]
+                    elif "stage" not in obj:  # shard header line
+                        continue
+                    record = StageRecord(**obj)
+                except (ValueError, KeyError, TypeError):
+                    if metrics is not None:
+                        metrics.inc("journal.torn_lines")
+                    continue
+                yield record
 
     def close(self) -> None:
         """Close the underlying file handle (records stay readable)."""

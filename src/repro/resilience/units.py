@@ -1,0 +1,138 @@
+"""The catalog of per-table analysis units: enumerable, computable anywhere.
+
+The guarded executor (PR 2) runs per-table stages as closures built
+inline by :class:`~repro.core.study.PortalStudy`, which works for a
+sequential study but leaves the unit set implicit — nothing can ask
+"which units will this portal run?" without running them.  This module
+makes the unit set a first-class, *enumerable* plan:
+
+* :func:`plan_portal_units` lists every per-table ``(portal, stage,
+  table)`` unit a portal's analysis will execute, before executing any
+  of them — the input the sharded worker pool schedules over;
+* :func:`unit_request` builds, for any planned unit, the exact compute
+  closure (plus classify/encode/decode hooks) the serial guarded path
+  uses, so a unit computed in a worker process is **definitionally**
+  the same computation the in-process executor would have run.
+
+Only per-table stages live here.  Portal-wide stages (join pair
+search, unionability) consume the *results* of these units and always
+run in the supervising process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable
+
+from ..normalize.analysis import (
+    TableNormalization,
+    passes_size_filter,
+    table_normalization,
+)
+from ..profiling.screen import screen_table
+from .executor import StageStatus
+
+#: Stage ids of the per-table units.  ``screen`` guards raw data
+#: volume; ``fd`` is FD discovery plus BCNF decomposition.
+SCREEN_STAGE = "screen"
+FD_STAGE = "fd"
+
+#: Per-table stages in execution order (fd depends on screen).
+UNIT_STAGES = (SCREEN_STAGE, FD_STAGE)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedUnit:
+    """One enumerable ``(portal, stage, table)`` analysis unit."""
+
+    portal: str
+    stage: str
+    table_id: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The pool-wide identity of this unit."""
+        return (self.portal, self.stage, self.table_id)
+
+    @property
+    def journal_key(self) -> tuple[str, str]:
+        """The per-portal study-journal key of this unit."""
+        return (self.stage, self.table_id)
+
+    @property
+    def depends_on(self) -> tuple[str, str, str] | None:
+        """Key of the unit that must complete OK before this one runs.
+
+        FD discovery only runs on tables the screen stage passed, so an
+        ``fd`` unit depends on its own table's ``screen`` unit; a
+        scheduler must not dispatch it earlier, and must cancel it when
+        the screen quarantines or fails the table.
+        """
+        if self.stage == FD_STAGE:
+            return (self.portal, SCREEN_STAGE, self.table_id)
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitRequest:
+    """Everything the guard needs to run one unit, wherever it runs."""
+
+    compute: Callable
+    classify: Callable | None = None
+    encode: Callable | None = None
+    decode: Callable | None = None
+    on_budget: StageStatus = StageStatus.QUARANTINED
+    fallback: Callable | None = None
+
+
+def plan_portal_units(portal_code: str, report) -> list[PlannedUnit]:
+    """Every per-table unit *report*'s analyses will run, in order.
+
+    Mirrors the serial guarded path exactly: one ``screen`` unit per
+    cleaned table, then one ``fd`` unit per cleaned table passing the
+    paper's §4.2 size filter.  Whether an ``fd`` unit actually executes
+    still depends on its screen outcome (see
+    :attr:`PlannedUnit.depends_on`).
+    """
+    units = [
+        PlannedUnit(portal_code, SCREEN_STAGE, ingested.resource_id)
+        for ingested in report.clean_tables
+    ]
+    units.extend(
+        PlannedUnit(portal_code, FD_STAGE, ingested.resource_id)
+        for ingested in report.clean_tables
+        if ingested.clean is not None and passes_size_filter(ingested.clean)
+    )
+    return units
+
+
+def unit_request(planned: PlannedUnit, table, config) -> UnitRequest:
+    """The canonical compute request for *planned* over *table*.
+
+    *config* supplies the seed and FD knobs; the closure is pure in
+    everything else, so executing it in a worker process (with a fresh
+    meter) yields bit-for-bit the record the serial path journals.
+    The per-table BCNF RNG is derived from ``(seed, portal, table)``
+    inside the closure, so retried executions never share RNG state.
+    """
+    if planned.stage == SCREEN_STAGE:
+        return UnitRequest(
+            compute=lambda meter: screen_table(table, meter),
+        )
+    if planned.stage == FD_STAGE:
+        rng_key = f"{config.seed}:{planned.portal}:bcnf:{planned.table_id}"
+        return UnitRequest(
+            compute=lambda meter: table_normalization(
+                table,
+                random.Random(rng_key),
+                max_lhs=config.max_lhs,
+                meter=meter,
+            ),
+            classify=lambda c: (
+                StageStatus.TRUNCATED if c.truncated else StageStatus.OK
+            ),
+            encode=lambda c: c.to_payload(),
+            decode=TableNormalization.from_payload,
+        )
+    raise ValueError(f"unknown per-table stage: {planned.stage!r}")

@@ -1,0 +1,196 @@
+"""Shard-journal reconciliation (StudyJournal.merge and friends).
+
+The worker pool persists per-worker shard journals and merges them into
+one canonical study journal after the fleet drains.  These tests pin
+the merge contract: deterministic shard order, duplicate deduplication,
+hard failure on conflicting duplicates, and torn-line tolerance.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.study_journal import (
+    MergeConflict,
+    StageRecord,
+    StudyJournal,
+)
+
+
+def record(stage="screen", table_id="t1", *, status="OK", ticks=10, **kw):
+    return StageRecord(
+        stage=stage,
+        table_id=table_id,
+        status=status,
+        ticks=ticks,
+        budget=kw.pop("budget", 1000),
+        detail=kw.pop("detail", ""),
+        payload=kw.pop("payload", None),
+    )
+
+
+def write_shard(path, lines):
+    text = "\n".join(
+        line if isinstance(line, str) else json.dumps(line, sort_keys=True)
+        for line in lines
+    )
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+def bare(rec):
+    return dataclasses.asdict(rec)
+
+
+def envelope(rec, worker="w0"):
+    """A pool-style shard line wrapping the record."""
+    return {
+        "unit": ["SG", rec.stage, rec.table_id],
+        "worker": worker,
+        "record": dataclasses.asdict(rec),
+        "metrics": {},
+    }
+
+
+class TestMerge:
+    def test_interleaved_shards_union(self, tmp_path):
+        """Disjoint units scattered across shards all land in the journal."""
+        write_shard(
+            tmp_path / "shard-w0.jsonl",
+            [bare(record(table_id="t1")), bare(record("fd", "t3"))],
+        )
+        write_shard(
+            tmp_path / "shard-w1.jsonl",
+            [bare(record(table_id="t2")), bare(record("fd", "t1"))],
+        )
+        journal = StudyJournal.merge(
+            tmp_path / "study.jsonl",
+            [tmp_path / "shard-w1.jsonl", tmp_path / "shard-w0.jsonl"],
+        )
+        assert len(journal) == 4
+        assert journal.get("screen", "t1") == record(table_id="t1")
+        assert journal.get("fd", "t1") == record("fd", "t1")
+        journal.close()
+
+    def test_merge_order_is_path_sorted(self, tmp_path):
+        """The canonical journal's line order ignores worker finish order."""
+
+        def run(order):
+            out = tmp_path / f"study-{order[0].name}.jsonl"
+            StudyJournal.merge(out, order).close()
+            return out.read_text(encoding="utf-8")
+
+        write_shard(tmp_path / "shard-w0.jsonl", [bare(record(table_id="a"))])
+        write_shard(tmp_path / "shard-w1.jsonl", [bare(record(table_id="b"))])
+        forward = run([tmp_path / "shard-w0.jsonl", tmp_path / "shard-w1.jsonl"])
+        reverse = run([tmp_path / "shard-w1.jsonl", tmp_path / "shard-w0.jsonl"])
+        assert forward == reverse
+
+    def test_identical_duplicates_dedupe(self, tmp_path):
+        """A re-dispatched unit persisted by two workers merges silently."""
+        twin = record(table_id="t1", ticks=42)
+        write_shard(tmp_path / "shard-w0.jsonl", [bare(twin)])
+        write_shard(tmp_path / "shard-w1.jsonl", [envelope(twin, "w1")])
+        metrics = MetricsRegistry()
+        journal = StudyJournal.merge(
+            tmp_path / "study.jsonl",
+            sorted(tmp_path.glob("shard-*.jsonl")),
+            metrics=metrics,
+        )
+        assert len(journal) == 1
+        assert metrics.snapshot()["journal.merge_duplicates"]["value"] == 1
+        journal.close()
+
+    def test_conflicting_duplicates_raise(self, tmp_path):
+        write_shard(
+            tmp_path / "shard-w0.jsonl", [bare(record(table_id="t1", ticks=42))]
+        )
+        write_shard(
+            tmp_path / "shard-w1.jsonl", [bare(record(table_id="t1", ticks=43))]
+        )
+        with pytest.raises(MergeConflict) as excinfo:
+            StudyJournal.merge(
+                tmp_path / "study.jsonl",
+                sorted(tmp_path.glob("shard-*.jsonl")),
+            )
+        assert "disagrees" in str(excinfo.value)
+
+    def test_conflict_with_existing_canonical_journal(self, tmp_path):
+        canonical = tmp_path / "study.jsonl"
+        with StudyJournal(canonical) as journal:
+            journal.record(record(table_id="t1", ticks=10))
+        write_shard(
+            tmp_path / "shard-w0.jsonl", [bare(record(table_id="t1", ticks=99))]
+        )
+        with pytest.raises(MergeConflict):
+            StudyJournal.merge(canonical, [tmp_path / "shard-w0.jsonl"])
+
+    def test_existing_canonical_records_kept_not_rewritten(self, tmp_path):
+        canonical = tmp_path / "study.jsonl"
+        with StudyJournal(canonical) as journal:
+            journal.record(record(table_id="t1"))
+        before = canonical.read_text(encoding="utf-8")
+        write_shard(
+            tmp_path / "shard-w0.jsonl",
+            [bare(record(table_id="t1")), bare(record(table_id="t2"))],
+        )
+        merged = StudyJournal.merge(canonical, [tmp_path / "shard-w0.jsonl"])
+        merged.close()
+        after = canonical.read_text(encoding="utf-8")
+        assert after.startswith(before)
+        assert len(after.splitlines()) == 2
+
+
+class TestShardTolerance:
+    def test_torn_lines_skipped_and_counted(self, tmp_path):
+        good = record(table_id="t1")
+        write_shard(
+            tmp_path / "shard-w0.jsonl",
+            [bare(good), '{"stage": "fd", "table_id": "t2", "sta'],
+        )
+        metrics = MetricsRegistry()
+        journal = StudyJournal.merge(
+            tmp_path / "study.jsonl",
+            [tmp_path / "shard-w0.jsonl"],
+            metrics=metrics,
+        )
+        assert len(journal) == 1
+        assert metrics.snapshot()["journal.torn_lines"]["value"] == 1
+        journal.close()
+
+    def test_header_lines_ignored(self, tmp_path):
+        write_shard(
+            tmp_path / "shard-w0.jsonl",
+            [
+                {"shard": "w0", "fingerprint": {"seed": 7}},
+                bare(record(table_id="t1")),
+            ],
+        )
+        journal = StudyJournal.merge(
+            tmp_path / "study.jsonl", [tmp_path / "shard-w0.jsonl"]
+        )
+        assert len(journal) == 1
+        journal.close()
+
+    def test_missing_shards_are_not_an_error(self, tmp_path):
+        journal = StudyJournal.merge(
+            tmp_path / "study.jsonl", [tmp_path / "never-written.jsonl"]
+        )
+        assert len(journal) == 0
+        journal.close()
+
+    def test_merged_journal_replays_through_constructor(self, tmp_path):
+        """The merged file is an ordinary study journal: reloading it
+        yields exactly the merged records."""
+        write_shard(
+            tmp_path / "shard-w0.jsonl",
+            [envelope(record(table_id="t1")), envelope(record("fd", "t1"))],
+        )
+        StudyJournal.merge(
+            tmp_path / "study.jsonl", [tmp_path / "shard-w0.jsonl"]
+        ).close()
+        reloaded = StudyJournal(tmp_path / "study.jsonl")
+        assert len(reloaded) == 2
+        assert reloaded.get("fd", "t1") == record("fd", "t1")
+        reloaded.close()
