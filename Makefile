@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench smoke-trace smoke-shard experiments fidelity
+.PHONY: test lint bench-smoke bench smoke-trace smoke-shard smoke-serve experiments fidelity
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,3 +55,15 @@ smoke-shard:
 		--workers 4 --chaos-kill-rate 0.2 \
 		--quarantine-dir smoke-shard-q2 --trace-out smoke-chaos.jsonl
 	$(PYTHON) -m repro.experiments.cli diff smoke-serial.jsonl smoke-chaos.jsonl
+
+# The serving gate CI runs: the deterministic load harness twice with
+# equal seeds — reports must be byte-identical, every request must
+# terminate, and the admission bounds must hold (loadtest exits
+# non-zero on any invariant violation).
+smoke-serve:
+	$(PYTHON) -m repro.experiments.cli -q loadtest \
+		--scale 0.18 --seed 3 --mix smoke --report smoke-load-a.json \
+		--bench-root .
+	$(PYTHON) -m repro.experiments.cli -q loadtest \
+		--scale 0.18 --seed 3 --mix smoke --report smoke-load-b.json
+	cmp smoke-load-a.json smoke-load-b.json

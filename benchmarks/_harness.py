@@ -12,8 +12,6 @@ comparable history.
 
 from __future__ import annotations
 
-import json
-import os
 import pathlib
 import time
 
@@ -62,30 +60,10 @@ def _benchmark_seconds(benchmark, fallback: float) -> float:
 def _append_bench_record(
     experiment_id: str, record: dict, *, root: pathlib.Path | None = None
 ) -> pathlib.Path:
-    """Append *record* to ``BENCH_<id>.json``, tolerating a bad file.
-
-    Existing records are recovered with the tolerant baseline reader
-    (so a previously truncated file loses only its torn tail, not its
-    history), and the updated array is written via a same-directory
-    temp file plus :func:`os.replace` so readers never observe a
-    partially written file.
-    """
-    path = (root or REPO_ROOT) / f"BENCH_{experiment_id}.json"
-    records: list = []
-    if path.exists():
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
-            text = ""
-        records = baseline.salvage_json_objects(text)
-    records.append(record)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(
-        json.dumps(records, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
+    """Append *record* to ``BENCH_<id>.json`` (shared baseline helper)."""
+    return baseline.append_record(
+        experiment_id, record, root=root or REPO_ROOT
     )
-    os.replace(tmp, path)
-    return path
 
 
 def _check_regression_gate(history_path: pathlib.Path) -> None:

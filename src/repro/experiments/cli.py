@@ -10,6 +10,8 @@ Examples::
     ogdp-repro fidelity --json --out fidelity.json
     ogdp-repro diff runs/a runs/b
     ogdp-repro bench-report
+    ogdp-repro serve --scale 0.25 --port 8323
+    ogdp-repro loadtest --mix smoke --report load.json
 
 Output discipline: rendered experiment results, the degradation
 appendix, and ``stats`` reports go to **stdout** (they are the product);
@@ -299,6 +301,65 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero when any experiment regressed its baseline",
     )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the built study's data lake over HTTP (CKAN-shaped)",
+    )
+    serve_parser.add_argument(
+        "--scale", type=float, default=1.0, help="corpus scale (default 1.0)"
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=7, help="master seed (default 7)"
+    )
+    serve_parser.add_argument(
+        "--host", default=None, help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=None,
+        help="bind port (default 8323; 0 picks an ephemeral port)",
+    )
+    load_parser = subparsers.add_parser(
+        "loadtest",
+        help="run the deterministic load harness against the served lake",
+    )
+    load_parser.add_argument(
+        "--scale", type=float, default=1.0, help="corpus scale (default 1.0)"
+    )
+    load_parser.add_argument(
+        "--seed", type=int, default=7, help="master seed (default 7)"
+    )
+    load_parser.add_argument(
+        "--mix",
+        default="smoke",
+        help="client mix: 'smoke' or 'standard' (default smoke)",
+    )
+    load_parser.add_argument(
+        "--load-seed",
+        type=int,
+        default=None,
+        help="harness seed for client scripting (default: the mix's own)",
+    )
+    load_parser.add_argument(
+        "--report",
+        default=None,
+        help="write the canonical JSON load report to this file",
+    )
+    load_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    load_parser.add_argument(
+        "--bench-root",
+        default=None,
+        help=(
+            "append a serving record to BENCH_serve.json under this "
+            "directory (joins the bench-report regression gate)"
+        ),
+    )
     return parser
 
 
@@ -462,6 +523,67 @@ def _run_bench_report(args: argparse.Namespace) -> int:
     return 1 if (regressed and args.fail_on_regression) else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: a real HTTP server over the lake."""
+    from ..serve import httpd
+
+    config = StudyConfig(scale=args.scale, seed=args.seed)
+    study = get_study(config=config)
+    server = httpd.make_server(
+        study,
+        host=args.host if args.host is not None else httpd.DEFAULT_HOST,
+        port=args.port if args.port is not None else httpd.DEFAULT_PORT,
+    )
+    httpd.serve_forever(server)
+    return 0
+
+
+def _run_loadtest(args: argparse.Namespace) -> int:
+    """The ``loadtest`` subcommand: 0 = invariants hold, 1 = violated."""
+    import dataclasses
+    import json
+    import pathlib
+    import time
+
+    from ..obs import baseline
+    from ..serve import loadgen
+
+    mix_factory = loadgen.MIXES.get(args.mix)
+    if mix_factory is None:
+        get_log().error(
+            "unknown-mix", mix=args.mix, known=sorted(loadgen.MIXES)
+        )
+        return 2
+    config = mix_factory()
+    if args.load_seed is not None:
+        config = dataclasses.replace(config, seed=args.load_seed)
+    study = get_study(config=StudyConfig(scale=args.scale, seed=args.seed))
+    started = time.perf_counter()
+    report = loadgen.run_load(study, config)
+    seconds = time.perf_counter() - started
+    if args.report is not None:
+        pathlib.Path(args.report).write_text(
+            loadgen.report_to_json(report), encoding="utf-8"
+        )
+        get_log().info("load-report-written", path=args.report)
+    if args.bench_root is not None:
+        record = loadgen.bench_record(
+            report, scale=args.scale, seed=args.seed, seconds=seconds
+        )
+        path = baseline.append_record(
+            "serve", record, root=args.bench_root
+        )
+        get_log().info("bench-recorded", path=str(path))
+    if args.as_json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(loadgen.render_report(report))
+    violations = loadgen.check_invariants(report, config)
+    for violation in violations:
+        get_log().error("load-invariant-violated", message=violation)
+    return 1 if violations else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run, print, return exit code."""
     args = build_parser().parse_args(argv)
@@ -478,6 +600,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_diff(args)
     if args.command == "bench-report":
         return _run_bench_report(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "loadtest":
+        return _run_loadtest(args)
     config = config_from_args(args)
     study = get_study(config=config)
     try:

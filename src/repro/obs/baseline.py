@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
 import re
 import statistics
@@ -55,6 +56,14 @@ class BenchRecord:
     #: never be gated against a serial history (or vice versa).
     #: Records written before the field existed default to 1.
     workers: int = 1
+    #: Serving metrics (the ``serve`` load-harness experiment).  The
+    #: client population is part of the baseline key — a 48-client
+    #: smoke run must never gate against a 224-client soak history.
+    #: Compute benches leave all four at their zero defaults.
+    clients: int = 0
+    p50_ops: float = 0.0
+    p99_ops: float = 0.0
+    shed_rate: float = 0.0
 
     @classmethod
     def from_mapping(
@@ -70,6 +79,10 @@ class BenchRecord:
                 total_ops=float(raw["total_ops"]),
                 index=index,
                 workers=int(raw.get("workers", 1)),
+                clients=int(raw.get("clients", 0)),
+                p50_ops=float(raw.get("p50_ops", 0.0)),
+                p99_ops=float(raw.get("p99_ops", 0.0)),
+                shed_rate=float(raw.get("shed_rate", 0.0)),
             )
         except (KeyError, TypeError, ValueError):
             return None
@@ -139,8 +152,39 @@ def scan_histories(
     return histories
 
 
+def append_record(
+    experiment_id: str, record: Mapping, *, root: str | pathlib.Path
+) -> pathlib.Path:
+    """Append *record* to ``BENCH_<id>.json``, tolerating a bad file.
+
+    Existing records are recovered with the tolerant reader (so a
+    previously truncated file loses only its torn tail, not its
+    history), and the updated array is written via a same-directory
+    temp file plus :func:`os.replace` so readers never observe a
+    partially written file.  Shared by the bench harness and the
+    load-test CLI.
+    """
+    path = pathlib.Path(root) / f"BENCH_{experiment_id}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records: list = []
+    if path.exists():
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        records = salvage_json_objects(text)
+    records.append(dict(record))
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(records, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+    return path
+
+
 def comparable_history(records: Iterable[BenchRecord]) -> list[BenchRecord]:
-    """Records sharing the latest record's (scale, seed, workers) key."""
+    """Records sharing the latest's (scale, seed, workers, clients) key."""
     records = list(records)
     if not records:
         return []
@@ -151,6 +195,7 @@ def comparable_history(records: Iterable[BenchRecord]) -> list[BenchRecord]:
         if r.scale == latest.scale
         and r.seed == latest.seed
         and r.workers == latest.workers
+        and r.clients == latest.clients
     ]
 
 
@@ -167,6 +212,11 @@ class GateVerdict:
     comparable_runs: int
     regressed: bool
     reason: str
+    #: Serving metrics of the latest run (zero for compute benches).
+    clients: int = 0
+    p50_ops: float = 0.0
+    p99_ops: float = 0.0
+    shed_rate: float = 0.0
 
     def as_json(self) -> dict:
         return dataclasses.asdict(self)
@@ -204,6 +254,10 @@ def evaluate_gate(
             comparable_runs=len(comparable),
             regressed=False,
             reason="first comparable run; no baseline yet",
+            clients=latest.clients,
+            p50_ops=latest.p50_ops,
+            p99_ops=latest.p99_ops,
+            shed_rate=latest.shed_rate,
         )
     baseline_ops = statistics.median(r.total_ops for r in prior)
     baseline_seconds = statistics.median(r.seconds for r in prior)
@@ -242,6 +296,10 @@ def evaluate_gate(
         comparable_runs=len(comparable),
         regressed=regressed,
         reason=reason,
+        clients=latest.clients,
+        p50_ops=latest.p50_ops,
+        p99_ops=latest.p99_ops,
+        shed_rate=latest.shed_rate,
     )
 
 
@@ -285,6 +343,18 @@ def render_bench_report(verdicts: list[GateVerdict]) -> str:
             f"{v.experiment:<16} {v.comparable_runs:>4} "
             f"{v.latest_ops:>12.0f} {baseline:>12} {ratio:>6}  {verdict}"
         )
+    serving = [v for v in verdicts if v.clients > 0]
+    if serving:
+        lines.append("")
+        lines.append(
+            f"{'serving':<16} {'clients':>7} {'p50 ops':>8} "
+            f"{'p99 ops':>8} {'shed':>6}"
+        )
+        for v in serving:
+            lines.append(
+                f"{v.experiment:<16} {v.clients:>7} {v.p50_ops:>8.0f} "
+                f"{v.p99_ops:>8.0f} {v.shed_rate:>6.1%}"
+            )
     lines.append("")
     if regressions:
         lines.append(f"regressions: {regressions}")

@@ -14,8 +14,19 @@ from typing import Any
 from .models import Dataset, Portal, Resource
 
 
-class CkanApiError(KeyError):
-    """Raised when a package id is unknown (CKAN's "Not found" answer)."""
+class CkanApiError(Exception):
+    """Raised when a lookup misses (CKAN's structured "Not found" answer).
+
+    Carries the HTTP-shaped *code* and the *entity* that was not found,
+    so API layers (and the :mod:`repro.serve` HTTP service) can render a
+    CKAN-style JSON error instead of guessing from a bare ``KeyError``.
+    """
+
+    def __init__(self, entity: str, *, code: int = 404, kind: str = "package"):
+        super().__init__(f"{kind} not found: {entity!r}")
+        self.code = code
+        self.entity = entity
+        self.kind = kind
 
 
 class CkanApi:

@@ -46,6 +46,21 @@ class TokenBucket:
         )
         self._updated = now
 
+    def try_acquire(self) -> float:
+        """Pay one token only if available *now*; never borrows.
+
+        Returns 0.0 when a token was consumed.  Otherwise returns the
+        wait until one token will have refilled **without** consuming
+        it — the admission-control shape: a rejected request answers
+        429 with this value as ``Retry-After`` and must not eat into
+        the capacity of requests that do get admitted.
+        """
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.config.rate
+
     def reserve(self) -> float:
         """Pay one token; returns how long the caller must sleep first.
 

@@ -18,12 +18,16 @@ import dataclasses
 
 from ..core.study import PortalStudy, Study
 from ..dataframe import Table
+from ..ingest.pipeline import IngestedTable
 from ..joinability.coltypes import SemanticType
 from ..joinability.expansion import pair_expansion_ratio
 from ..joinability.index import normalize_value
 from ..joinability.labeling import key_combination, pair_semantic_type
 from ..joinability.pairs import JoinabilityAnalysis
 from ..joinability.topk import TopKOverlapSearcher
+from ..obs.log import get_log
+from ..resilience.budget import BudgetExceeded, WorkMeter
+from ..resilience.executor import StageStatus
 from ..unionability.ranking import rank_union_partners
 from .textindex import TextIndex
 
@@ -83,17 +87,68 @@ class UnionSuggestion:
 class DataLake:
     """Search and integration suggestions over a built study."""
 
-    def __init__(self, study: Study):
+    def __init__(self, study: Study, *, metrics=None):
         self._study = study
+        self._metrics = metrics
         self._index = TextIndex()
         self._dataset_titles: dict[str, tuple[str, str]] = {}
         self._searchers: dict[str, TopKOverlapSearcher] = {}
         for portal in study:
             self._index_portal(portal)
 
+    def _note_skip(self, portal_code: str, entity: str, reason: str) -> None:
+        """Record one skipped indexing unit: a log line plus a counter.
+
+        A degraded study (quarantined tables, failed stages) must still
+        be servable, so indexing problems are telemetry, never raises.
+        """
+        get_log().warn(
+            "lake-index-skip",
+            portal=portal_code,
+            entity=entity,
+            reason=reason,
+        )
+        if self._metrics is not None:
+            self._metrics.inc("lake.index.skipped")
+
+    def _servable_tables(self, portal: PortalStudy) -> list[IngestedTable]:
+        """The portal's clean tables minus quarantined/FAILED ones.
+
+        Unguarded studies serve every clean table.  Guarded ones first
+        run the screen stage (so data-volume poison is quarantined at
+        the cheapest point), then drop anything the executor has
+        quarantined or recorded as FAILED — each skip logged and
+        counted instead of raised, so a degraded study still serves
+        its healthy remainder.
+        """
+        executor = portal.executor
+        if executor is None:
+            return portal.report.clean_tables
+        try:
+            portal.screened_tables()
+        except Exception as exc:  # noqa: BLE001 — serving must survive
+            self._note_skip(
+                portal.code, "screen", f"{type(exc).__name__}: {exc}"
+            )
+        failed = {
+            outcome.table_id
+            for outcome in executor.outcomes
+            if outcome.status is StageStatus.FAILED
+        }
+        kept: list[IngestedTable] = []
+        for ingested in portal.report.clean_tables:
+            resource_id = ingested.resource_id
+            if executor.is_quarantined(resource_id):
+                self._note_skip(portal.code, resource_id, "quarantined")
+            elif resource_id in failed:
+                self._note_skip(portal.code, resource_id, "failed")
+            else:
+                kept.append(ingested)
+        return kept
+
     def _index_portal(self, portal: PortalStudy) -> None:
         tables_by_dataset: dict[str, list[str]] = {}
-        for ingested in portal.report.clean_tables:
+        for ingested in self._servable_tables(portal):
             tables_by_dataset.setdefault(ingested.dataset_id, []).append(
                 ingested.name
             )
@@ -113,16 +168,30 @@ class DataLake:
                     ),
                 ]
             )
-            self._index.add(doc_id, text)
+            try:
+                self._index.add(doc_id, text)
+            except ValueError as exc:
+                self._note_skip(portal.code, doc_id, str(exc))
+                continue
             self._dataset_titles[doc_id] = (portal.code, dataset.title)
 
     # ------------------------------------------------------------------
     # keyword search
     # ------------------------------------------------------------------
-    def search(self, query: str, limit: int = 10) -> list[DatasetHit]:
-        """Keyword search over every portal's catalog."""
+    def search(
+        self,
+        query: str,
+        limit: int = 10,
+        meter: WorkMeter | None = None,
+    ) -> list[DatasetHit]:
+        """Keyword search over every portal's catalog.
+
+        A *meter* bounds the scan deterministically: on exhaustion the
+        partial ranking scored so far is returned and the caller reads
+        ``meter.exhausted`` to mark the answer degraded.
+        """
         hits: list[DatasetHit] = []
-        for hit in self._index.search(query, limit=limit):
+        for hit in self._index.search(query, limit=limit, meter=meter):
             portal_code, title = self._dataset_titles[hit.doc_id]
             hits.append(
                 DatasetHit(
@@ -139,13 +208,19 @@ class DataLake:
     # join suggestions
     # ------------------------------------------------------------------
     def suggest_joins(
-        self, portal_code: str, resource_id: str, limit: int = 10
+        self,
+        portal_code: str,
+        resource_id: str,
+        limit: int = 10,
+        meter: WorkMeter | None = None,
     ) -> list[JoinSuggestion]:
         """Joinable partners for one table, best first.
 
         Ranking applies the paper's §5.3 signals on top of value
         overlap: same-dataset partners, key-key pairs, non-incremental
-        types, and non-growing joins score higher.
+        types, and non-growing joins score higher.  A *meter* charges
+        one tick per candidate pair examined; on exhaustion the pairs
+        scored so far are ranked and returned (a deterministic partial).
         """
         portal = self._study.portal(portal_code)
         analysis = portal.joinability()
@@ -153,39 +228,44 @@ class DataLake:
         query = analysis.tables[table_index]
         suggestions: list[JoinSuggestion] = []
         counts_cache: dict = {}
-        for pair in analysis.pairs:
-            left = analysis.profiles[pair.left]
-            right = analysis.profiles[pair.right]
-            if table_index not in (left.table_index, right.table_index):
-                continue
-            mine, partner = (
-                (left, right)
-                if left.table_index == table_index
-                else (right, left)
-            )
-            partner_table = analysis.tables[partner.table_index]
-            expansion = pair_expansion_ratio(analysis, pair, counts_cache)
-            combo = key_combination(left, right)
-            semantic = pair_semantic_type(left, right)
-            same_dataset = partner_table.dataset_id == query.dataset_id
-            score = self._signal_score(
-                same_dataset, combo, semantic, expansion, pair.jaccard
-            )
-            suggestions.append(
-                JoinSuggestion(
-                    portal_code=portal_code,
-                    query_column=mine.column_name,
-                    partner_resource=partner_table.resource_id,
-                    partner_table=partner_table.name,
-                    partner_column=partner.column_name,
-                    jaccard=pair.jaccard,
-                    expansion_ratio=expansion,
-                    key_combination=combo,
-                    data_type=semantic.value,
-                    same_dataset=same_dataset,
-                    score=score,
+        try:
+            for pair in analysis.pairs:
+                if meter is not None:
+                    meter.tick(1, op="serve.join.pair")
+                left = analysis.profiles[pair.left]
+                right = analysis.profiles[pair.right]
+                if table_index not in (left.table_index, right.table_index):
+                    continue
+                mine, partner = (
+                    (left, right)
+                    if left.table_index == table_index
+                    else (right, left)
                 )
-            )
+                partner_table = analysis.tables[partner.table_index]
+                expansion = pair_expansion_ratio(analysis, pair, counts_cache)
+                combo = key_combination(left, right)
+                semantic = pair_semantic_type(left, right)
+                same_dataset = partner_table.dataset_id == query.dataset_id
+                score = self._signal_score(
+                    same_dataset, combo, semantic, expansion, pair.jaccard
+                )
+                suggestions.append(
+                    JoinSuggestion(
+                        portal_code=portal_code,
+                        query_column=mine.column_name,
+                        partner_resource=partner_table.resource_id,
+                        partner_table=partner_table.name,
+                        partner_column=partner.column_name,
+                        jaccard=pair.jaccard,
+                        expansion_ratio=expansion,
+                        key_combination=combo,
+                        data_type=semantic.value,
+                        same_dataset=same_dataset,
+                        score=score,
+                    )
+                )
+        except BudgetExceeded:
+            pass  # rank the candidates examined before the deadline hit
         suggestions.sort(key=lambda s: (-s.score, s.partner_resource))
         return suggestions[:limit]
 
@@ -214,9 +294,17 @@ class DataLake:
     # union suggestions
     # ------------------------------------------------------------------
     def suggest_unions(
-        self, portal_code: str, resource_id: str, limit: int = 10
+        self,
+        portal_code: str,
+        resource_id: str,
+        limit: int = 10,
+        meter: WorkMeter | None = None,
     ) -> list[UnionSuggestion]:
-        """Same-schema partners for one table, ranked by relatedness."""
+        """Same-schema partners for one table, ranked by relatedness.
+
+        A *meter* charges one tick per table scanned and per partner
+        ranked; exhaustion returns the partners ranked so far.
+        """
         portal = self._study.portal(portal_code)
         analysis = portal.unionability()
         table_index = next(
@@ -241,19 +329,28 @@ class DataLake:
             return []
         query = analysis.tables[table_index]
         ranked = rank_union_partners(analysis, group, table_index)
-        return [
-            UnionSuggestion(
-                portal_code=portal_code,
-                partner_resource=analysis.tables[p.table_index].resource_id,
-                partner_table=analysis.tables[p.table_index].name,
-                relatedness=p.score,
-                same_dataset=(
-                    analysis.tables[p.table_index].dataset_id
-                    == query.dataset_id
-                ),
-            )
-            for p in ranked[:limit]
-        ]
+        suggestions: list[UnionSuggestion] = []
+        try:
+            for p in ranked[:limit]:
+                if meter is not None:
+                    meter.tick(1, op="serve.union.partner")
+                suggestions.append(
+                    UnionSuggestion(
+                        portal_code=portal_code,
+                        partner_resource=analysis.tables[
+                            p.table_index
+                        ].resource_id,
+                        partner_table=analysis.tables[p.table_index].name,
+                        relatedness=p.score,
+                        same_dataset=(
+                            analysis.tables[p.table_index].dataset_id
+                            == query.dataset_id
+                        ),
+                    )
+                )
+        except BudgetExceeded:
+            pass  # return the partners ranked before the deadline hit
+        return suggestions
 
     # ------------------------------------------------------------------
     # bring-your-own-table search (the Auctus augmentation flow)

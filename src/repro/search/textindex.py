@@ -14,6 +14,8 @@ import math
 import re
 from collections import Counter, defaultdict
 
+from ..resilience.budget import BudgetExceeded, WorkMeter
+
 _TOKEN = re.compile(r"[a-z0-9]+")
 
 #: Words too common in catalog prose to carry signal.
@@ -60,23 +62,41 @@ class TextIndex:
     def __len__(self) -> int:
         return len(self._doc_lengths)
 
-    def search(self, query: str, limit: int = 10) -> list[SearchHit]:
-        """Rank documents for *query*, best first."""
+    def search(
+        self,
+        query: str,
+        limit: int = 10,
+        meter: WorkMeter | None = None,
+    ) -> list[SearchHit]:
+        """Rank documents for *query*, best first.
+
+        With a *meter*, every posting visited charges one tick
+        (``ops.search.score``); an exhausted budget stops scanning and
+        ranks whatever was scored so far — a deterministic partial
+        answer rather than a hang (callers read ``meter.exhausted``).
+        """
+        if limit <= 0:
+            return []
         terms = tokenize(query)
         if not terms or not self._doc_lengths:
             return []
         n_docs = len(self._doc_lengths)
         scores: dict[str, float] = defaultdict(float)
         matched: dict[str, set[str]] = defaultdict(set)
-        for term in terms:
-            posting = self._postings.get(term)
-            if not posting:
-                continue
-            idf = math.log(1.0 + n_docs / len(posting))
-            for doc_id, count in posting.items():
-                tf = count / self._doc_lengths[doc_id]
-                scores[doc_id] += tf * idf
-                matched[doc_id].add(term)
+        try:
+            for term in terms:
+                posting = self._postings.get(term)
+                if not posting:
+                    continue
+                idf = math.log(1.0 + n_docs / len(posting))
+                for doc_id, count in posting.items():
+                    if meter is not None:
+                        meter.tick(1, op="search.score")
+                    tf = count / self._doc_lengths[doc_id]
+                    scores[doc_id] += tf * idf
+                    matched[doc_id].add(term)
+        except BudgetExceeded:
+            pass  # rank the documents scored before the deadline hit
         hits = [
             SearchHit(
                 doc_id=doc_id,

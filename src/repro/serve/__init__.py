@@ -1,0 +1,70 @@
+"""Serving the data lake: a CKAN-shaped query API under load.
+
+The package splits the served lake into layers that compose in one
+direction (DESIGN.md §12):
+
+* :mod:`repro.serve.api` — the pure request/response layer: CKAN
+  action-API endpoints, pagination, ETags, JSON error envelopes;
+* :mod:`repro.serve.admission` — per-client rate limits, bounded
+  service slots and queue, deterministic load shedding;
+* :mod:`repro.serve.cache` — stale-while-revalidate response cache
+  backing graceful degradation when a backend is circuit-broken;
+* :mod:`repro.serve.service` — :class:`LakeService`, the robustness
+  ladder wiring admission → deadlines → breakers → cache → handlers;
+* :mod:`repro.serve.httpd` — a stdlib HTTP front end for real sockets;
+* :mod:`repro.serve.loadgen` — the deterministic closed-loop load
+  harness proving the serving invariants on the simulated clock.
+"""
+
+from .admission import Admission, AdmissionConfig, AdmissionController, Decision
+from .api import ApiError, QueryApi, Request, Response
+from .cache import CacheConfig, ResponseCache
+from .loadgen import (
+    ClientClass,
+    LoadConfig,
+    MIXES,
+    bench_record,
+    check_invariants,
+    render_report,
+    report_to_json,
+    run_load,
+)
+from .service import (
+    OUTCOME_DEGRADED,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    OUTCOMES,
+    AnnotatedResponse,
+    LakeService,
+    ServiceConfig,
+)
+
+__all__ = [
+    "Admission",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AnnotatedResponse",
+    "ApiError",
+    "CacheConfig",
+    "ClientClass",
+    "Decision",
+    "LakeService",
+    "LoadConfig",
+    "MIXES",
+    "OUTCOMES",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_ERROR",
+    "OUTCOME_OK",
+    "OUTCOME_SHED",
+    "QueryApi",
+    "Request",
+    "Response",
+    "ResponseCache",
+    "ServiceConfig",
+    "bench_record",
+    "check_invariants",
+    "render_report",
+    "report_to_json",
+    "run_load",
+]

@@ -1,0 +1,176 @@
+"""Admission control: per-client rate limits and a bounded queue.
+
+The service never lets load become unbounded latency.  Every arriving
+request passes one ladder rung before any work happens:
+
+1. **per-client token bucket** — a client over its sustained rate gets
+   an immediate 429 with ``Retry-After``; the probe never consumes
+   capacity (see :meth:`TokenBucket.try_acquire`), so abusive clients
+   cannot starve the well-behaved by burning future tokens;
+2. **service slots** — up to ``concurrency`` requests run at once;
+3. **bounded queue** — up to ``queue_depth`` more wait; anything beyond
+   is *shed* with an immediate 503 + ``Retry-After``.
+
+All timing reads the injected clock (simulated in the load harness,
+wall-clock behind the real server), so the decision sequence for a
+scripted workload is deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..resilience.ratelimit import RateLimitConfig, TokenBucket
+
+
+class Decision(enum.Enum):
+    """What happened to one arriving request at the admission rung."""
+
+    ADMITTED = "admitted"  # a service slot is free: run now
+    QUEUED = "queued"  # all slots busy, queue has room: wait
+    RATE_LIMITED = "rate_limited"  # client over its budget: 429
+    SHED = "shed"  # queue full: 503
+
+
+@dataclasses.dataclass(frozen=True)
+class Admission:
+    """One admission decision plus its client-facing retry hint."""
+
+    decision: Decision
+    retry_after: float = 0.0
+
+    @property
+    def rejected(self) -> bool:
+        return self.decision in (Decision.RATE_LIMITED, Decision.SHED)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounds of the admission rung."""
+
+    #: Concurrent service slots.
+    concurrency: int = 4
+    #: Bounded queue depth behind the slots; 0 disables queueing.
+    queue_depth: int = 16
+    #: Per-client sustained requests per (simulated) second.
+    client_rate: float = 20.0
+    #: Per-client burst allowance.
+    client_burst: float = 40.0
+    #: ``Retry-After`` answered on a shed (queue-full) response.
+    shed_retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {self.queue_depth}"
+            )
+        if self.shed_retry_after <= 0:
+            raise ValueError(
+                f"shed_retry_after must be > 0, got {self.shed_retry_after}"
+            )
+
+
+class AdmissionController:
+    """Tracks slots, the queue, and one token bucket per client.
+
+    The controller is pure bookkeeping: callers drive the lifecycle
+    (``decide`` on arrival, ``promote`` when a queued request gets a
+    slot, ``finish`` on completion).  High-water marks are recorded so
+    a load report can assert the service never exceeded its bounds.
+    """
+
+    def __init__(self, config: AdmissionConfig, clock, metrics=None):
+        self.config = config
+        self._clock = clock
+        self._metrics = metrics
+        self._buckets: dict[str, TokenBucket] = {}
+        self.in_flight = 0
+        self.queued = 0
+        self.max_in_flight = 0
+        self.max_queued = 0
+
+    def _bucket(self, client_id: str) -> TokenBucket:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(
+                RateLimitConfig(
+                    rate=self.config.client_rate,
+                    capacity=self.config.client_burst,
+                ),
+                self._clock,
+            )
+            self._buckets[client_id] = bucket
+        return bucket
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(name)
+
+    def decide(self, client_id: str) -> Admission:
+        """Admit, queue, rate-limit, or shed one arriving request."""
+        wait = self._bucket(client_id).try_acquire()
+        if wait > 0.0:
+            self._count("serve.admission.rate_limited")
+            return Admission(Decision.RATE_LIMITED, retry_after=wait)
+        if self.in_flight < self.config.concurrency:
+            self.in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self.in_flight)
+            self._count("serve.admission.admitted")
+            return Admission(Decision.ADMITTED)
+        if self.queued < self.config.queue_depth:
+            self.queued += 1
+            self.max_queued = max(self.max_queued, self.queued)
+            self._count("serve.admission.queued")
+            return Admission(Decision.QUEUED)
+        self._count("serve.admission.shed")
+        return Admission(
+            Decision.SHED, retry_after=self.config.shed_retry_after
+        )
+
+    def promote(self) -> None:
+        """Move one queued request into a freed service slot."""
+        if self.queued < 1:
+            raise RuntimeError("promote() with an empty queue")
+        if self.in_flight >= self.config.concurrency:
+            raise RuntimeError("promote() with no free slot")
+        self.queued -= 1
+        self.in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+
+    def finish(self) -> None:
+        """Release one service slot."""
+        if self.in_flight < 1:
+            raise RuntimeError("finish() with nothing in flight")
+        self.in_flight -= 1
+
+    def within_bounds(self) -> bool:
+        """Whether the high-water marks respected the configured bounds."""
+        return (
+            self.max_in_flight <= self.config.concurrency
+            and self.max_queued <= self.config.queue_depth
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-safe bookkeeping snapshot for ``/statz`` and reports."""
+        return {
+            "in_flight": self.in_flight,
+            "queued": self.queued,
+            "max_in_flight": self.max_in_flight,
+            "max_queued": self.max_queued,
+            "concurrency": self.config.concurrency,
+            "queue_depth": self.config.queue_depth,
+            "clients_seen": len(self._buckets),
+        }
+
+
+__all__ = [
+    "Admission",
+    "AdmissionConfig",
+    "AdmissionController",
+    "Decision",
+]

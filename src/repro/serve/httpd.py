@@ -1,0 +1,131 @@
+"""A real HTTP front end for :class:`LakeService` (stdlib only).
+
+``ogdp-repro serve`` builds a study, warms the lake, and serves the
+CKAN-shaped API over a plain :class:`http.server.ThreadingHTTPServer`.
+The service object itself is not thread-safe, so the adapter serializes
+request handling behind one lock — admission control still answers
+429/503 by bookkeeping, and the robustness ladder (deadlines, breaker,
+stale cache) is exactly the one the deterministic load harness proves
+out in-process.  Timing reads a :class:`WallClock` with the same
+``now()/sleep()`` shape as the simulated clock.
+"""
+
+from __future__ import annotations
+
+import http.server
+import threading
+import time
+import urllib.parse
+
+from ..obs.log import get_log
+from .api import Request
+from .service import LakeService, ServiceConfig
+
+#: Default bind address of ``ogdp-repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8323
+
+
+class WallClock:
+    """Monotonic wall time with the simulated clock's interface."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    def advance_to(self, timestamp: float) -> None:
+        """Wall time advances itself; provided for interface parity."""
+
+
+class LakeRequestHandler(http.server.BaseHTTPRequestHandler):
+    """Maps one HTTP GET onto the service's request model."""
+
+    server_version = "ogdp-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        parsed = urllib.parse.urlsplit(self.path)
+        params = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        headers = dict(self.headers.items())
+        client_id = headers.get("X-Client-Id", self.client_address[0])
+        request = Request(
+            path=parsed.path,
+            params=params,
+            headers=headers,
+            client_id=client_id,
+        )
+        with self.server.lock:
+            response = self.server.service.handle(request)
+        payload = response.to_bytes()
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if payload:
+            self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        if payload:
+            self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        get_log().debug(
+            "serve-http", client=self.client_address[0],
+            line=format % args,
+        )
+
+
+class LakeHttpServer(http.server.ThreadingHTTPServer):
+    """A threading HTTP server owning one serialized LakeService."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: LakeService):
+        super().__init__(address, LakeRequestHandler)
+        self.service = service
+        self.lock = threading.Lock()
+
+
+def make_server(
+    study,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    config: ServiceConfig | None = None,
+) -> LakeHttpServer:
+    """Build the service (warming the lake) and bind its socket.
+
+    ``port=0`` binds an ephemeral port; read ``server.server_address``.
+    """
+    service = LakeService(study, config=config, clock=WallClock())
+    return LakeHttpServer((host, port), service)
+
+
+def serve_forever(server: LakeHttpServer) -> None:
+    """Run until interrupted, logging the bound address."""
+    host, port = server.server_address[:2]
+    get_log().info("serve-listening", host=host, port=port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        get_log().info("serve-stopped", host=host, port=port)
+    finally:
+        server.server_close()
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "LakeHttpServer",
+    "LakeRequestHandler",
+    "WallClock",
+    "make_server",
+    "serve_forever",
+]

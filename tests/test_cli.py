@@ -162,6 +162,38 @@ class TestParser:
         assert args.root == "/tmp"
         assert args.fail_on_regression is True
 
+    def test_serve_command_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--scale", "0.25", "--port", "8323"]
+        )
+        assert args.command == "serve"
+        assert args.scale == 0.25
+        assert args.port == 8323
+        # host/port default to None; _run_serve falls back to the
+        # httpd module defaults.
+        assert args.host is None
+
+    def test_serve_rejects_negative_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--port", "-1"])
+
+    def test_loadtest_command_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "loadtest",
+                "--mix", "smoke",
+                "--load-seed", "11",
+                "--report", str(tmp_path / "load.json"),
+                "--bench-root", str(tmp_path),
+                "--json",
+            ]
+        )
+        assert args.command == "loadtest"
+        assert args.mix == "smoke"
+        assert args.load_seed == 11
+        assert args.as_json is True
+        assert args.bench_root == str(tmp_path)
+
 
 class TestMain:
     def test_list_prints_ids(self, capsys):
@@ -306,6 +338,37 @@ class TestDriftCommands:
         code = main(["bench-report", "--root", str(tmp_path)])
         assert code == 0
         assert "no bench history" in capsys.readouterr().out
+
+    def test_loadtest_unknown_mix(self, capsys):
+        code = main(["loadtest", "--mix", "nope"])
+        assert code == 2
+        assert "unknown-mix" in capsys.readouterr().err
+
+    def test_loadtest_end_to_end(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "load.json"
+        code = main(
+            [
+                "-q", "loadtest",
+                "--scale", "0.18", "--seed", "3",
+                "--mix", "smoke",
+                "--report", str(report_path),
+                "--bench-root", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lost=0" in out
+        doc = json.loads(report_path.read_text())
+        assert doc["requests"]["lost"] == 0
+        assert all(doc["invariants"].values())
+        history = json.loads(
+            (tmp_path / "BENCH_serve.json").read_text()
+        )
+        assert len(history) == 1
+        assert history[0]["experiment"] == "serve"
+        assert history[0]["clients"] == doc["harness"]["clients"]
 
     def test_bench_report_gates_regression(self, capsys, tmp_path):
         import json

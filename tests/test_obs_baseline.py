@@ -258,6 +258,100 @@ class TestAppendBenchRecord:
         harness._check_regression_gate(tmp_path / "BENCH_table05.json")
 
 
+class TestServingMetrics:
+    """Serving-bench fields on records, the gate key, and the report."""
+
+    def _serve_record(self, total_ops, *, clients=48, shed=0.25):
+        return record(total_ops, experiment="serve") | {
+            "clients": clients,
+            "p50_ops": 5.0,
+            "p99_ops": 190.0,
+            "shed_rate": shed,
+        }
+
+    def test_from_mapping_parses_serving_fields(self):
+        parsed = BenchRecord.from_mapping(
+            self._serve_record(1000), experiment="serve", index=0
+        )
+        assert parsed.clients == 48
+        assert parsed.p50_ops == 5.0
+        assert parsed.p99_ops == 190.0
+        assert parsed.shed_rate == 0.25
+
+    def test_compute_records_default_to_zero(self):
+        parsed = BenchRecord.from_mapping(
+            record(1000), experiment="table05", index=0
+        )
+        assert parsed.clients == 0
+        assert parsed.p50_ops == parsed.p99_ops == parsed.shed_rate == 0.0
+
+    def test_client_population_splits_comparability(self):
+        records = [
+            BenchRecord("serve", 1.0, 7, 1.0, 100, 0, clients=48),
+            BenchRecord("serve", 1.0, 7, 1.0, 900, 1, clients=224),
+            BenchRecord("serve", 1.0, 7, 1.0, 110, 2, clients=48),
+        ]
+        assert [r.total_ops for r in comparable_history(records)] == [
+            100,
+            110,
+        ]
+        # The 224-client soak never gates against the 48-client smokes.
+        verdict = evaluate_gate(records[:2])
+        assert verdict.baseline_ops is None
+        assert verdict.clients == 224
+
+    def test_verdict_carries_serving_fields(self, tmp_path):
+        for ops in (1000, 1010):
+            baseline.append_record(
+                "serve", self._serve_record(ops), root=tmp_path
+            )
+        (verdict,) = gate_all(tmp_path)
+        assert verdict.clients == 48
+        assert verdict.shed_rate == 0.25
+        assert verdict.as_json()["p99_ops"] == 190.0
+
+    def test_report_renders_serving_block(self, tmp_path):
+        baseline.append_record(
+            "serve", self._serve_record(1000), root=tmp_path
+        )
+        write_history(
+            tmp_path / "BENCH_table05.json", [record(100_000)]
+        )
+        text = render_bench_report(gate_all(tmp_path))
+        assert "clients" in text and "shed" in text
+        assert "25.0%" in text
+        # Compute benches stay out of the serving block.
+        serving_block = text.split("serving")[1]
+        assert "table05" not in serving_block
+
+    def test_report_omits_serving_block_without_serve_runs(self, tmp_path):
+        write_history(
+            tmp_path / "BENCH_table05.json", [record(100_000)]
+        )
+        assert "clients" not in render_bench_report(gate_all(tmp_path))
+
+
+class TestAppendRecordShared:
+    """baseline.append_record — the shared history writer."""
+
+    def test_creates_missing_directory(self, tmp_path):
+        root = tmp_path / "deep" / "nested"
+        path = baseline.append_record("serve", record(10), root=root)
+        assert path == root / "BENCH_serve.json"
+        assert [r.total_ops for r in read_history(path)] == [10]
+
+    def test_salvages_and_appends(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        text = json.dumps([record(10), record(20)], indent=2)
+        path.write_text(text[: len(text) - 40])  # torn tail
+        baseline.append_record("serve", record(30), root=tmp_path)
+        assert [r.total_ops for r in read_history(path)] == [10, 30]
+
+    def test_atomic_replace_leaves_no_temp_file(self, tmp_path):
+        baseline.append_record("serve", record(10), root=tmp_path)
+        assert list(tmp_path.iterdir()) == [tmp_path / "BENCH_serve.json"]
+
+
 class TestDefaultsExist:
     def test_module_defaults(self):
         assert 0 < baseline.DEFAULT_THRESHOLD < 1

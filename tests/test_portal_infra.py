@@ -226,6 +226,17 @@ class TestCkanApi:
         with pytest.raises(CkanApiError):
             CkanApi(make_portal()).package_show("nope")
 
+    def test_error_carries_structured_payload(self):
+        # The serve layer renders CKAN-style JSON 404s from these
+        # fields; they are API surface, not just message text.
+        with pytest.raises(CkanApiError) as err:
+            CkanApi(make_portal()).package_show("nope")
+        assert err.value.code == 404
+        assert err.value.entity == "nope"
+        assert err.value.kind == "package"
+        assert "nope" in str(err.value)
+        assert not isinstance(err.value, KeyError)
+
     def test_search_all(self):
         packages = CkanApi(make_portal()).package_search_all()
         assert len(packages) == 1

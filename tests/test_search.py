@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.resilience import WorkMeter
 from repro.search import DataLake, TextIndex, tokenize
 
 
@@ -48,6 +49,63 @@ class TestTextIndex:
 
     def test_len(self):
         assert len(self.build()) == 3
+
+
+class TestTextIndexEdgeCases:
+    def build(self):
+        index = TextIndex()
+        index.add("d1", "commercial fisheries landings by species")
+        index.add("d2", "income tax filings by bracket")
+        index.add("d3", "fisheries vessel registrations")
+        return index
+
+    def test_empty_query(self):
+        assert self.build().search("") == []
+
+    def test_stopword_only_query(self):
+        assert self.build().search("of the and by") == []
+
+    def test_punctuation_only_query(self):
+        assert self.build().search("?!... --- ///") == []
+
+    def test_query_against_empty_index(self):
+        assert TextIndex().search("fisheries") == []
+
+    def test_limit_zero_and_negative(self):
+        index = self.build()
+        assert index.search("fisheries", limit=0) == []
+        assert index.search("fisheries", limit=-3) == []
+
+    def test_tie_break_is_deterministic_by_doc_id(self):
+        index = TextIndex()
+        # Identical documents added in non-sorted order tie exactly.
+        index.add("z9", "glacier melt observations")
+        index.add("a1", "glacier melt observations")
+        index.add("m5", "glacier melt observations")
+        hits = index.search("glacier melt")
+        assert [h.doc_id for h in hits] == ["a1", "m5", "z9"]
+        assert len({h.score for h in hits}) == 1
+
+    def test_meter_truncates_to_ranked_partial(self):
+        # "fisheries" has two postings (d1, d3); a one-tick budget
+        # exhausts on the second and ranks what was scored so far.
+        index = self.build()
+        full = index.search("fisheries")
+        meter = WorkMeter(1)
+        partial = index.search("fisheries", meter=meter)
+        assert meter.exhausted
+        assert len(partial) < len(full)
+        # What was scored before exhaustion is still rank-ordered.
+        scores = [h.score for h in partial]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unlimited_meter_matches_unmetered(self):
+        index = self.build()
+        meter = WorkMeter(None)
+        assert index.search("fisheries by", meter=meter) == index.search(
+            "fisheries by"
+        )
+        assert meter.spent > 0
 
 
 class TestDataLake:
@@ -104,6 +162,77 @@ class TestDataLake:
         if solo is not None:
             resource = analysis.tables[solo.table_indexes[0]].resource_id
             assert lake.suggest_unions("UK", resource) == []
+
+
+class TestDegradedStudyIndexing:
+    """A degraded study (quarantined/failed tables) must still index."""
+
+    @pytest.fixture(scope="class")
+    def poison_lake(self, tmp_path_factory):
+        from repro.core.config import StudyConfig
+        from repro.core.study import Study
+        from repro.obs.metrics import MetricsRegistry
+
+        study = Study.build(
+            StudyConfig(
+                scale=0.05,
+                seed=7,
+                poison_rate=0.25,
+                stage_budget=40_000,
+                quarantine_dir=str(
+                    tmp_path_factory.mktemp("lake-poison") / "q"
+                ),
+            )
+        )
+        metrics = MetricsRegistry()
+        lake = DataLake(study, metrics=metrics)
+        yield lake, study, metrics
+        study.close()
+
+    def test_construction_skips_instead_of_raising(self, poison_lake):
+        lake, study, metrics = poison_lake
+        quarantined = {
+            resource_id
+            for portal in study
+            for resource_id in portal.executor.quarantined
+        }
+        assert quarantined, "poison corpus produced no quarantined tables"
+        assert metrics.value("lake.index.skipped") >= len(quarantined)
+
+    def test_search_still_answers(self, poison_lake):
+        lake, study, _ = poison_lake
+        # Query with a term drawn from a real dataset title so the
+        # assertion holds at any corpus scale.
+        portal = next(iter(study))
+        terms = [
+            term
+            for dataset in portal.generated.portal.datasets
+            for term in tokenize(dataset.title)
+        ]
+        assert terms
+        assert lake.search(terms[0], limit=5)
+
+    def test_skips_are_logged_not_raised(self, tmp_path_factory, capsys):
+        from repro.core.config import StudyConfig
+        from repro.core.study import Study
+
+        study = Study.build(
+            StudyConfig(
+                scale=0.05,
+                seed=7,
+                poison_rate=0.25,
+                stage_budget=40_000,
+                quarantine_dir=str(
+                    tmp_path_factory.mktemp("lake-poison-log") / "q"
+                ),
+            )
+        )
+        try:
+            DataLake(study)
+        finally:
+            study.close()
+        err = capsys.readouterr().err
+        assert "lake-index-skip" in err
 
 
 class TestBringYourOwnTable:

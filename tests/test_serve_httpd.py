@@ -1,0 +1,89 @@
+"""Tests for the real-socket HTTP front end (repro.serve.httpd)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.httpd import WallClock, make_server
+
+
+@pytest.fixture(scope="module")
+def server(study):
+    server = make_server(study, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def get(server, path, headers=None):
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+class TestHttpServer:
+    def test_healthz(self, server):
+        status, _, payload = get(server, "/healthz")
+        assert status == 200
+        body = json.loads(payload)
+        assert body["status"] == "ok"
+        assert body["packages"] > 0
+
+    def test_package_list_round_trip(self, server):
+        status, headers, payload = get(
+            server, "/api/3/action/package_list?limit=5"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        body = json.loads(payload)
+        assert body["success"] is True
+        assert len(body["result"]["packages"]) == 5
+
+    def test_unknown_package_is_json_404(self, server):
+        status, _, payload = get(
+            server, "/api/3/action/package_show?id=SG:ghost"
+        )
+        assert status == 404
+        body = json.loads(payload)
+        assert body["success"] is False
+        assert body["error"]["code"] == 404
+
+    def test_search_etag_then_304(self, server):
+        path = "/lake_search?q=fisheries&limit=3"
+        headers = {"X-Client-Id": "etag-tester"}
+        status, first_headers, _ = get(server, path, headers)
+        assert status == 200
+        etag = first_headers["ETag"]
+        status, _, payload = get(
+            server, path, headers | {"If-None-Match": etag}
+        )
+        assert status == 304
+        assert payload == b""
+
+    def test_statz_counts_requests(self, server):
+        status, _, payload = get(server, "/statz")
+        assert status == 200
+        body = json.loads(payload)
+        assert body["metrics"]["serve.requests"]["value"] > 0
+
+
+class TestWallClock:
+    def test_monotonic_and_interface_parity(self):
+        clock = WallClock()
+        first = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() >= first + 0.005
+        clock.advance_to(10_000.0)  # a no-op, never a time jump
+        assert clock.now() < 10_000.0
