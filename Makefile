@@ -57,13 +57,19 @@ smoke-shard:
 	$(PYTHON) -m repro.experiments.cli diff smoke-serial.jsonl smoke-chaos.jsonl
 
 # The serving gate CI runs: the deterministic load harness twice with
-# equal seeds — reports must be byte-identical, every request must
-# terminate, and the admission bounds must hold (loadtest exits
-# non-zero on any invariant violation).
+# equal seeds — reports AND request traces must be byte-identical,
+# every request must terminate, and the admission bounds must hold
+# (loadtest exits non-zero on any invariant violation).  The trace is
+# then judged by serve-report: RED tables, exemplars, and the SLO
+# verdict, which must not be EXHAUSTED for the smoke mix.
 smoke-serve:
 	$(PYTHON) -m repro.experiments.cli -q loadtest \
 		--scale 0.18 --seed 3 --mix smoke --report smoke-load-a.json \
-		--bench-root .
+		--trace-out smoke-serve-a.jsonl --bench-root .
 	$(PYTHON) -m repro.experiments.cli -q loadtest \
-		--scale 0.18 --seed 3 --mix smoke --report smoke-load-b.json
+		--scale 0.18 --seed 3 --mix smoke --report smoke-load-b.json \
+		--trace-out smoke-serve-b.jsonl
 	cmp smoke-load-a.json smoke-load-b.json
+	cmp smoke-serve-a.jsonl smoke-serve-b.jsonl
+	$(PYTHON) -m repro.experiments.cli serve-report smoke-serve-a.jsonl \
+		--fail-on-exhausted

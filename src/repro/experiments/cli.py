@@ -320,6 +320,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bind port (default 8323; 0 picks an ephemeral port)",
     )
+    serve_parser.add_argument(
+        "--slo",
+        default=None,
+        help=(
+            "JSON file of service-level objectives evaluated live "
+            "(default: the library defaults; /statz shows the verdict)"
+        ),
+    )
     load_parser = subparsers.add_parser(
         "loadtest",
         help="run the deterministic load harness against the served lake",
@@ -333,7 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument(
         "--mix",
         default="smoke",
-        help="client mix: 'smoke' or 'standard' (default smoke)",
+        help="client mix: 'smoke', 'standard', or 'storm' (default smoke)",
+    )
+    load_parser.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "write the per-request serve trace (JSONL) to this file; "
+            "inspect it with 'ogdp-repro serve-report'"
+        ),
     )
     load_parser.add_argument(
         "--load-seed",
@@ -359,6 +375,38 @@ def build_parser() -> argparse.ArgumentParser:
             "append a serving record to BENCH_serve.json under this "
             "directory (joins the bench-report regression gate)"
         ),
+    )
+    serve_report_parser = subparsers.add_parser(
+        "serve-report",
+        help="RED tables, SLO verdict, and exemplars from a serve trace",
+    )
+    serve_report_parser.add_argument(
+        "trace", help="trace file written by 'loadtest --trace-out'"
+    )
+    serve_report_parser.add_argument(
+        "--slo",
+        default=None,
+        help=(
+            "re-judge the trace against this JSON SLO spec instead of "
+            "the one recorded in the trace header"
+        ),
+    )
+    serve_report_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON document instead of text",
+    )
+    serve_report_parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        help="how many exemplar span trees to show (default 10)",
+    )
+    serve_report_parser.add_argument(
+        "--fail-on-exhausted",
+        action="store_true",
+        help="exit non-zero when the SLO verdict is EXHAUSTED",
     )
     return parser
 
@@ -525,16 +573,65 @@ def _run_bench_report(args: argparse.Namespace) -> int:
 
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: a real HTTP server over the lake."""
-    from ..serve import httpd
+    import dataclasses
 
+    from ..obs.slo import load_spec
+    from ..serve import httpd
+    from ..serve.service import ServiceConfig
+
+    service_config = None
+    if args.slo is not None:
+        try:
+            service_config = dataclasses.replace(
+                ServiceConfig(), slo=load_spec(args.slo)
+            )
+        except (OSError, ValueError) as exc:
+            get_log().error(
+                "slo-spec-unreadable", path=args.slo, message=str(exc)
+            )
+            return 2
     config = StudyConfig(scale=args.scale, seed=args.seed)
     study = get_study(config=config)
     server = httpd.make_server(
         study,
         host=args.host if args.host is not None else httpd.DEFAULT_HOST,
         port=args.port if args.port is not None else httpd.DEFAULT_PORT,
+        config=service_config,
     )
     httpd.serve_forever(server)
+    return 0
+
+
+def _run_serve_report(args: argparse.Namespace) -> int:
+    """The ``serve-report`` subcommand: judge one serve trace."""
+    import json
+    import pathlib
+
+    from ..obs.servereport import (
+        load_trace,
+        render_serve_report,
+        serve_report_json,
+    )
+
+    path = pathlib.Path(args.trace)
+    if not path.exists():
+        get_log().error("trace-missing", path=str(path))
+        return 2
+    trace = load_trace(path)
+    try:
+        doc = serve_report_json(trace, slo_path=args.slo, top=args.top)
+    except (OSError, ValueError) as exc:
+        get_log().error(
+            "slo-spec-unreadable", path=str(args.slo), message=str(exc)
+        )
+        return 2
+    if args.as_json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        print(render_serve_report(trace, slo_path=args.slo, top=args.top))
+    if args.fail_on_exhausted and doc["slo"]["verdict"] == "EXHAUSTED":
+        get_log().error("slo-exhausted", trace=str(path))
+        return 1
     return 0
 
 
@@ -559,8 +656,10 @@ def _run_loadtest(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, seed=args.load_seed)
     study = get_study(config=StudyConfig(scale=args.scale, seed=args.seed))
     started = time.perf_counter()
-    report = loadgen.run_load(study, config)
+    report = loadgen.run_load(study, config, trace_out=args.trace_out)
     seconds = time.perf_counter() - started
+    if args.trace_out is not None:
+        get_log().info("serve-trace-written", path=args.trace_out)
     if args.report is not None:
         pathlib.Path(args.report).write_text(
             loadgen.report_to_json(report), encoding="utf-8"
@@ -604,6 +703,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "loadtest":
         return _run_loadtest(args)
+    if args.command == "serve-report":
+        return _run_serve_report(args)
     config = config_from_args(args)
     study = get_study(config=config)
     try:

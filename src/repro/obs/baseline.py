@@ -64,6 +64,10 @@ class BenchRecord:
     p50_ops: float = 0.0
     p99_ops: float = 0.0
     shed_rate: float = 0.0
+    #: SLO accounting (records written before the fields existed keep
+    #: the benign defaults: fully available, no verdict to gate on).
+    availability: float = 1.0
+    slo_verdict: str = ""
 
     @classmethod
     def from_mapping(
@@ -83,6 +87,8 @@ class BenchRecord:
                 p50_ops=float(raw.get("p50_ops", 0.0)),
                 p99_ops=float(raw.get("p99_ops", 0.0)),
                 shed_rate=float(raw.get("shed_rate", 0.0)),
+                availability=float(raw.get("availability", 1.0)),
+                slo_verdict=str(raw.get("slo_verdict", "")),
             )
         except (KeyError, TypeError, ValueError):
             return None
@@ -217,6 +223,8 @@ class GateVerdict:
     p50_ops: float = 0.0
     p99_ops: float = 0.0
     shed_rate: float = 0.0
+    availability: float = 1.0
+    slo_verdict: str = ""
 
     def as_json(self) -> dict:
         return dataclasses.asdict(self)
@@ -242,6 +250,10 @@ def evaluate_gate(
     if not comparable:
         return None
     latest = comparable[-1]
+    # An exhausted error budget fails the gate outright — availability
+    # is an absolute objective, not a delta against the baseline, so it
+    # applies even to the first comparable run.
+    exhausted = latest.slo_verdict == "EXHAUSTED"
     prior = comparable[:-1][-window:]
     if not prior:
         return GateVerdict(
@@ -252,12 +264,19 @@ def evaluate_gate(
             latest_seconds=latest.seconds,
             baseline_seconds=None,
             comparable_runs=len(comparable),
-            regressed=False,
-            reason="first comparable run; no baseline yet",
+            regressed=exhausted,
+            reason=(
+                f"SLO error budget exhausted (availability "
+                f"{latest.availability:.1%})"
+                if exhausted
+                else "first comparable run; no baseline yet"
+            ),
             clients=latest.clients,
             p50_ops=latest.p50_ops,
             p99_ops=latest.p99_ops,
             shed_rate=latest.shed_rate,
+            availability=latest.availability,
+            slo_verdict=latest.slo_verdict,
         )
     baseline_ops = statistics.median(r.total_ops for r in prior)
     baseline_seconds = statistics.median(r.seconds for r in prior)
@@ -270,7 +289,13 @@ def evaluate_gate(
         and baseline_ops > 0
         and latest.total_ops > baseline_ops * (1.0 + threshold)
     )
-    if regressed:
+    if exhausted:
+        regressed = True
+        reason = (
+            f"SLO error budget exhausted (availability "
+            f"{latest.availability:.1%})"
+        )
+    elif regressed:
         reason = (
             f"total_ops {latest.total_ops:.0f} exceeds baseline "
             f"{baseline_ops:.0f} by {excess / baseline_ops:.0%} "
@@ -300,6 +325,8 @@ def evaluate_gate(
         p50_ops=latest.p50_ops,
         p99_ops=latest.p99_ops,
         shed_rate=latest.shed_rate,
+        availability=latest.availability,
+        slo_verdict=latest.slo_verdict,
     )
 
 
@@ -348,12 +375,13 @@ def render_bench_report(verdicts: list[GateVerdict]) -> str:
         lines.append("")
         lines.append(
             f"{'serving':<16} {'clients':>7} {'p50 ops':>8} "
-            f"{'p99 ops':>8} {'shed':>6}"
+            f"{'p99 ops':>8} {'shed':>6} {'avail':>7}  slo"
         )
         for v in serving:
             lines.append(
                 f"{v.experiment:<16} {v.clients:>7} {v.p50_ops:>8.0f} "
-                f"{v.p99_ops:>8.0f} {v.shed_rate:>6.1%}"
+                f"{v.p99_ops:>8.0f} {v.shed_rate:>6.1%} "
+                f"{v.availability:>7.1%}  {v.slo_verdict or '-'}"
             )
     lines.append("")
     if regressions:

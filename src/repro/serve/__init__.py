@@ -1,7 +1,7 @@
 """Serving the data lake: a CKAN-shaped query API under load.
 
 The package splits the served lake into layers that compose in one
-direction (DESIGN.md §12):
+direction (DESIGN.md §12–§13):
 
 * :mod:`repro.serve.api` — the pure request/response layer: CKAN
   action-API endpoints, pagination, ETags, JSON error envelopes;
@@ -10,14 +10,25 @@ direction (DESIGN.md §12):
 * :mod:`repro.serve.cache` — stale-while-revalidate response cache
   backing graceful degradation when a backend is circuit-broken;
 * :mod:`repro.serve.service` — :class:`LakeService`, the robustness
-  ladder wiring admission → deadlines → breakers → cache → handlers;
+  ladder wiring admission → deadlines → breakers → cache → handlers,
+  plus per-request SLO accounting (:mod:`repro.obs.slo`);
+* :mod:`repro.serve.tracing` — per-request span trees with
+  deterministic exemplar sampling, bridged onto the study tracer;
 * :mod:`repro.serve.httpd` — a stdlib HTTP front end for real sockets;
 * :mod:`repro.serve.loadgen` — the deterministic closed-loop load
   harness proving the serving invariants on the simulated clock.
 """
 
 from .admission import Admission, AdmissionConfig, AdmissionController, Decision
-from .api import ApiError, QueryApi, Request, Response
+from .api import (
+    ApiError,
+    ENDPOINT_NAMES,
+    PROBE_ENDPOINTS,
+    QueryApi,
+    Request,
+    Response,
+    canonical_endpoint,
+)
 from .cache import CacheConfig, ResponseCache
 from .loadgen import (
     ClientClass,
@@ -39,6 +50,7 @@ from .service import (
     LakeService,
     ServiceConfig,
 )
+from .tracing import RequestTrail, ServeTracer
 
 __all__ = [
     "Admission",
@@ -49,6 +61,7 @@ __all__ = [
     "CacheConfig",
     "ClientClass",
     "Decision",
+    "ENDPOINT_NAMES",
     "LakeService",
     "LoadConfig",
     "MIXES",
@@ -57,12 +70,16 @@ __all__ = [
     "OUTCOME_ERROR",
     "OUTCOME_OK",
     "OUTCOME_SHED",
+    "PROBE_ENDPOINTS",
     "QueryApi",
     "Request",
+    "RequestTrail",
     "Response",
     "ResponseCache",
+    "ServeTracer",
     "ServiceConfig",
     "bench_record",
+    "canonical_endpoint",
     "check_invariants",
     "render_report",
     "report_to_json",

@@ -45,6 +45,33 @@ MAX_PAGE = 1000
 DEFAULT_ROWS = 10
 MAX_ROWS = 100
 
+#: path -> canonical low-cardinality endpoint name.  Metrics, traces,
+#: and SLO samples must key on these — never on the raw request path,
+#: which carries unbounded client-chosen strings.
+ENDPOINT_NAMES: Mapping[str, str] = {
+    "/api/3/action/package_list": "package_list",
+    "/api/3/action/package_show": "package_show",
+    "/api/3/action/package_search": "package_search",
+    "/lake_search": "lake_search",
+    "/join_suggest": "join_suggest",
+    "/union_suggest": "union_suggest",
+    "/healthz": "healthz",
+    "/statz": "statz",
+}
+
+#: Canonical names of the monitoring probes (excluded from traces,
+#: request-ops histograms, and SLO accounting).
+PROBE_ENDPOINTS = ("healthz", "statz")
+
+
+def canonical_endpoint(path: str) -> str:
+    """The bounded endpoint label a raw request path maps to.
+
+    Unknown paths all collapse into a single ``unknown`` bucket so a
+    client scanning random URLs cannot mint unbounded metric series.
+    """
+    return ENDPOINT_NAMES.get(path, "unknown")
+
 
 @dataclasses.dataclass(frozen=True)
 class Request:
@@ -356,9 +383,12 @@ __all__ = [
     "ApiError",
     "DEFAULT_PAGE",
     "DEFAULT_ROWS",
+    "ENDPOINT_NAMES",
     "MAX_PAGE",
     "MAX_ROWS",
+    "PROBE_ENDPOINTS",
     "QueryApi",
+    "canonical_endpoint",
     "Request",
     "Response",
     "compute_etag",

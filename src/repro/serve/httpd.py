@@ -68,6 +68,10 @@ class LakeRequestHandler(http.server.BaseHTTPRequestHandler):
         self.send_response(response.status)
         for name, value in response.headers.items():
             self.send_header(name, value)
+        # Request-level observability over the wire: the terminal
+        # outcome and deterministic op cost the trace/SLO accounted.
+        self.send_header("X-Ogdp-Outcome", response.outcome)
+        self.send_header("X-Ogdp-Ops", str(response.ops))
         if payload:
             self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))

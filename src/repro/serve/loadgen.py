@@ -39,10 +39,18 @@ import math
 import random
 from collections import deque
 
+from ..obs import Observer
+from ..obs.slo import (
+    KIND_AVAILABILITY,
+    KIND_LATENCY,
+    KIND_STALENESS,
+    Objective,
+    SloSpec,
+)
 from ..resilience.breaker import BreakerConfig, CircuitState
 from ..resilience.clock import SimulatedClock
 from .admission import AdmissionConfig, Decision
-from .api import Request
+from .api import PROBE_ENDPOINTS, Request, canonical_endpoint
 from .cache import CacheConfig
 from .service import (
     OUTCOME_ERROR,
@@ -179,6 +187,38 @@ def standard_classes() -> tuple[ClientClass, ...]:
     )
 
 
+def _harness_slos() -> SloSpec:
+    """SLO targets calibrated to the harness's deliberately hostile mixes.
+
+    The smoke/standard mixes script abusive clients and one fault storm
+    per 40 guarded calls, so their healthy-state bad fraction is far
+    above anything a production portal would tolerate (~27% shed+error).
+    These targets encode "the ladder is working as designed": the smoke
+    mix must verdict ``OK``, and the ``storm`` mix (9 of every 10
+    guarded calls failing) must blow through them to
+    ``BURNING``/``EXHAUSTED``.  Half-second windows give a few-second
+    run enough of a burn-rate timeline to be worth plotting.
+    """
+    return SloSpec(
+        window=0.5,
+        min_window_events=8,
+        objectives=(
+            Objective(
+                "availability", KIND_AVAILABILITY,
+                target=0.60, burn_threshold=2.0,
+            ),
+            Objective(
+                "latency", KIND_LATENCY,
+                target=0.70, bound_ops=25, burn_threshold=2.5,
+            ),
+            Objective(
+                "staleness", KIND_STALENESS,
+                target=0.60, burn_threshold=2.5,
+            ),
+        ),
+    )
+
+
 def _harness_service_config(deadline_ops: int) -> ServiceConfig:
     """A serving config tuned to harness timescales.
 
@@ -202,11 +242,14 @@ def _harness_service_config(deadline_ops: int) -> ServiceConfig:
         breaker=BreakerConfig(
             failure_threshold=0.5, window=8, min_calls=4, reset_timeout=2.0
         ),
+        slo=_harness_slos(),
     )
 
 
-#: Named mixes the CLI exposes.  Both inject one backend fault storm
-#: per 40 guarded computations so the breaker/stale path is exercised.
+#: Named mixes the CLI exposes.  smoke/standard inject one backend
+#: fault storm per 40-60 guarded computations so the breaker/stale path
+#: is exercised while the SLO verdict stays OK; ``storm`` fails 9 of
+#: every 10 guarded calls, which must exhaust the error budget.
 MIXES = {
     "smoke": lambda: LoadConfig(
         mix="smoke",
@@ -225,6 +268,15 @@ MIXES = {
         backend_fault_period=60,
         backend_fault_burst=10,
         p99_bound_ops=5_000,
+    ),
+    "storm": lambda: LoadConfig(
+        mix="storm",
+        classes=smoke_classes(),
+        ops_rate=800.0,
+        service=_harness_service_config(30),
+        backend_fault_period=10,
+        backend_fault_burst=9,
+        p99_bound_ops=None,
     ),
 }
 
@@ -341,6 +393,7 @@ class RequestRecord:
     """One terminated request, as the report sees it."""
 
     client_class: str
+    #: Canonical endpoint name (see :func:`canonical_endpoint`).
     endpoint: str
     status: int
     outcome: str
@@ -348,10 +401,20 @@ class RequestRecord:
     #: 0 for requests rejected at admission.
     latency_ops: int
     served: bool
+    #: Server-side op cost of producing the response (1 for rejections).
+    ops: int = 1
 
 
-def run_load(study, config: LoadConfig) -> dict:
-    """Run one scripted load against a fresh service; return the report."""
+def run_load(study, config: LoadConfig, *, trace_out=None) -> dict:
+    """Run one scripted load against a fresh service; return the report.
+
+    With *trace_out* set, every non-probe request's span tree is written
+    to that path via the serving tracer (exemplar policy in
+    :mod:`repro.serve.tracing`); the trace bytes depend only on
+    ``(study, config)``, never on wall time, so equal seeds produce
+    byte-identical traces.  The report itself is identical with or
+    without a trace sink.
+    """
     if not config.classes:
         raise ValueError("load config has no client classes")
     clock = SimulatedClock()
@@ -362,11 +425,30 @@ def run_load(study, config: LoadConfig) -> dict:
         if config.backend_fault_period > 0
         else None
     )
+    observer = None
+    if trace_out is not None:
+        observer = Observer(
+            trace_out,
+            meta={
+                "kind": "serve",
+                "seed": config.seed,
+                "mix": config.mix,
+                "ops_rate": config.ops_rate,
+                "clients": config.total_clients,
+                "slo": (
+                    config.service.slo.as_json()
+                    if config.service.slo is not None
+                    else None
+                ),
+            },
+        )
     service = LakeService(
         study,
         config=config.service,
         clock=clock,
+        metrics=observer.metrics if observer is not None else None,
         fault_hook=fault_hook,
+        tracer=observer.tracer if observer is not None else None,
     )
     factory = _RequestFactory(service, config.seed)
 
@@ -378,13 +460,17 @@ def run_load(study, config: LoadConfig) -> dict:
         heapq.heappush(events, (at, seq, action, payload))
         seq += 1
 
-    waitlist: deque = deque()  # (client, request, arrival_time)
+    waitlist: deque = deque()  # (client, request, arrival_time, admission)
     records: list[RequestRecord] = []
 
     def start_service(
-        client: _Client, request: Request, arrival: float, start: float
+        client: _Client,
+        request: Request,
+        arrival: float,
+        start: float,
+        admission,
     ) -> None:
-        response = service.handle_admitted(request)
+        response = service.handle_admitted(request, admission)
         duration = (
             max(1, response.ops) / config.ops_rate * client.spec.slow_factor
         )
@@ -405,15 +491,17 @@ def run_load(study, config: LoadConfig) -> dict:
         status: int,
         latency_ops: int,
         served: bool,
+        ops: int,
     ) -> None:
         records.append(
             RequestRecord(
                 client_class=client.spec.name,
-                endpoint=request.path,
+                endpoint=canonical_endpoint(request.path),
                 status=status,
                 outcome=outcome,
                 latency_ops=latency_ops,
                 served=served,
+                ops=ops,
             )
         )
 
@@ -444,15 +532,16 @@ def run_load(study, config: LoadConfig) -> dict:
                     rejection.status,
                     0,
                     served=False,
+                    ops=rejection.ops,
                 )
                 backoff = client.spec.think
                 if client.spec.respect_retry_after:
                     backoff = max(backoff, rejection.retry_after or 0.0)
                 schedule_next(client, at + max(backoff, 1e-3))
             elif admission.decision is Decision.QUEUED:
-                waitlist.append((client, request, at))
+                waitlist.append((client, request, at, admission))
             else:
-                start_service(client, request, at, at)
+                start_service(client, request, at, at, admission)
         else:  # complete
             client, request, arrival, response = payload
             service.admission.finish()
@@ -470,18 +559,25 @@ def run_load(study, config: LoadConfig) -> dict:
                 response.status,
                 latency_ops,
                 served=True,
+                ops=response.ops,
             )
             schedule_next(client, at + max(client.spec.think, 1e-3))
             if waitlist:
-                queued_client, queued_request, queued_arrival = (
-                    waitlist.popleft()
-                )
+                (
+                    queued_client, queued_request, queued_arrival,
+                    queued_admission,
+                ) = waitlist.popleft()
                 service.admission.promote()
                 start_service(
-                    queued_client, queued_request, queued_arrival, at
+                    queued_client, queued_request, queued_arrival, at,
+                    queued_admission,
                 )
 
-    return _build_report(config, service, records, clock)
+    service.close_telemetry()
+    report = _build_report(config, service, records, clock)
+    if observer is not None:
+        observer.close()
+    return report
 
 
 def _latency_stats(latencies: list[int]) -> dict:
@@ -537,6 +633,18 @@ def _build_report(
         )
     duration = round(clock.now(), 6)
     served = sum(1 for r in records if r.served)
+    # Ops reconciliation: the server-side op cost of every non-probe
+    # request, as the records saw it and as the serve.request.ops
+    # histogram accumulated it — the trace's request spans must sum to
+    # the same number (tested), so one figure ties all three views.
+    request_ops = sum(
+        r.ops for r in records if r.endpoint not in PROBE_ENDPOINTS
+    )
+    ops_histogram = service.metrics.get("serve.request.ops")
+    histogram_ops = ops_histogram.total if ops_histogram is not None else 0
+    slo_summary = (
+        service.slo.summary() if service.slo is not None else None
+    )
     breaker_opens = sum(
         1
         for breaker in service.breakers.values()
@@ -575,6 +683,8 @@ def _build_report(
         "duration": duration,
         "throughput_rps": round(served / duration, 6) if duration else 0.0,
         "total_ops": _total_service_ops(service),
+        "request_ops": request_ops,
+        "slo": slo_summary,
         "admission": service.admission.snapshot()
         | {"within_bounds": within_bounds},
         "service": {
@@ -593,6 +703,7 @@ def _build_report(
             "within_admission_bounds": within_bounds,
             "outcomes_account_for_all": sum(outcome_counts.values())
             == terminated,
+            "ops_reconciled": request_ops == histogram_ops,
         },
     }
     return report
@@ -618,6 +729,11 @@ def check_invariants(report: dict, config: LoadConfig) -> list[str]:
         )
     if not report["invariants"]["outcomes_account_for_all"]:
         violations.append("outcome counts do not sum to terminated requests")
+    if not report["invariants"]["ops_reconciled"]:
+        violations.append(
+            "request op accounting diverged: record sum != "
+            "serve.request.ops histogram sum"
+        )
     if not report["admission"]["within_bounds"]:
         violations.append(
             f"admission bounds exceeded: {report['admission']}"
@@ -680,6 +796,17 @@ def render_report(report: dict) -> str:
             f"breaker opens {report['service']['breaker_opens']}, "
             f"backend failures {report['service']['backend_failures']}"
         ),
+    ]
+    slo = report.get("slo")
+    if slo is not None:
+        availability = slo["objectives"].get("availability", {})
+        lines.append(
+            f"slo: verdict {slo['verdict']} "
+            f"(availability budget used "
+            f"{availability.get('budget_used', 0.0):.0%}, "
+            f"{slo['windows_evaluated']} windows)"
+        )
+    lines += [
         f"{'class':<14} {'reqs':>5} {'ok':>5} {'degr':>5} {'shed':>5} "
         f"{'err':>4} {'p50':>8} {'p99':>8}",
     ]
@@ -700,8 +827,18 @@ def bench_record(
 
     ``total_ops`` (deterministic) gates through the rolling-median
     baseline exactly like the compute benches; the serving metrics ride
-    along and key the baseline on the client population.
+    along and key the baseline on the client population.  The SLO
+    verdict and availability ride too, so the bench gate fails a run
+    whose error budget is exhausted.
     """
+    slo = report.get("slo")
+    availability = 1.0
+    verdict = ""
+    if slo is not None:
+        verdict = slo["verdict"]
+        objective = slo["objectives"].get("availability")
+        if objective is not None:
+            availability = round(1.0 - objective["bad_fraction"], 6)
     return {
         "experiment": "serve",
         "scale": scale,
@@ -718,6 +855,8 @@ def bench_record(
             / max(1, report["requests"]["terminated"]),
             6,
         ),
+        "availability": availability,
+        "slo_verdict": verdict,
     }
 
 

@@ -32,21 +32,33 @@ import dataclasses
 
 from ..obs.log import get_log
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import RequestSample, SloMonitor, SloSpec, default_slos
 from ..resilience.breaker import BreakerConfig, CircuitBreaker
 from ..resilience.budget import BudgetExceeded, WorkMeter
 from ..resilience.clock import SimulatedClock
 from ..search.lake import DataLake
 from .admission import AdmissionConfig, AdmissionController, Decision
 from .api import (
+    PROBE_ENDPOINTS,
     QueryApi,
     Request,
     Response,
+    canonical_endpoint,
     compute_etag,
     error_body,
     map_exception,
     success_body,
 )
 from .cache import FRESH, CacheConfig, ResponseCache
+from .tracing import (
+    DEFAULT_EXEMPLAR_K,
+    RUNG_ADMISSION,
+    RUNG_BACKEND,
+    RUNG_BREAKER,
+    RUNG_CACHE,
+    RequestTrail,
+    ServeTracer,
+)
 
 #: Request outcomes (the load harness's terminal states).
 OUTCOME_OK = "ok"
@@ -80,6 +92,11 @@ class ServiceConfig:
     #: Pre-compute every portal's analyses at startup so request cost is
     #: lookups plus scoring, not first-touch analysis storms.
     warm: bool = True
+    #: The service-level objectives the error-budget monitor evaluates;
+    #: None disables SLO accounting entirely.
+    slo: SloSpec | None = dataclasses.field(default_factory=default_slos)
+    #: How many slowest served requests keep full span trees in a trace.
+    exemplar_k: int = DEFAULT_EXEMPLAR_K
 
 
 class AnnotatedResponse(Response):
@@ -104,11 +121,22 @@ class LakeService:
         clock=None,
         metrics: MetricsRegistry | None = None,
         fault_hook=None,
+        tracer=None,
     ):
         self.config = config or ServiceConfig()
         self.clock = clock if clock is not None else SimulatedClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._fault_hook = fault_hook
+        self.slo = (
+            SloMonitor(self.config.slo)
+            if self.config.slo is not None
+            else None
+        )
+        self._serve_tracer = (
+            ServeTracer(tracer, exemplar_k=self.config.exemplar_k)
+            if tracer is not None
+            else None
+        )
         self.lake = DataLake(study, metrics=self.metrics)
         self.api = QueryApi(study, self.lake)
         self.admission = AdmissionController(
@@ -156,13 +184,45 @@ class LakeService:
         *,
         outcome: str,
         ops: int,
+        stale: bool = False,
+        trail: RequestTrail | None = None,
     ) -> AnnotatedResponse:
+        endpoint = canonical_endpoint(request.path)
+        probe = endpoint in PROBE_ENDPOINTS
         self.metrics.inc("serve.requests")
         self.metrics.inc(f"serve.outcome.{outcome}")
-        self.metrics.inc(f"serve.endpoint.{request.path}")
-        self.metrics.histogram(
-            "serve.latency_ops", LATENCY_BUCKETS
-        ).observe(ops)
+        self.metrics.inc(f"serve.endpoint.{endpoint}")
+        if not probe:
+            # Probes never join the request-ops accounting, the SLO, or
+            # the trace — they would dilute every objective and break
+            # trace/report/histogram ops reconciliation.
+            self.metrics.histogram(
+                "serve.request.ops", LATENCY_BUCKETS
+            ).observe(ops)
+            self.metrics.histogram(
+                f"serve.endpoint_ops.{endpoint}", LATENCY_BUCKETS
+            ).observe(ops)
+            at = self.clock.now()
+            if self.slo is not None:
+                self.slo.observe(RequestSample(
+                    at=at, endpoint=endpoint, outcome=outcome,
+                    status=status, ops=ops, stale=stale,
+                ))
+            if self._serve_tracer is not None:
+                self._serve_tracer.record(
+                    at=at, endpoint=endpoint, client=request.client_id,
+                    status=status, outcome=outcome, ops=ops, stale=stale,
+                    trail=trail,
+                )
+        log = get_log()
+        (log.debug if probe else log.info)(
+            "serve.request",
+            endpoint=endpoint,
+            outcome=outcome,
+            ops=ops,
+            status=status,
+            client=request.client_id,
+        )
         return AnnotatedResponse(
             status, body, headers, outcome=outcome, ops=ops
         )
@@ -173,6 +233,7 @@ class LakeService:
         status: int,
         message: str,
         retry_after: float,
+        trail: RequestTrail | None = None,
     ) -> AnnotatedResponse:
         kind = (
             "Rate Limit Error" if status == 429 else "Service Unavailable"
@@ -184,6 +245,7 @@ class LakeService:
             {"Retry-After": f"{retry_after:.6g}"},
             outcome=OUTCOME_SHED,
             ops=1,
+            trail=trail,
         )
 
     def _respond(
@@ -195,16 +257,19 @@ class LakeService:
         stale: bool,
         etag: str,
         ops: int,
+        trail: RequestTrail | None = None,
     ) -> AnnotatedResponse:
         outcome = OUTCOME_DEGRADED if (degraded or stale) else OUTCOME_OK
         headers = {"ETag": etag}
         if request.header("if-none-match") == etag:
             return self._finish(
-                request, 304, None, headers, outcome=outcome, ops=ops
+                request, 304, None, headers, outcome=outcome, ops=ops,
+                stale=stale, trail=trail,
             )
         body = success_body(result, degraded=degraded, stale=stale)
         return self._finish(
-            request, 200, body, headers, outcome=outcome, ops=ops
+            request, 200, body, headers, outcome=outcome, ops=ops,
+            stale=stale, trail=trail,
         )
 
     @staticmethod
@@ -231,7 +296,7 @@ class LakeService:
         if admission.decision is Decision.QUEUED:
             self.admission.promote()
         try:
-            return self.handle_admitted(request)
+            return self.handle_admitted(request, admission)
         finally:
             self.admission.finish()
 
@@ -244,28 +309,47 @@ class LakeService:
         queue itself), so both reject with the same body shape and the
         same counters.
         """
+        if not admission.rejected:
+            return None
+        trail = RequestTrail()
+        trail.add(
+            RUNG_ADMISSION,
+            decision=admission.decision.value,
+            retry_after=round(admission.retry_after, 6),
+        )
         if admission.decision is Decision.RATE_LIMITED:
             return self._reject(
                 request,
                 429,
                 "client over its request budget",
                 admission.retry_after,
+                trail=trail,
             )
-        if admission.decision is Decision.SHED:
-            return self._reject(
-                request,
-                503,
-                "admission queue full",
-                admission.retry_after,
-            )
-        return None
+        return self._reject(
+            request,
+            503,
+            "admission queue full",
+            admission.retry_after,
+            trail=trail,
+        )
 
-    def handle_admitted(self, request: Request) -> AnnotatedResponse:
+    def handle_admitted(
+        self, request: Request, admission=None
+    ) -> AnnotatedResponse:
         """The post-admission ladder: deadline -> breaker -> cache -> work."""
         if request.path == "/healthz":
             return self._healthz(request)
         if request.path == "/statz":
             return self._statz(request)
+        trail = RequestTrail()
+        trail.add(
+            RUNG_ADMISSION,
+            decision=(
+                admission.decision.value
+                if admission is not None
+                else Decision.ADMITTED.value
+            ),
+        )
         route = self.api.routes.get(request.path)
         if route is None:
             return self._finish(
@@ -276,6 +360,7 @@ class LakeService:
                 {},
                 outcome=OUTCOME_OK,
                 ops=1,
+                trail=trail,
             )
         family, handler = route
         guarded = family in GUARDED_FAMILIES
@@ -283,6 +368,7 @@ class LakeService:
         entry = None
         if guarded:
             entry, state = self.cache.lookup(key)
+            trail.add(RUNG_CACHE, state=state)
             if state == FRESH:
                 return self._respond(
                     request,
@@ -291,9 +377,11 @@ class LakeService:
                     stale=False,
                     etag=entry.etag,
                     ops=1,
+                    trail=trail,
                 )
         breaker = self.breakers.get(family)
         if breaker is not None and not breaker.allow():
+            trail.add(RUNG_BREAKER, family=family, allowed=False)
             if entry is not None:
                 self.metrics.inc("serve.stale_served")
                 return self._respond(
@@ -303,13 +391,17 @@ class LakeService:
                     stale=True,
                     etag=entry.etag,
                     ops=1,
+                    trail=trail,
                 )
             return self._reject(
                 request,
                 503,
                 f"backend circuit open for {family!r}",
                 self.config.breaker.reset_timeout,
+                trail=trail,
             )
+        if breaker is not None:
+            trail.add(RUNG_BREAKER, family=family, allowed=True)
         meter = WorkMeter(self.config.deadline_ops, metrics=self.metrics)
         truncated_empty = False
         try:
@@ -324,11 +416,14 @@ class LakeService:
             truncated_empty = True
         except Exception as exc:  # noqa: BLE001 — mapped, never raised
             return self._handle_failure(
-                request, exc, breaker, entry, meter
+                request, exc, breaker, entry, meter, trail
             )
         if breaker is not None:
             breaker.record_success()
         degraded = truncated_empty or meter.exhausted
+        trail.add(
+            RUNG_BACKEND, ops=meter.spent, family=family, degraded=degraded
+        )
         etag = compute_etag(request.path, result)
         if guarded and not degraded:
             self.cache.store(key, result, etag)
@@ -339,6 +434,7 @@ class LakeService:
             stale=False,
             etag=etag,
             ops=max(1, meter.spent),
+            trail=trail,
         )
 
     def _handle_failure(
@@ -348,10 +444,18 @@ class LakeService:
         breaker: CircuitBreaker | None,
         entry,
         meter: WorkMeter,
+        trail: RequestTrail | None = None,
     ) -> AnnotatedResponse:
         """Map a handler exception: JSON error, breaker, stale fallback."""
         mapped = map_exception(exc)
         ops = max(1, meter.spent)
+        if trail is not None:
+            trail.add(
+                RUNG_BACKEND,
+                ops=meter.spent,
+                error=type(exc).__name__,
+                code=mapped.code,
+            )
         if mapped.code < 500:
             # A client error is a *correct* answer; the backend worked.
             if breaker is not None:
@@ -363,6 +467,7 @@ class LakeService:
                 {},
                 outcome=OUTCOME_OK,
                 ops=ops,
+                trail=trail,
             )
         if breaker is not None:
             breaker.record_failure()
@@ -376,6 +481,7 @@ class LakeService:
                 stale=True,
                 etag=entry.etag,
                 ops=ops,
+                trail=trail,
             )
         return self._finish(
             request,
@@ -384,6 +490,7 @@ class LakeService:
             {},
             outcome=OUTCOME_ERROR,
             ops=ops,
+            trail=trail,
         )
 
     # ------------------------------------------------------------------
@@ -410,23 +517,87 @@ class LakeService:
         )
 
     def _statz(self, request: Request) -> AnnotatedResponse:
-        body = {
-            "metrics": self.metrics.snapshot(),
-            "admission": self.admission.snapshot(),
-            "cache": self.cache.snapshot(),
-            "breakers": {
-                name: breaker.state.value
-                for name, breaker in sorted(self.breakers.items())
-            },
+        breakers = {
+            name: breaker.state.value
+            for name, breaker in sorted(self.breakers.items())
         }
+        if request.params.get("raw") in ("1", "true"):
+            # The firehose escape hatch: the raw metrics snapshot, as
+            # /statz rendered it before the SLO view existed.
+            body = {
+                "metrics": self.metrics.snapshot(),
+                "admission": self.admission.snapshot(),
+                "cache": self.cache.snapshot(),
+                "breakers": breakers,
+            }
+        else:
+            body = {
+                "endpoints": self._endpoint_stats(),
+                "slo": (
+                    self.slo.summary(recent_windows=12)
+                    if self.slo is not None
+                    else None
+                ),
+                "admission": self.admission.snapshot(),
+                "cache": self.cache.snapshot(),
+                "breakers": breakers,
+            }
         return self._finish(
             request, 200, body, {}, outcome=OUTCOME_OK, ops=1
         )
+
+    def _endpoint_stats(self) -> dict:
+        """Per-endpoint request counts and ops histograms for /statz."""
+        snapshot = self.metrics.snapshot()
+        stats: dict[str, dict] = {}
+        prefix = "serve.endpoint_ops."
+        for name, snap in snapshot.items():
+            if name.startswith(prefix):
+                endpoint = name[len(prefix):]
+                stats[endpoint] = {
+                    "requests": int(
+                        snapshot.get(
+                            f"serve.endpoint.{endpoint}", {}
+                        ).get("value", 0)
+                    ),
+                    "ops": {
+                        "bounds": snap["bounds"],
+                        "counts": snap["counts"],
+                        "count": snap["count"],
+                        "sum": snap["sum"],
+                    },
+                }
+        # Probes count requests but never observe an ops histogram:
+        # surface their counters too so the table is complete.
+        for probe in PROBE_ENDPOINTS:
+            counter = snapshot.get(f"serve.endpoint.{probe}")
+            if counter is not None:
+                stats[probe] = {
+                    "requests": int(counter["value"]),
+                    "ops": None,
+                }
+        return dict(sorted(stats.items()))
+
+    # ------------------------------------------------------------------
+    # end-of-run telemetry
+    # ------------------------------------------------------------------
+    def close_telemetry(self) -> None:
+        """Seal the run's SLO windows and flush buffered request spans.
+
+        Call once, when the request stream ends (the load harness does;
+        the real server on shutdown).  Must precede the observer's own
+        ``close()`` so request spans land before the metric block.
+        """
+        if self.slo is not None:
+            self.slo.finalize()
+        if self._serve_tracer is not None:
+            self._serve_tracer.close()
 
 
 __all__ = [
     "AnnotatedResponse",
     "GUARDED_FAMILIES",
+    "LATENCY_BUCKETS",
     "LakeService",
     "OUTCOMES",
     "OUTCOME_DEGRADED",

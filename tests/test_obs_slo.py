@@ -1,0 +1,196 @@
+"""Tests for the SLO engine and error-budget monitor (repro.obs.slo)."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    KIND_AVAILABILITY,
+    KIND_LATENCY,
+    KIND_STALENESS,
+    Objective,
+    RequestSample,
+    SloMonitor,
+    SloSpec,
+    VERDICT_BURNING,
+    VERDICT_EXHAUSTED,
+    VERDICT_OK,
+    default_slos,
+    load_spec,
+    replay,
+    spec_from_json,
+)
+
+
+def sample(
+    at, outcome="ok", ops=1, stale=False, endpoint="package_list", status=200
+):
+    return RequestSample(
+        at=at, endpoint=endpoint, outcome=outcome, status=status, ops=ops,
+        stale=stale,
+    )
+
+
+class TestObjective:
+    def test_availability_classifies_shed_and_error_bad(self):
+        objective = Objective("a", KIND_AVAILABILITY, target=0.9)
+        assert objective.classify(sample(0.0, "ok")) is False
+        assert objective.classify(sample(0.0, "degraded")) is False
+        assert objective.classify(sample(0.0, "shed")) is True
+        assert objective.classify(sample(0.0, "error")) is True
+
+    def test_latency_scopes_to_served_requests(self):
+        objective = Objective(
+            "lat", KIND_LATENCY, target=0.9, bound_ops=100
+        )
+        assert objective.classify(sample(0.0, "ok", ops=100)) is False
+        assert objective.classify(sample(0.0, "degraded", ops=101)) is True
+        # Sheds consume no latency budget: they were never served.
+        assert objective.classify(sample(0.0, "shed", ops=1)) is None
+
+    def test_latency_endpoint_scope(self):
+        objective = Objective(
+            "lat", KIND_LATENCY, target=0.9, bound_ops=10,
+            endpoint="lake_search",
+        )
+        slow = sample(0.0, "ok", ops=999, endpoint="package_list")
+        assert objective.classify(slow) is None
+        in_scope = sample(0.0, "ok", ops=999, endpoint="lake_search")
+        assert objective.classify(in_scope) is True
+
+    def test_staleness_counts_stale_served(self):
+        objective = Objective("st", KIND_STALENESS, target=0.9)
+        assert objective.classify(sample(0.0, "degraded", stale=True)) is True
+        assert objective.classify(sample(0.0, "ok")) is False
+        assert objective.classify(sample(0.0, "error", stale=True)) is None
+
+    def test_budget_is_one_minus_target(self):
+        assert Objective("a", KIND_AVAILABILITY, target=0.995).budget == (
+            pytest.approx(0.005)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            Objective("x", "throughput", target=0.9)
+        with pytest.raises(ValueError, match="target"):
+            Objective("x", KIND_AVAILABILITY, target=1.0)
+        with pytest.raises(ValueError, match="bound_ops"):
+            Objective("x", KIND_LATENCY, target=0.9)
+        with pytest.raises(ValueError, match="burn_threshold"):
+            Objective(
+                "x", KIND_AVAILABILITY, target=0.9, burn_threshold=0.0
+            )
+
+
+class TestSpec:
+    def test_round_trips_through_json(self):
+        spec = default_slos()
+        assert spec_from_json(json.loads(json.dumps(spec.as_json()))) == spec
+
+    def test_load_spec_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(default_slos().as_json()))
+        assert load_spec(path) == default_slos()
+
+    def test_validation(self):
+        objective = Objective("a", KIND_AVAILABILITY, target=0.9)
+        with pytest.raises(ValueError, match="window"):
+            SloSpec(objectives=(objective,), window=0.0)
+        with pytest.raises(ValueError, match="min_window_events"):
+            SloSpec(objectives=(objective,), min_window_events=0)
+        with pytest.raises(ValueError, match="duplicate"):
+            SloSpec(objectives=(objective, objective))
+        with pytest.raises(ValueError, match="no objectives"):
+            spec_from_json({"window": 1.0})
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        objectives=(
+            Objective(
+                "availability", KIND_AVAILABILITY, target=0.5,
+                burn_threshold=2.0,
+            ),
+        ),
+        window=1.0,
+    )
+    defaults.update(overrides)
+    return SloSpec(**defaults)
+
+
+class TestMonitor:
+    def test_all_good_is_ok(self):
+        monitor = replay(make_spec(), [sample(t / 10) for t in range(20)])
+        assert monitor.verdict == VERDICT_OK
+        summary = monitor.summary()
+        assert summary["objectives"]["availability"]["budget_used"] == 0.0
+        assert summary["windows_evaluated"] == 2
+
+    def test_exhausted_when_total_bad_exceeds_budget(self):
+        # 6 of 10 shed against a 0.5 budget: the budget is gone.
+        samples = [sample(t / 10, "shed") for t in range(6)]
+        samples += [sample(0.6 + t / 10) for t in range(4)]
+        monitor = replay(make_spec(), samples)
+        assert monitor.verdict == VERDICT_EXHAUSTED
+        availability = monitor.summary()["objectives"]["availability"]
+        assert availability["budget_used"] == pytest.approx(1.2)
+
+    def test_burning_window_without_exhaustion(self):
+        # Window 0 burns at 2x (all bad), then three clean windows keep
+        # total consumption inside the budget.
+        samples = [sample(0.1, "shed"), sample(0.2, "shed")]
+        samples += [sample(1.0 + t / 4) for t in range(12)]
+        monitor = replay(make_spec(), samples)
+        assert monitor.verdict == VERDICT_BURNING
+        availability = monitor.summary()["objectives"]["availability"]
+        assert availability["max_burn_rate"] == pytest.approx(2.0)
+        assert availability["burning_windows"] == 1
+        assert availability["budget_used"] < 1.0
+
+    def test_min_window_events_suppresses_noise(self):
+        # The same burning window is noise once it needs >= 3 events.
+        samples = [sample(0.1, "shed"), sample(0.2, "shed")]
+        samples += [sample(1.0 + t / 4) for t in range(12)]
+        monitor = replay(make_spec(min_window_events=3), samples)
+        assert monitor.verdict == VERDICT_OK
+        availability = monitor.summary()["objectives"]["availability"]
+        assert availability["burning_windows"] == 0
+        assert availability["max_burn_rate"] == 0.0
+
+    def test_empty_windows_are_skipped_not_recorded(self):
+        monitor = replay(
+            make_spec(), [sample(0.5), sample(100.5), sample(100.6)]
+        )
+        indices = [w["window"] for w in monitor.windows]
+        assert indices == [0, 100]
+        assert monitor.windows[1]["start"] == pytest.approx(100.0)
+        assert monitor.windows[1]["end"] == pytest.approx(101.0)
+        assert monitor.windows[1]["objectives"]["availability"]["events"] == 2
+
+    def test_burn_rate_arithmetic(self):
+        # 1 bad of 4 against a 0.5 budget: fraction 0.25, burn 0.5x.
+        samples = [sample(0.1, "shed")] + [
+            sample(0.2 + t / 10) for t in range(3)
+        ]
+        monitor = replay(make_spec(), samples)
+        window = monitor.windows[0]["objectives"]["availability"]
+        assert window["bad_fraction"] == pytest.approx(0.25)
+        assert window["burn_rate"] == pytest.approx(0.5)
+
+    def test_observe_after_finalize_raises(self):
+        monitor = SloMonitor(make_spec())
+        monitor.finalize()
+        with pytest.raises(RuntimeError):
+            monitor.observe(sample(0.0))
+
+    def test_summary_recent_windows_caps_timeline(self):
+        samples = [sample(float(t) + 0.5) for t in range(10)]
+        monitor = replay(make_spec(), samples)
+        summary = monitor.summary(recent_windows=3)
+        assert len(summary["windows"]) == 3
+        assert summary["windows_evaluated"] == 10
+
+    def test_replay_sorts_out_of_order_samples(self):
+        shuffled = [sample(2.5), sample(0.5, "shed"), sample(1.5)]
+        monitor = replay(make_spec(), shuffled)
+        assert [w["window"] for w in monitor.windows] == [0, 1, 2]

@@ -73,10 +73,23 @@ class TestHttpServer:
         assert payload == b""
 
     def test_statz_counts_requests(self, server):
-        status, _, payload = get(server, "/statz")
+        status, _, payload = get(server, "/statz?raw=1")
         assert status == 200
         body = json.loads(payload)
         assert body["metrics"]["serve.requests"]["value"] > 0
+
+    def test_statz_default_shape_has_slo(self, server):
+        status, _, payload = get(server, "/statz")
+        assert status == 200
+        body = json.loads(payload)
+        assert body["slo"]["verdict"] in ("OK", "BURNING", "EXHAUSTED")
+        assert "endpoints" in body
+
+    def test_observability_headers(self, server):
+        status, headers, _ = get(server, "/api/3/action/package_list")
+        assert status == 200
+        assert headers["X-Ogdp-Outcome"] == "ok"
+        assert int(headers["X-Ogdp-Ops"]) >= 1
 
 
 class TestWallClock:

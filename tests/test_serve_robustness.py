@@ -165,11 +165,23 @@ class TestServiceRequestPath:
         assert set(response.body["breakers"]) == {"search", "join", "union"}
         assert response.body["packages"] > 0
 
-    def test_statz_exposes_metrics(self, service):
+    def test_statz_exposes_slo_and_endpoints(self, service):
+        service.handle(Request("/api/3/action/package_list", {}, {}, "c1"))
         response = service.handle(Request("/statz", {}, {}, "probe"))
         assert response.status == 200
-        assert "serve.requests" in response.body["metrics"]
         assert "in_flight" in response.body["admission"]
+        assert response.body["slo"]["verdict"] in ("OK", "BURNING", "EXHAUSTED")
+        endpoints = response.body["endpoints"]
+        assert endpoints["package_list"]["requests"] == 1
+        assert endpoints["package_list"]["ops"]["count"] == 1
+
+    def test_statz_raw_escape_hatch(self, service):
+        response = service.handle(
+            Request("/statz", {"raw": "1"}, {}, "probe")
+        )
+        assert response.status == 200
+        assert "serve.requests" in response.body["metrics"]
+        assert "slo" not in response.body
 
     def test_unknown_endpoint_404_is_ok_outcome(self, service):
         response = service.handle(Request("/nope", {}, {}, "probe"))
