@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench smoke-trace smoke-shard smoke-serve experiments fidelity
+.PHONY: test lint bench-smoke bench smoke-trace smoke-shard smoke-serve smoke-index experiments fidelity
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -73,3 +73,16 @@ smoke-serve:
 	cmp smoke-serve-a.jsonl smoke-serve-b.jsonl
 	$(PYTHON) -m repro.experiments.cli serve-report smoke-serve-a.jsonl \
 		--fail-on-exhausted
+
+# The join-index gate CI runs: build the persisted MinHash-LSH join
+# index under a pooled chaos build (seeded worker kills), verifying
+# every stored pair set byte-for-byte against the exact all-pairs
+# search (build-index exits non-zero on any mismatch), then serve the
+# smoke load mix from a lake backed by those artifacts.
+smoke-index:
+	$(PYTHON) -m repro.experiments.cli -q build-index --out smoke-join-index \
+		--scale 0.08 --seed 2 --workers 4 --chaos-kill-rate 0.2 \
+		--shard-dir smoke-index-shards --verify --bench-root .
+	$(PYTHON) -m repro.experiments.cli -q loadtest \
+		--scale 0.08 --seed 2 --mix smoke --join-index-dir smoke-join-index \
+		--report smoke-index-load.json --trace-out smoke-index-serve.jsonl

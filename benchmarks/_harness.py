@@ -115,6 +115,8 @@ def run_and_record(
             "total_ops": sum(
                 v for k, v in ops.items() if k.startswith("ops.")
             ),
+            "join_candidates": ops.get("join.candidate_pairs", 0),
+            "join_verify_ops": ops.get("ops.join.jaccard", 0),
         },
     )
     _check_regression_gate(history_path)

@@ -82,6 +82,18 @@ class StudyConfig:
     #: Directory for per-worker shard journals; None keeps them in a
     #: temporary directory that is discarded after the merge.
     shard_dir: str | None = None
+    #: Join candidate-generation strategy (see
+    #: :mod:`repro.joinability.lshindex`): ``"lsh"`` (the default)
+    #: prefix-filters and LSH-band-filters candidates before the exact
+    #: Jaccard verify — identical pair sets, far fewer candidates —
+    #: while ``"allpairs"`` keeps the original all-pairs walk (the
+    #: ablation baseline).
+    join_index: str = "lsh"
+    #: Directory of persisted join indexes (see
+    #: :mod:`repro.search.indexstore`); when set, ``DataLake`` loads
+    #: each portal's pair set from disk instead of recomputing it, and
+    #: writes back on a miss.  None keeps joinability purely in-memory.
+    join_index_dir: str | None = None
 
     @property
     def analysis_guarded(self) -> bool:
@@ -130,6 +142,11 @@ class StudyConfig:
             )
         if self.max_lhs < 1:
             raise ValueError(f"max_lhs must be >= 1, got {self.max_lhs}")
+        if self.join_index not in ("lsh", "allpairs"):
+            raise ValueError(
+                f"join_index must be 'lsh' or 'allpairs', got "
+                f"{self.join_index!r}"
+            )
         unknown = set(self.portal_codes) - set(DEFAULT_PORTALS)
         if unknown:
             raise ValueError(f"unknown portal codes: {sorted(unknown)}")

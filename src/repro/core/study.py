@@ -122,10 +122,83 @@ class PortalStudy:
     # ------------------------------------------------------------------
     # joinability
     # ------------------------------------------------------------------
+    def join_signatures(self) -> dict:
+        """Cached MinHash signatures per screened table (LSH path).
+
+        Keyed by position in :meth:`screened_tables` — the table-index
+        space the joinability profiles use.  Cached once and shared by
+        every threshold.  Guarded studies run one journaled ``joinsig``
+        unit per table (pooled runs adopt the worker-computed results
+        here); a unit truncated by its budget degrades to the empty
+        signature set, which the pair search treats as "skip the band
+        filter for this table" — slower, never wrong.
+        """
+        from ..joinability.lshindex import (
+            DEFAULT_LSH_PARAMS,
+            compute_table_signatures,
+        )
+        from ..joinability.minhash import MinHasher
+
+        if "join-signatures" not in self._cache:
+            with maybe_span(
+                self.obs, "joinsig", kind="stage", portal=self.code
+            ) as span:
+                tables = self.screened_tables()
+                signatures: dict = {}
+                if self.executor is None:
+                    meter = self._stage_meter()
+                    hasher = MinHasher.create(
+                        num_perm=DEFAULT_LSH_PARAMS.num_perm,
+                        seed=self.config.seed,
+                    )
+                    cache: dict = {}
+                    for table_index, ingested in enumerate(tables):
+                        signatures[table_index] = compute_table_signatures(
+                            ingested.clean,
+                            ingested.resource_id,
+                            min_unique=self.config.min_unique_values,
+                            seed=self.config.seed,
+                            meter=meter,
+                            hasher=hasher,
+                            cache=cache,
+                        )
+                    if span is not None and meter is not None:
+                        span.add_ops(meter.spent)
+                else:
+                    from ..resilience.units import (
+                        JOINSIG_STAGE,
+                        PlannedUnit,
+                        unit_request,
+                    )
+
+                    for table_index, ingested in enumerate(tables):
+                        planned = PlannedUnit(
+                            self.code, JOINSIG_STAGE, ingested.resource_id
+                        )
+                        result, _ = self.executor.guard_unit(
+                            unit_request(
+                                planned, ingested.clean, self.config
+                            ),
+                            JOINSIG_STAGE,
+                            ingested.resource_id,
+                        )
+                        if result is not None:
+                            signatures[table_index] = result
+            self._cache["join-signatures"] = signatures
+        return self._cache["join-signatures"]
+
     def joinability(
         self, threshold: float | None = None
     ) -> "JoinabilityAnalysis":
-        """Cached joinability analysis at the given threshold."""
+        """Cached joinability analysis at the given threshold.
+
+        ``config.join_index`` picks the candidate generator: ``"lsh"``
+        (the default) consumes the cached per-table signatures and
+        prefix-filters candidates before the exact Jaccard verify;
+        ``"allpairs"`` runs the original quadratic walk.  Both emit
+        byte-identical pair sets — only the op counts differ.
+        """
+        from ..joinability.lshindex import analyze_joinability_lsh
         from ..joinability.pairs import (
             analyze_joinability,
             empty_joinability_analysis,
@@ -143,28 +216,41 @@ class PortalStudy:
                 portal=self.code,
             ) as span:
                 tables = self.screened_tables()
-                if self.executor is None:
-                    meter = self._stage_meter()
-                    self._cache[key] = analyze_joinability(
-                        self.code,
-                        tables,
-                        threshold=threshold,
-                        min_unique=self.config.min_unique_values,
-                        meter=meter,
-                    )
-                    if span is not None:
-                        span.add_ops(meter.spent)
-                else:
-                    analysis, _ = self.executor.guard(
-                        f"pairs@{threshold}",
-                        PORTAL_WIDE,
-                        lambda meter: analyze_joinability(
+                if self.config.join_index == "lsh":
+                    table_signatures = self.join_signatures()
+
+                    def analyze(meter):
+                        return analyze_joinability_lsh(
                             self.code,
                             tables,
                             threshold=threshold,
                             min_unique=self.config.min_unique_values,
                             meter=meter,
-                        ),
+                            table_signatures=table_signatures,
+                            seed=self.config.seed,
+                        )
+
+                else:
+
+                    def analyze(meter):
+                        return analyze_joinability(
+                            self.code,
+                            tables,
+                            threshold=threshold,
+                            min_unique=self.config.min_unique_values,
+                            meter=meter,
+                        )
+
+                if self.executor is None:
+                    meter = self._stage_meter()
+                    self._cache[key] = analyze(meter)
+                    if span is not None and meter is not None:
+                        span.add_ops(meter.spent)
+                else:
+                    analysis, _ = self.executor.guard(
+                        f"pairs@{threshold}",
+                        PORTAL_WIDE,
+                        analyze,
                         classify=lambda a: (
                             StageStatus.TRUNCATED
                             if a.truncated
@@ -177,6 +263,31 @@ class PortalStudy:
                     )
                     self._cache[key] = analysis
         return self._cache[key]
+
+    def peek_joinability(
+        self, threshold: float | None = None
+    ) -> "JoinabilityAnalysis | None":
+        """The cached analysis at *threshold*, or None if not computed."""
+        threshold = (
+            self.config.jaccard_threshold if threshold is None else threshold
+        )
+        return self._cache.get(("joinability", threshold))
+
+    def adopt_joinability(
+        self, analysis: "JoinabilityAnalysis", threshold: float | None = None
+    ) -> None:
+        """Install an externally reconstructed analysis into the cache.
+
+        The loader path of :mod:`repro.search.indexstore`: a data lake
+        that verified a persisted index against freshly built profiles
+        hands the reconstructed analysis here, so every later
+        ``joinability()`` call serves it without recomputing the pair
+        search.
+        """
+        threshold = (
+            self.config.jaccard_threshold if threshold is None else threshold
+        )
+        self._cache[("joinability", threshold)] = analysis
 
     def labeled_join_sample(
         self, threshold: float | None = None
@@ -382,7 +493,13 @@ class Study:
         self.obs = obs
 
     @classmethod
-    def build(cls, config: StudyConfig, *, obs: Observer | None = None) -> "Study":
+    def build(
+        cls,
+        config: StudyConfig,
+        *,
+        obs: Observer | None = None,
+        pool_stages: tuple[str, ...] | None = None,
+    ) -> "Study":
         """Generate and ingest every configured portal.
 
         The crawl honours the config's resilience knobs: a positive
@@ -444,7 +561,7 @@ class Study:
             # in this process, exactly as at --workers 1.
             from ..resilience.pool import run_pool
 
-            run_pool(portals, config, obs)
+            run_pool(portals, config, obs, stages=pool_stages)
         return cls(config=config, portals=portals, obs=obs)
 
     def __iter__(self):

@@ -56,6 +56,29 @@ def _rate(text: str) -> float:
     return value
 
 
+def _add_join_index_flags(parser: argparse.ArgumentParser) -> None:
+    """The join candidate-path knobs shared by run/serve/loadtest."""
+    parser.add_argument(
+        "--join-index",
+        choices=("lsh", "allpairs"),
+        default="lsh",
+        help=(
+            "join candidate generator: 'lsh' (default; prefix + band "
+            "filtered, exact-verified) or 'allpairs' (the quadratic "
+            "ablation baseline) — identical pair sets either way"
+        ),
+    )
+    parser.add_argument(
+        "--join-index-dir",
+        default=None,
+        help=(
+            "directory of persisted join indexes (see 'build-index'); "
+            "when set, the lake loads pair sets from disk and writes "
+            "back on a miss"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -205,6 +228,91 @@ def build_parser() -> argparse.ArgumentParser:
             "temporary directory discarded after the merge)"
         ),
     )
+    _add_join_index_flags(run_parser)
+    index_parser = subparsers.add_parser(
+        "build-index",
+        help=(
+            "build the persistent MinHash-LSH join index and write it "
+            "to disk for later runs to load"
+        ),
+    )
+    index_parser.add_argument(
+        "--out",
+        required=True,
+        help="directory the per-(portal, threshold) index files go to",
+    )
+    index_parser.add_argument(
+        "--scale", type=float, default=1.0, help="corpus scale (default 1.0)"
+    )
+    index_parser.add_argument(
+        "--seed", type=int, default=7, help="master seed (default 7)"
+    )
+    index_parser.add_argument(
+        "--thresholds",
+        default="0.9,0.7",
+        help=(
+            "comma-separated Jaccard thresholds to index "
+            "(default '0.9,0.7')"
+        ),
+    )
+    index_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "signature-building worker processes (default 1); > 1 "
+            "shards the per-table joinsig units across the "
+            "crash-supervised pool"
+        ),
+    )
+    index_parser.add_argument(
+        "--unit-retries",
+        type=_nonnegative_int,
+        default=3,
+        help=(
+            "times a unit whose worker died is re-dispatched before "
+            "being quarantined as a poison unit (default 3)"
+        ),
+    )
+    index_parser.add_argument(
+        "--chaos-kill-rate",
+        type=_rate,
+        default=0.0,
+        help=(
+            "seeded probability that a worker SIGKILLs itself mid-unit "
+            "(chaos mode exercising the supervisor; default 0.0)"
+        ),
+    )
+    index_parser.add_argument(
+        "--shard-dir",
+        default=None,
+        help=(
+            "directory for per-worker shard journals (default: a "
+            "temporary directory discarded after the merge)"
+        ),
+    )
+    index_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "re-derive every pair set with the exact all-pairs walk "
+            "and fail (exit 1) on any mismatch"
+        ),
+    )
+    index_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON summary instead of text",
+    )
+    index_parser.add_argument(
+        "--bench-root",
+        default=None,
+        help=(
+            "append a join-index record to BENCH_join.json under this "
+            "directory (joins the bench-report regression gate)"
+        ),
+    )
     stats_parser = subparsers.add_parser(
         "stats",
         help="work-budget attribution report from a run trace",
@@ -328,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the library defaults; /statz shows the verdict)"
         ),
     )
+    _add_join_index_flags(serve_parser)
     load_parser = subparsers.add_parser(
         "loadtest",
         help="run the deterministic load harness against the served lake",
@@ -376,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
             "directory (joins the bench-report regression gate)"
         ),
     )
+    _add_join_index_flags(load_parser)
     serve_report_parser = subparsers.add_parser(
         "serve-report",
         help="RED tables, SLO verdict, and exemplars from a serve trace",
@@ -429,6 +539,8 @@ def config_from_args(args: argparse.Namespace) -> StudyConfig:
         chaos_kill_rate=args.chaos_kill_rate,
         straggler_ticks=args.straggler_ticks,
         shard_dir=args.shard_dir,
+        join_index=args.join_index,
+        join_index_dir=args.join_index_dir,
     )
 
 
@@ -571,6 +683,192 @@ def _run_bench_report(args: argparse.Namespace) -> int:
     return 1 if (regressed and args.fail_on_regression) else 0
 
 
+def _run_build_index(args: argparse.Namespace) -> int:
+    """The ``build-index`` subcommand: persist the MinHash-LSH join index.
+
+    Builds one study, computes the LSH-filtered (exact-verified) pair
+    set per (portal, threshold), and writes each to a fingerprinted
+    index file under ``--out``.  ``--verify`` re-derives every pair set
+    with the quadratic all-pairs walk and exits 1 on any mismatch —
+    the fidelity contract, checked end to end.
+    """
+    import json
+    import time
+
+    from ..core.study import Study
+    from ..joinability.pairs import analyze_joinability
+    from ..obs import Observer, baseline
+    from ..obs.metrics import MetricsRegistry
+    from ..resilience.budget import WorkMeter
+    from ..resilience.units import JOINSIG_STAGE, SCREEN_STAGE
+    from ..search.indexstore import (
+        JoinIndexStore,
+        StoredJoinIndex,
+        index_fingerprint,
+    )
+
+    log = get_log()
+    try:
+        thresholds = [
+            float(part)
+            for part in args.thresholds.split(",")
+            if part.strip()
+        ]
+    except ValueError:
+        log.error("bad-thresholds", value=args.thresholds)
+        return 2
+    if not thresholds or not all(0.0 < t <= 1.0 for t in thresholds):
+        log.error("bad-thresholds", value=args.thresholds)
+        return 2
+    config = StudyConfig(
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        unit_retries=args.unit_retries,
+        chaos_kill_rate=args.chaos_kill_rate,
+        shard_dir=args.shard_dir,
+        join_index="lsh",
+        join_index_dir=args.out,
+    )
+    obs = Observer(None)
+    started = time.perf_counter()
+    # The index needs screening plus signatures, never FD discovery —
+    # a pooled build plans exactly those unit stages.
+    study = Study.build(
+        config,
+        obs=obs,
+        pool_stages=(
+            (SCREEN_STAGE, JOINSIG_STAGE) if config.workers > 1 else None
+        ),
+    )
+    store = JoinIndexStore(args.out)
+    written: list[dict] = []
+    mismatches = 0
+    exact_metrics = MetricsRegistry()
+    try:
+        for portal in study:
+            for threshold in thresholds:
+                analysis = portal.joinability(threshold)
+                if analysis.truncated:
+                    log.warn(
+                        "join-index-truncated",
+                        portal=portal.code,
+                        threshold=threshold,
+                    )
+                    continue
+                if args.verify:
+                    meter = WorkMeter(None, metrics=exact_metrics)
+                    exact = analyze_joinability(
+                        portal.code,
+                        portal.screened_tables(),
+                        threshold,
+                        config.min_unique_values,
+                        meter,
+                    )
+                    if list(exact.pairs) != list(analysis.pairs):
+                        mismatches += 1
+                        log.error(
+                            "join-index-mismatch",
+                            portal=portal.code,
+                            threshold=threshold,
+                            lsh_pairs=len(analysis.pairs),
+                            exact_pairs=len(exact.pairs),
+                        )
+                        continue
+                store.save(
+                    StoredJoinIndex(
+                        portal_code=portal.code,
+                        threshold=threshold,
+                        fingerprint=index_fingerprint(
+                            config, portal.code, threshold
+                        ),
+                        pairs=tuple(analysis.pairs),
+                        column_check=tuple(
+                            p.num_unique for p in analysis.profiles
+                        ),
+                        counters={"pairs": len(analysis.pairs)},
+                    )
+                )
+                written.append(
+                    {
+                        "portal": portal.code,
+                        "threshold": threshold,
+                        "pairs": len(analysis.pairs),
+                        "path": str(store.path(portal.code, threshold)),
+                    }
+                )
+    finally:
+        study.close()
+    seconds = time.perf_counter() - started
+
+    def _counter(snapshot: dict, name: str) -> float:
+        snap = snapshot.get(name)
+        if isinstance(snap, dict) and "value" in snap:
+            return float(snap["value"])
+        return 0.0
+
+    snapshot = obs.metrics.snapshot()
+    lsh_candidates = _counter(snapshot, "join.candidate_pairs")
+    exact_candidates = _counter(
+        exact_metrics.snapshot(), "join.candidate_pairs"
+    )
+    doc = {
+        "out": args.out,
+        "scale": args.scale,
+        "seed": args.seed,
+        "workers": args.workers,
+        "thresholds": thresholds,
+        "indexes": written,
+        "lsh_candidates": lsh_candidates,
+        "verified": bool(args.verify),
+        "exact_candidates": exact_candidates if args.verify else None,
+        "mismatches": mismatches,
+    }
+    if args.bench_root is not None:
+        record = {
+            "experiment": "join",
+            "scale": args.scale,
+            "seed": args.seed,
+            "workers": config.workers,
+            "seconds": seconds,
+            "total_ops": sum(
+                snap["value"]
+                for name, snap in snapshot.items()
+                if name.startswith("ops.")
+                and isinstance(snap, dict)
+                and "value" in snap
+            ),
+            "join_candidates": lsh_candidates,
+            "join_verify_ops": _counter(snapshot, "ops.join.jaccard"),
+        }
+        path = baseline.append_record("join", record, root=args.bench_root)
+        log.info("bench-recorded", path=str(path))
+    if args.as_json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        lines = [
+            f"join index -> {args.out}  (scale {args.scale}, seed "
+            f"{args.seed}, workers {args.workers})"
+        ]
+        for entry in written:
+            lines.append(
+                f"  {entry['portal']} @ {entry['threshold']:g}: "
+                f"{entry['pairs']} pairs"
+            )
+        lines.append(f"candidate pairs (lsh): {lsh_candidates:.0f}")
+        if args.verify:
+            lines.append(
+                f"candidate pairs (all-pairs): {exact_candidates:.0f}"
+            )
+            lines.append(
+                "verify: OK (pair sets identical)"
+                if mismatches == 0
+                else f"verify: FAILED ({mismatches} mismatching pair sets)"
+            )
+        print("\n".join(lines))
+    return 1 if mismatches else 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: a real HTTP server over the lake."""
     import dataclasses
@@ -590,7 +888,12 @@ def _run_serve(args: argparse.Namespace) -> int:
                 "slo-spec-unreadable", path=args.slo, message=str(exc)
             )
             return 2
-    config = StudyConfig(scale=args.scale, seed=args.seed)
+    config = StudyConfig(
+        scale=args.scale,
+        seed=args.seed,
+        join_index=args.join_index,
+        join_index_dir=args.join_index_dir,
+    )
     study = get_study(config=config)
     server = httpd.make_server(
         study,
@@ -654,7 +957,14 @@ def _run_loadtest(args: argparse.Namespace) -> int:
     config = mix_factory()
     if args.load_seed is not None:
         config = dataclasses.replace(config, seed=args.load_seed)
-    study = get_study(config=StudyConfig(scale=args.scale, seed=args.seed))
+    study = get_study(
+        config=StudyConfig(
+            scale=args.scale,
+            seed=args.seed,
+            join_index=args.join_index,
+            join_index_dir=args.join_index_dir,
+        )
+    )
     started = time.perf_counter()
     report = loadgen.run_load(study, config, trace_out=args.trace_out)
     seconds = time.perf_counter() - started
@@ -699,6 +1009,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_diff(args)
     if args.command == "bench-report":
         return _run_bench_report(args)
+    if args.command == "build-index":
+        return _run_build_index(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "loadtest":

@@ -36,7 +36,35 @@ class MinHasher:
 
     @classmethod
     def create(cls, num_perm: int = 128, seed: int = 1) -> "MinHasher":
-        """Build a hasher with freshly drawn random permutations."""
+        """Build a hasher with sha256-derived permutation coefficients.
+
+        Every other seeded component in the codebase derives its
+        randomness from a hash stream keyed on the seed, so equal seeds
+        mean equal behavior on any Python version.  The hasher is no
+        exception: coefficient *i* comes from
+        ``sha256("minhash:<seed>:<i>")`` — 16 digest bytes for the
+        multiplier (nonzero mod the Mersenne prime), 16 for the offset —
+        which keeps on-disk signatures stable across interpreter
+        upgrades.  The pre-fix ``random.Random`` draw survives as
+        :meth:`create_legacy` for old artifacts and the compat test.
+        """
+        coefficients = []
+        for i in range(num_perm):
+            digest = hashlib.sha256(
+                f"minhash:{seed}:{i}".encode("utf-8")
+            ).digest()
+            a = int.from_bytes(digest[:16], "big") % (_MERSENNE - 1) + 1
+            b = int.from_bytes(digest[16:], "big") % _MERSENNE
+            coefficients.append((a, b))
+        return cls(num_perm=num_perm, coefficients=tuple(coefficients))
+
+    @classmethod
+    def create_legacy(cls, num_perm: int = 128, seed: int = 1) -> "MinHasher":
+        """The pre-sha256 hasher, coefficients drawn from ``random.Random``.
+
+        Kept so signatures written by older runs remain reproducible;
+        new code should always use :meth:`create`.
+        """
         import random
 
         rng = random.Random(seed)

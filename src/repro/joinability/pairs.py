@@ -215,7 +215,28 @@ def analyze_joinability(
         tables, min_unique=min_unique, meter=meter
     )
     pairs, truncated = joinable_pairs_flagged(profiles, threshold, meter)
+    return assemble_joinability(
+        portal_code, tables, profiles, total_columns, pairs, truncated
+    )
 
+
+def assemble_joinability(
+    portal_code: str,
+    tables: list[IngestedTable],
+    profiles: list[ColumnProfile],
+    total_columns: int,
+    pairs: list[JoinablePair],
+    truncated: bool = False,
+) -> JoinabilityAnalysis:
+    """Table 6's statistics bundle from an already-found pair set.
+
+    Shared by the all-pairs path, the LSH-indexed path, and the on-disk
+    index loader (:mod:`repro.search.indexstore`), which reconstructs an
+    analysis from persisted pairs without re-running the pair search —
+    the derived stats are a pure function of ``(profiles, pairs)``, so
+    all three entry points produce identical analyses for identical
+    pair sets.
+    """
     column_neighbors: dict[int, list[int]] = defaultdict(list)
     table_neighbors: dict[int, set[int]] = defaultdict(set)
     for pair in pairs:

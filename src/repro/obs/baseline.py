@@ -39,6 +39,10 @@ DEFAULT_WINDOW = 5
 #: Absolute op floor: tiny cached benches (zero or near-zero ops) jitter
 #: in relative terms without meaning anything; ignore deltas below this.
 DEFAULT_MIN_OPS = 1000
+#: Absolute floor for the join-candidate gate.  Candidate counts are
+#: orders of magnitude smaller than total_ops (that is the point of the
+#: LSH index), so they get their own, tighter floor.
+DEFAULT_MIN_CANDIDATES = 50
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,6 +72,13 @@ class BenchRecord:
     #: the benign defaults: fully available, no verdict to gate on).
     availability: float = 1.0
     slo_verdict: str = ""
+    #: Join candidate-generation accounting (see
+    #: :mod:`repro.joinability.lshindex`): how many candidate pairs
+    #: entered the exact Jaccard verify, and how many verifies ran.
+    #: Records written before the fields existed default to 0 (not
+    #: gated).
+    join_candidates: float = 0.0
+    join_verify_ops: float = 0.0
 
     @classmethod
     def from_mapping(
@@ -89,6 +100,8 @@ class BenchRecord:
                 shed_rate=float(raw.get("shed_rate", 0.0)),
                 availability=float(raw.get("availability", 1.0)),
                 slo_verdict=str(raw.get("slo_verdict", "")),
+                join_candidates=float(raw.get("join_candidates", 0.0)),
+                join_verify_ops=float(raw.get("join_verify_ops", 0.0)),
             )
         except (KeyError, TypeError, ValueError):
             return None
@@ -225,6 +238,11 @@ class GateVerdict:
     shed_rate: float = 0.0
     availability: float = 1.0
     slo_verdict: str = ""
+    #: Join candidate accounting of the latest run (zero when the
+    #: bench never exercised the join index).
+    join_candidates: float = 0.0
+    baseline_join_candidates: float | None = None
+    join_verify_ops: float = 0.0
 
     def as_json(self) -> dict:
         return dataclasses.asdict(self)
@@ -277,6 +295,9 @@ def evaluate_gate(
             shed_rate=latest.shed_rate,
             availability=latest.availability,
             slo_verdict=latest.slo_verdict,
+            join_candidates=latest.join_candidates,
+            baseline_join_candidates=None,
+            join_verify_ops=latest.join_verify_ops,
         )
     baseline_ops = statistics.median(r.total_ops for r in prior)
     baseline_seconds = statistics.median(r.seconds for r in prior)
@@ -289,6 +310,16 @@ def evaluate_gate(
         and baseline_ops > 0
         and latest.total_ops > baseline_ops * (1.0 + threshold)
     )
+    # The candidate-count gate: the LSH index's whole value is that
+    # join.candidate_pairs stays super-linearly below all-pairs, so a
+    # creep back up is a regression even when total_ops still passes.
+    baseline_join = statistics.median(r.join_candidates for r in prior)
+    join_excess = latest.join_candidates - baseline_join
+    join_regressed = (
+        baseline_join > 0
+        and join_excess >= DEFAULT_MIN_CANDIDATES
+        and latest.join_candidates > baseline_join * (1.0 + threshold)
+    )
     if exhausted:
         regressed = True
         reason = (
@@ -300,6 +331,13 @@ def evaluate_gate(
             f"total_ops {latest.total_ops:.0f} exceeds baseline "
             f"{baseline_ops:.0f} by {excess / baseline_ops:.0%} "
             f"(threshold {threshold:.0%})"
+        )
+    elif join_regressed:
+        regressed = True
+        reason = (
+            f"join_candidates {latest.join_candidates:.0f} exceeds "
+            f"baseline {baseline_join:.0f} by "
+            f"{join_excess / baseline_join:.0%} (threshold {threshold:.0%})"
         )
     elif excess > 0:
         reason = (
@@ -327,6 +365,9 @@ def evaluate_gate(
         shed_rate=latest.shed_rate,
         availability=latest.availability,
         slo_verdict=latest.slo_verdict,
+        join_candidates=latest.join_candidates,
+        baseline_join_candidates=baseline_join,
+        join_verify_ops=latest.join_verify_ops,
     )
 
 
@@ -370,6 +411,23 @@ def render_bench_report(verdicts: list[GateVerdict]) -> str:
             f"{v.experiment:<16} {v.comparable_runs:>4} "
             f"{v.latest_ops:>12.0f} {baseline:>12} {ratio:>6}  {verdict}"
         )
+    joining = [v for v in verdicts if v.join_candidates > 0]
+    if joining:
+        lines.append("")
+        lines.append(
+            f"{'join index':<16} {'candidates':>10} {'baseline':>10} "
+            f"{'verify ops':>10}"
+        )
+        for v in joining:
+            baseline_join = (
+                f"{v.baseline_join_candidates:.0f}"
+                if v.baseline_join_candidates
+                else "-"
+            )
+            lines.append(
+                f"{v.experiment:<16} {v.join_candidates:>10.0f} "
+                f"{baseline_join:>10} {v.join_verify_ops:>10.0f}"
+            )
     serving = [v for v in verdicts if v.clients > 0]
     if serving:
         lines.append("")

@@ -70,7 +70,14 @@ from ..obs.metrics import MetricsRegistry
 from .budget import WorkMeter
 from .executor import CompletedUnit, StageStatus, compute_unit
 from .study_journal import MergeConflict, StageRecord
-from .units import SCREEN_STAGE, PlannedUnit, plan_portal_units, unit_request
+from .units import (
+    SCREEN_STAGE,
+    UNIT_STAGES,
+    PlannedUnit,
+    plan_portal_units,
+    unit_request,
+    unit_stages_for,
+)
 
 #: Worker heartbeat cadence in meter ticks (coarser than any real unit
 #: is short, finer than any straggler threshold worth setting).
@@ -96,6 +103,8 @@ def shard_fingerprint(config) -> dict:
         "scale": config.scale,
         "stage_budget": config.stage_budget,
         "max_lhs": config.max_lhs,
+        "min_unique": config.min_unique_values,
+        "join_index": config.join_index,
         "poison_rate": config.poison_rate,
         "portals": list(config.portal_codes),
     }
@@ -730,13 +739,16 @@ class _Supervisor:
 # ----------------------------------------------------------------------
 def plan_study_units(
     portals,
+    stages: tuple[str, ...] = UNIT_STAGES,
 ) -> tuple[list[PlannedUnit], dict[tuple, str]]:
     """Every per-table unit the study's portals will run, in study order.
 
     Units already present in a portal's canonical study journal are
     excluded — exactly the units the serial path will replay rather
     than recompute — and returned separately as a ``key -> status`` map
-    so the scheduler can settle dependencies on them.
+    so the scheduler can settle dependencies on them.  *stages*
+    restricts planning, e.g. to ``(screen, joinsig)`` for a pure index
+    build.
     """
     plan: list[PlannedUnit] = []
     external: dict[tuple, str] = {}
@@ -744,7 +756,7 @@ def plan_study_units(
         journal = (
             portal.executor.journal if portal.executor is not None else None
         )
-        for unit in plan_portal_units(portal.code, portal.report):
+        for unit in plan_portal_units(portal.code, portal.report, stages):
             record = (
                 journal.get(*unit.journal_key)
                 if journal is not None
@@ -757,7 +769,9 @@ def plan_study_units(
     return plan, external
 
 
-def run_pool(portals, config, obs=None) -> PoolOutcome:
+def run_pool(
+    portals, config, obs=None, stages: tuple[str, ...] | None = None
+) -> PoolOutcome:
     """Execute the study's per-table units across worker processes.
 
     *portals* is the ``code -> PortalStudy`` map of a freshly built
@@ -765,9 +779,14 @@ def run_pool(portals, config, obs=None) -> PoolOutcome:
     return, every resolved unit sits in its executor's ``precomputed``
     map awaiting lazy adoption; cancelled units (fd behind a failed
     screen) are simply absent, matching what the serial path would
-    never have computed.
+    never have computed.  *stages* defaults to exactly the stages the
+    config's analyses will run (``joinsig`` only on the LSH path);
+    precomputed units no analysis asks for are never adopted, so an
+    over-planned stage is waste, never drift.
     """
-    plan, external = plan_study_units(portals)
+    plan, external = plan_study_units(
+        portals, unit_stages_for(config) if stages is None else stages
+    )
     counters: dict[str, int] = {}
     lanes: list[WorkerLane] = []
     completed: dict[tuple[str, str, str], CompletedUnit] = {}

@@ -16,7 +16,11 @@ makes the unit set a first-class, *enumerable* plan:
 
 Only per-table stages live here.  Portal-wide stages (join pair
 search, unionability) consume the *results* of these units and always
-run in the supervising process.
+run in the supervising process — but the ``joinsig`` stage moves the
+expensive per-column half of join pair search (MinHash signature
+construction, see :mod:`repro.joinability.lshindex`) into the unit
+plan, so ``--workers N`` parallelizes the index build and the
+supervisor only merges signatures and verifies candidates.
 """
 
 from __future__ import annotations
@@ -25,6 +29,11 @@ import dataclasses
 import random
 from typing import Callable
 
+from ..joinability.lshindex import (
+    TableJoinSignatures,
+    compute_table_signatures,
+    empty_table_signatures,
+)
 from ..normalize.analysis import (
     TableNormalization,
     passes_size_filter,
@@ -34,12 +43,26 @@ from ..profiling.screen import screen_table
 from .executor import StageStatus
 
 #: Stage ids of the per-table units.  ``screen`` guards raw data
-#: volume; ``fd`` is FD discovery plus BCNF decomposition.
+#: volume; ``fd`` is FD discovery plus BCNF decomposition; ``joinsig``
+#: builds the MinHash signature shard of the join index.
 SCREEN_STAGE = "screen"
 FD_STAGE = "fd"
+JOINSIG_STAGE = "joinsig"
 
-#: Per-table stages in execution order (fd depends on screen).
-UNIT_STAGES = (SCREEN_STAGE, FD_STAGE)
+#: Per-table stages in execution order (fd and joinsig depend on
+#: screen).
+UNIT_STAGES = (SCREEN_STAGE, FD_STAGE, JOINSIG_STAGE)
+
+
+def unit_stages_for(config) -> tuple[str, ...]:
+    """The per-table stages *config*'s study will actually run.
+
+    The ``joinsig`` stage only exists on the LSH candidate path; an
+    ``allpairs`` study plans exactly the pre-index stage set.
+    """
+    if config.join_index == "lsh":
+        return UNIT_STAGES
+    return (SCREEN_STAGE, FD_STAGE)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,12 +87,13 @@ class PlannedUnit:
     def depends_on(self) -> tuple[str, str, str] | None:
         """Key of the unit that must complete OK before this one runs.
 
-        FD discovery only runs on tables the screen stage passed, so an
-        ``fd`` unit depends on its own table's ``screen`` unit; a
-        scheduler must not dispatch it earlier, and must cancel it when
-        the screen quarantines or fails the table.
+        FD discovery and signature building only run on tables the
+        screen stage passed, so ``fd`` and ``joinsig`` units depend on
+        their own table's ``screen`` unit; a scheduler must not
+        dispatch them earlier, and must cancel them when the screen
+        quarantines or fails the table.
         """
-        if self.stage == FD_STAGE:
+        if self.stage in (FD_STAGE, JOINSIG_STAGE):
             return (self.portal, SCREEN_STAGE, self.table_id)
         return None
 
@@ -86,24 +110,40 @@ class UnitRequest:
     fallback: Callable | None = None
 
 
-def plan_portal_units(portal_code: str, report) -> list[PlannedUnit]:
+def plan_portal_units(
+    portal_code: str, report, stages: tuple[str, ...] = UNIT_STAGES
+) -> list[PlannedUnit]:
     """Every per-table unit *report*'s analyses will run, in order.
 
     Mirrors the serial guarded path exactly: one ``screen`` unit per
-    cleaned table, then one ``fd`` unit per cleaned table passing the
-    paper's §4.2 size filter.  Whether an ``fd`` unit actually executes
+    cleaned table, one ``fd`` unit per cleaned table passing the
+    paper's §4.2 size filter, and one ``joinsig`` unit per cleaned
+    table (join eligibility is per *column*, so every table may
+    contribute signatures).  Whether a dependent unit actually executes
     still depends on its screen outcome (see
-    :attr:`PlannedUnit.depends_on`).
+    :attr:`PlannedUnit.depends_on`).  *stages* restricts the plan —
+    e.g. an ``allpairs`` study plans no ``joinsig`` units, and
+    ``build-index`` plans no ``fd`` units.
     """
-    units = [
-        PlannedUnit(portal_code, SCREEN_STAGE, ingested.resource_id)
-        for ingested in report.clean_tables
-    ]
-    units.extend(
-        PlannedUnit(portal_code, FD_STAGE, ingested.resource_id)
-        for ingested in report.clean_tables
-        if ingested.clean is not None and passes_size_filter(ingested.clean)
-    )
+    units: list[PlannedUnit] = []
+    if SCREEN_STAGE in stages:
+        units.extend(
+            PlannedUnit(portal_code, SCREEN_STAGE, ingested.resource_id)
+            for ingested in report.clean_tables
+        )
+    if FD_STAGE in stages:
+        units.extend(
+            PlannedUnit(portal_code, FD_STAGE, ingested.resource_id)
+            for ingested in report.clean_tables
+            if ingested.clean is not None
+            and passes_size_filter(ingested.clean)
+        )
+    if JOINSIG_STAGE in stages:
+        units.extend(
+            PlannedUnit(portal_code, JOINSIG_STAGE, ingested.resource_id)
+            for ingested in report.clean_tables
+            if ingested.clean is not None
+        )
     return units
 
 
@@ -134,5 +174,23 @@ def unit_request(planned: PlannedUnit, table, config) -> UnitRequest:
             ),
             encode=lambda c: c.to_payload(),
             decode=TableNormalization.from_payload,
+        )
+    if planned.stage == JOINSIG_STAGE:
+        return UnitRequest(
+            compute=lambda meter: compute_table_signatures(
+                table,
+                planned.table_id,
+                min_unique=config.min_unique_values,
+                seed=config.seed,
+                meter=meter,
+            ),
+            encode=lambda s: s.to_payload(),
+            decode=TableJoinSignatures.from_payload,
+            # A budget blowup mid-signature degrades to "no signatures
+            # for this table" — the pair search then skips the band
+            # filter for its columns (slower, identical answers) —
+            # rather than quarantining a perfectly servable table.
+            on_budget=StageStatus.TRUNCATED,
+            fallback=lambda: empty_table_signatures(planned.table_id),
         )
     raise ValueError(f"unknown per-table stage: {planned.stage!r}")

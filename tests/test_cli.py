@@ -194,6 +194,47 @@ class TestParser:
         assert args.as_json is True
         assert args.bench_root == str(tmp_path)
 
+    def test_join_index_defaults_to_lsh(self):
+        config = config_from_args(
+            build_parser().parse_args(["run", "table01"])
+        )
+        assert config.join_index == "lsh"
+        assert config.join_index_dir is None
+
+    def test_join_index_flags_reach_config(self, tmp_path):
+        config = config_from_args(
+            build_parser().parse_args(
+                [
+                    "run", "table06",
+                    "--join-index", "allpairs",
+                    "--join-index-dir", str(tmp_path),
+                ]
+            )
+        )
+        assert config.join_index == "allpairs"
+        assert config.join_index_dir == str(tmp_path)
+
+    def test_build_index_command_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "build-index",
+                "--out", str(tmp_path),
+                "--scale", "0.08",
+                "--seed", "2",
+                "--thresholds", "0.9,0.7",
+                "--workers", "4",
+                "--chaos-kill-rate", "0.2",
+                "--verify",
+                "--json",
+            ]
+        )
+        assert args.command == "build-index"
+        assert args.out == str(tmp_path)
+        assert args.thresholds == "0.9,0.7"
+        assert args.workers == 4
+        assert args.chaos_kill_rate == 0.2
+        assert args.verify is True
+
 
 class TestMain:
     def test_list_prints_ids(self, capsys):
@@ -282,6 +323,81 @@ class TestMain:
         empty.write_text("")
         assert main(["stats", str(empty)]) == 0
         assert "no spans" in capsys.readouterr().out
+
+
+class TestBuildIndex:
+    def test_build_verify_and_bench_record(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "idx"
+        code = main(
+            [
+                "-q",
+                "build-index",
+                "--out", str(out),
+                "--scale", "0.08",
+                "--seed", "2",
+                "--thresholds", "0.9,0.7",
+                "--verify",
+                "--json",
+                "--bench-root", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mismatches"] == 0
+        assert doc["verified"] is True
+        # The candidate drop the index exists for.
+        assert doc["lsh_candidates"] * 5 <= doc["exact_candidates"]
+        # 4 portals x 2 thresholds, all on disk.
+        assert len(doc["indexes"]) == 8
+        assert len(sorted(out.glob("join-*.json"))) == 8
+        record = json.loads(
+            (tmp_path / "BENCH_join.json").read_text()
+        )[-1]
+        assert record["join_candidates"] == doc["lsh_candidates"]
+        assert record["total_ops"] > 0
+
+    def test_bad_thresholds_rejected(self, capsys, tmp_path):
+        code = main(
+            [
+                "-q",
+                "build-index",
+                "--out", str(tmp_path),
+                "--thresholds", "0.9,nope",
+            ]
+        )
+        assert code == 2
+
+    def test_loadtest_serves_built_index(self, capsys, tmp_path):
+        out = tmp_path / "idx"
+        assert (
+            main(
+                [
+                    "-q", "build-index",
+                    "--out", str(out),
+                    "--scale", "0.08", "--seed", "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        clear_cache()
+        code = main(
+            [
+                "loadtest",
+                "--scale", "0.08",
+                "--seed", "2",
+                "--mix", "smoke",
+                "--join-index-dir", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # The lake loaded every portal's pair set from disk.
+        assert "lake-join-index" in captured.err
+        assert "status=hit" in captured.err
+        assert "SLO" in captured.out or "outcome" in captured.out
 
 
 class TestDriftCommands:

@@ -51,6 +51,37 @@ class TestMinHash:
         signature = hasher.signature([])
         assert len(signature) == 16
 
+    def test_coefficients_derived_from_sha256_stream(self):
+        """Pinned values: the hasher must be stable across Python
+        versions (persisted index signatures depend on it), so the
+        coefficients come from sha256, not ``random.Random``."""
+        import hashlib
+
+        from repro.joinability.minhash import _MERSENNE
+
+        hasher = MinHasher.create(num_perm=4, seed=9)
+        for i, (a, b) in enumerate(hasher.coefficients):
+            digest = hashlib.sha256(f"minhash:9:{i}".encode()).digest()
+            assert a == int.from_bytes(digest[:16], "big") % (_MERSENNE - 1) + 1
+            assert b == int.from_bytes(digest[16:], "big") % _MERSENNE
+
+    def test_legacy_hasher_matches_random_module(self):
+        """The compat shim reproduces the pre-sha256 coefficient draw."""
+        import random
+
+        from repro.joinability.minhash import _MERSENNE
+
+        rng = random.Random(5)
+        expected = tuple(
+            (rng.randrange(1, _MERSENNE), rng.randrange(0, _MERSENNE))
+            for _ in range(8)
+        )
+        legacy = MinHasher.create_legacy(num_perm=8, seed=5)
+        assert legacy.coefficients == expected
+        assert legacy.coefficients != MinHasher.create(
+            num_perm=8, seed=5
+        ).coefficients
+
 
 class TestLshIndex:
     def test_near_duplicates_bucketed_together(self):

@@ -163,6 +163,60 @@ class TestGate:
         assert verdict.baseline_ops is None  # scale changed; no baseline
         assert not verdict.regressed
 
+    def _join_records(self, candidates_list, total_ops=100_000):
+        return [
+            BenchRecord(
+                "join", 1.0, 7, 1.0, total_ops, i,
+                join_candidates=candidates,
+                join_verify_ops=candidates,
+            )
+            for i, candidates in enumerate(candidates_list)
+        ]
+
+    def test_candidate_creep_regresses_even_with_flat_ops(self):
+        # total_ops flat, but candidates quadrupled: the LSH filter
+        # stopped filtering and the gate must say so.
+        verdict = evaluate_gate(
+            self._join_records([2_000, 2_100, 1_900, 8_000])
+        )
+        assert verdict.regressed
+        assert "join_candidates" in verdict.reason
+        assert verdict.baseline_join_candidates == pytest.approx(2_000)
+
+    def test_stable_candidates_pass(self):
+        verdict = evaluate_gate(
+            self._join_records([2_000, 2_100, 1_900, 2_050])
+        )
+        assert not verdict.regressed
+        assert verdict.join_candidates == 2_050
+
+    def test_candidate_floor_ignores_tiny_jitter(self):
+        # 3x relative, but only 20 candidates absolute — below the
+        # DEFAULT_MIN_CANDIDATES floor, too small to mean anything.
+        verdict = evaluate_gate(self._join_records([10, 10, 30]))
+        assert not verdict.regressed
+
+    def test_records_without_join_fields_never_gate_on_them(self):
+        # Pre-index histories parse with join_candidates=0 and a zero
+        # baseline disables the candidate gate entirely.
+        verdict = evaluate_gate(self._records([100_000, 100_000, 110_000]))
+        assert not verdict.regressed
+        assert verdict.join_candidates == 0.0
+
+    def test_join_fields_parse_tolerantly(self):
+        parsed = BenchRecord.from_mapping(
+            record(5_000), experiment="table05", index=0
+        )
+        assert parsed.join_candidates == 0.0
+        assert parsed.join_verify_ops == 0.0
+        enriched = BenchRecord.from_mapping(
+            record(5_000) | {"join_candidates": 42, "join_verify_ops": 40},
+            experiment="table05",
+            index=0,
+        )
+        assert enriched.join_candidates == 42.0
+        assert enriched.join_verify_ops == 40.0
+
 
 class TestGateAllAndReport:
     def test_gate_all_scans_root(self, tmp_path):

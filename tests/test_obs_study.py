@@ -220,7 +220,8 @@ class TestJournalReplay:
         replayed_outcomes = [o for o in outcomes if o.replayed]
         assert replayed_outcomes
         assert all(
-            o.stage in ("screen", "fd") for o in replayed_outcomes
+            o.stage in ("screen", "fd", "joinsig")
+            for o in replayed_outcomes
         )
         trace = load_trace(tmp_path / "second.jsonl")
         assert trace.valid, trace.problems

@@ -131,6 +131,44 @@ class TestPlan:
             len(plan_portal_units(p.code, p.report)) for p in study
         )
 
+    def test_joinsig_unit_per_clean_table(self, study):
+        from repro.resilience.units import JOINSIG_STAGE
+
+        for portal in study:
+            units = plan_portal_units(portal.code, portal.report)
+            joinsigs = [u for u in units if u.stage == JOINSIG_STAGE]
+            assert {u.table_id for u in joinsigs} == {
+                t.resource_id
+                for t in portal.report.clean_tables
+                if t.clean is not None
+            }
+            # Signature building waits for (and dies with) the screen.
+            for unit in joinsigs:
+                assert unit.depends_on == (
+                    portal.code,
+                    SCREEN_STAGE,
+                    unit.table_id,
+                )
+
+    def test_allpairs_config_plans_no_joinsig_units(self, study):
+        from repro.resilience.units import (
+            JOINSIG_STAGE,
+            UNIT_STAGES,
+            unit_stages_for,
+        )
+
+        lsh = StudyConfig(scale=SCALE, seed=SEED)
+        allpairs = StudyConfig(
+            scale=SCALE, seed=SEED, join_index="allpairs"
+        )
+        assert unit_stages_for(lsh) == UNIT_STAGES
+        assert JOINSIG_STAGE not in unit_stages_for(allpairs)
+        portal = next(iter(study))
+        units = plan_portal_units(
+            portal.code, portal.report, unit_stages_for(allpairs)
+        )
+        assert all(u.stage != JOINSIG_STAGE for u in units)
+
 
 class TestEquivalence:
     def test_pooled_trace_diffs_empty_against_serial(

@@ -1,0 +1,131 @@
+"""Tests for the lake's persisted-join-index loading path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study
+from repro.obs.metrics import MetricsRegistry
+from repro.search.indexstore import JoinIndexStore
+from repro.search.lake import DataLake
+
+SCALE = 0.08
+SEED = 2
+
+
+def build_study(index_dir=None):
+    return Study.build(
+        StudyConfig(
+            scale=SCALE,
+            seed=SEED,
+            join_index_dir=str(index_dir) if index_dir else None,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def index_cycle(tmp_path_factory):
+    """Two equal-seed studies sharing one index directory.
+
+    The first lake misses everywhere and writes the index through; the
+    second (fresh study, same config) must hit on every portal.
+    """
+    index_dir = tmp_path_factory.mktemp("join-index")
+    first_metrics, second_metrics = MetricsRegistry(), MetricsRegistry()
+    first_study = build_study(index_dir)
+    first = DataLake(first_study, metrics=first_metrics)
+    second_study = build_study(index_dir)
+    second = DataLake(second_study, metrics=second_metrics)
+    return {
+        "index_dir": index_dir,
+        "first": first,
+        "first_metrics": first_metrics,
+        "second": second,
+        "second_metrics": second_metrics,
+        "second_study": second_study,
+    }
+
+
+class TestWriteThrough:
+    def test_first_lake_misses_and_persists(self, index_cycle):
+        first = index_cycle["first"]
+        assert first.index_loads == {"miss": 4}
+        files = sorted(
+            p.name for p in index_cycle["index_dir"].glob("join-*.json")
+        )
+        assert len(files) == 4
+        assert (
+            index_cycle["first_metrics"]
+            .snapshot()["lake.index.miss"]["value"]
+            == 4
+        )
+
+    def test_second_lake_hits(self, index_cycle):
+        second = index_cycle["second"]
+        assert second.index_loads == {"hit": 4}
+        assert (
+            index_cycle["second_metrics"]
+            .snapshot()["lake.index.hit"]["value"]
+            == 4
+        )
+
+    def test_hit_adopts_into_portal_cache(self, index_cycle):
+        """A hit means joinability() never runs the pair search."""
+        for portal in index_cycle["second_study"]:
+            assert portal.peek_joinability() is not None
+
+    def test_suggestions_identical_across_load_paths(self, index_cycle):
+        first, second = index_cycle["first"], index_cycle["second"]
+        for portal in index_cycle["second_study"]:
+            analysis = portal.joinability()
+            if not analysis.pairs:
+                continue
+            left_table = analysis.profiles[analysis.pairs[0].left].table_index
+            resource = analysis.tables[left_table].resource_id
+            assert [
+                (s.partner_resource, s.jaccard, s.score)
+                for s in first.suggest_joins(portal.code, resource)
+            ] == [
+                (s.partner_resource, s.jaccard, s.score)
+                for s in second.suggest_joins(portal.code, resource)
+            ]
+
+    def test_suggest_joins_memoized(self, index_cycle):
+        second = index_cycle["second"]
+        study = index_cycle["second_study"]
+        portal = next(iter(study))
+        analysis = portal.joinability()
+        resource = analysis.tables[0].resource_id
+        once = second.suggest_joins(portal.code, resource)
+        again = second.suggest_joins(portal.code, resource)
+        assert [s.partner_resource for s in once] == [
+            s.partner_resource for s in again
+        ]
+
+
+class TestStaleness:
+    def test_foreign_fingerprint_is_stale_and_healed(self, tmp_path):
+        index_dir = tmp_path / "idx"
+        study = build_study(index_dir)
+        DataLake(study, metrics=MetricsRegistry())  # writes the index
+        store = JoinIndexStore(index_dir)
+        for portal_code in study.config.portal_codes:
+            path = store.path(portal_code, study.config.jaccard_threshold)
+            document = json.loads(path.read_text(encoding="utf-8"))
+            document["fingerprint"]["seed"] = SEED + 99
+            path.write_text(json.dumps(document), encoding="utf-8")
+        metrics = MetricsRegistry()
+        fresh = DataLake(build_study(index_dir), metrics=metrics)
+        assert fresh.index_loads == {"stale": 4}
+        assert metrics.snapshot()["lake.index.stale"]["value"] == 4
+        # Write-through healed the artifacts: next lake hits again.
+        healed = DataLake(build_study(index_dir), metrics=MetricsRegistry())
+        assert healed.index_loads == {"hit": 4}
+
+    def test_no_store_no_tally(self):
+        study = Study.build(StudyConfig(scale=SCALE, seed=SEED))
+        lake = DataLake(study, metrics=MetricsRegistry())
+        assert lake.index_loads == {}
