@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench smoke-trace smoke-shard smoke-serve smoke-index experiments fidelity
+.PHONY: test lint bench-smoke bench smoke-trace smoke-shard smoke-serve smoke-index smoke-profile experiments fidelity
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -86,3 +86,27 @@ smoke-index:
 	$(PYTHON) -m repro.experiments.cli -q loadtest \
 		--scale 0.08 --seed 2 --mix smoke --join-index-dir smoke-join-index \
 		--report smoke-index-load.json --trace-out smoke-index-serve.jsonl
+
+# The profiler determinism gate CI runs: the same guarded run profiled
+# serially and profiled under a pooled chaos schedule (seeded worker
+# kills) must write byte-identical profile artifacts, and a second
+# chaos run must reproduce the first byte for byte.  The report and
+# the diff gate must both parse the artifact cleanly.
+smoke-profile:
+	$(PYTHON) -m repro.experiments.cli -q run table05 \
+		--scale 0.08 --seed 2 --stage-budget 40000 \
+		--profile-out smoke-profile-serial.json \
+		--trace-out smoke-profile-trace.jsonl
+	$(PYTHON) -m repro.experiments.cli -q run table05 \
+		--scale 0.08 --seed 2 --stage-budget 40000 \
+		--workers 4 --chaos-kill-rate 0.2 \
+		--profile-out smoke-profile-chaos-a.json
+	$(PYTHON) -m repro.experiments.cli -q run table05 \
+		--scale 0.08 --seed 2 --stage-budget 40000 \
+		--workers 4 --chaos-kill-rate 0.2 \
+		--profile-out smoke-profile-chaos-b.json
+	cmp smoke-profile-serial.json smoke-profile-chaos-a.json
+	cmp smoke-profile-chaos-a.json smoke-profile-chaos-b.json
+	$(PYTHON) -m repro.experiments.cli profile-report smoke-profile-serial.json
+	$(PYTHON) -m repro.experiments.cli -q profile-diff \
+		smoke-profile-serial.json smoke-profile-chaos-a.json

@@ -19,6 +19,7 @@ from repro.core.results import ExperimentResult
 from repro.core.study import Study
 from repro.experiments.registry import run_experiment
 from repro.obs import baseline
+from repro.obs import profile as obsprofile
 from repro.obs.metrics import Histogram
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
@@ -44,6 +45,21 @@ def _counter_values(study: Study) -> dict[str, float]:
         for name, snap in obs.metrics.snapshot().items()
         if not isinstance(obs.metrics.get(name), Histogram)
     }
+
+
+#: Per-frame hotspot entries recorded with each bench (see DESIGN.md
+#: §15); enough to name the dominant engine frames without bloating
+#: the history file.
+HOTSPOT_TOP = 10
+
+
+def _profile_frames(study: Study) -> dict[str, int]:
+    """The observer profiler's frame snapshot (empty if unprofiled)."""
+    obs = getattr(study, "obs", None)
+    profiler = getattr(obs, "profiler", None)
+    if profiler is None:
+        return {}
+    return profiler.snapshot()
 
 
 def _benchmark_seconds(benchmark, fallback: float) -> float:
@@ -92,17 +108,25 @@ def run_and_record(
     the cached result record zero.
     """
     before = _counter_values(study)
+    frames_before = _profile_frames(study)
     started = time.perf_counter()
     result = benchmark.pedantic(
         run_experiment, args=(experiment_id, study), rounds=1, iterations=1
     )
     elapsed = time.perf_counter() - started
     after = _counter_values(study)
+    frames_after = _profile_frames(study)
     ops = {
         name: after[name] - before.get(name, 0)
         for name in sorted(after)
         if after[name] != before.get(name, 0)
     }
+    frame_deltas = {
+        path: frames_after[path] - frames_before.get(path, 0)
+        for path in frames_after
+        if frames_after[path] != frames_before.get(path, 0)
+    }
+    hotspot_list = obsprofile.hotspots(frame_deltas, top=HOTSPOT_TOP)
     history_path = _append_bench_record(
         experiment_id,
         {
@@ -117,6 +141,9 @@ def run_and_record(
             ),
             "join_candidates": ops.get("join.candidate_pairs", 0),
             "join_verify_ops": ops.get("ops.join.jaccard", 0),
+            "hotspots": [
+                [path, ticks] for path, ticks in hotspot_list
+            ],
         },
     )
     _check_regression_gate(history_path)

@@ -48,8 +48,11 @@ def study() -> Study:
     """The shared benchmark corpus (built once per session).
 
     A metrics-only observer (no trace file) rides along so the bench
-    harness can attribute deterministic op counts to each experiment.
+    harness can attribute deterministic op counts to each experiment;
+    its in-memory profiler (no artifact) lets the harness record each
+    bench's hottest frame paths alongside the op deltas.
     """
     return Study.build(
-        StudyConfig(scale=BENCH_SCALE, seed=BENCH_SEED), obs=Observer()
+        StudyConfig(scale=BENCH_SCALE, seed=BENCH_SEED),
+        obs=Observer(profile=True),
     )

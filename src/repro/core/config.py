@@ -65,6 +65,15 @@ class StudyConfig:
     #: Attach wall-clock milliseconds to trace spans.  Off by default so
     #: that equal-seed runs produce byte-identical trace files.
     wall_clock: bool = False
+    #: Path of the deterministic profile artifact (see
+    #: :mod:`repro.obs.profile`); None disables profiling entirely —
+    #: zero overhead, byte-identical study outputs, same contract as
+    #: ``trace_out``.
+    profile_out: str | None = None
+    #: Profiler flush granularity in WorkMeter ticks.  Attribution is
+    #: exact at any value (see the sampling rule in
+    #: :mod:`repro.obs.profile`); the knob only bounds unflushed state.
+    profile_sample: int = 1_000
     #: Number of analysis worker processes (see
     #: :mod:`repro.resilience.pool`).  1 (the default) runs everything
     #: in-process on the pre-PR serial path, byte for byte.
@@ -129,6 +138,10 @@ class StudyConfig:
             raise ValueError(
                 f"chaos_kill_rate must be in [0, 1], got "
                 f"{self.chaos_kill_rate}"
+            )
+        if self.profile_sample < 1:
+            raise ValueError(
+                f"profile_sample must be >= 1, got {self.profile_sample}"
             )
         if self.straggler_ticks is not None and self.straggler_ticks < 1:
             raise ValueError(

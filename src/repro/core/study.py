@@ -17,6 +17,7 @@ from ..generator.portal_gen import GeneratedPortal, generate_portal
 from ..generator.profiles import PROFILES_BY_CODE, poison_profile
 from ..ingest.pipeline import IngestedTable, IngestReport, ingest_portal
 from ..obs import Observer, maybe_span
+from ..obs.profile import prof_scope
 from ..portal.ckan import CkanApi
 from ..portal.http import HttpClient
 from ..resilience import (
@@ -71,11 +72,14 @@ class PortalStudy:
 
         Unlimited meters never raise, so metering an unguarded stage
         changes nothing about its result — it only attributes the
-        operation count to the enclosing stage span.
+        operation count to the enclosing stage span (and, when the
+        observer profiles, to the active frame path).
         """
         if self.obs is None:
             return None
-        return WorkMeter(None, metrics=self.obs.metrics)
+        return WorkMeter(
+            None, metrics=self.obs.metrics, profiler=self.obs.profiler
+        )
 
     # ------------------------------------------------------------------
     # guarded screening
@@ -152,16 +156,19 @@ class PortalStudy:
                         seed=self.config.seed,
                     )
                     cache: dict = {}
-                    for table_index, ingested in enumerate(tables):
-                        signatures[table_index] = compute_table_signatures(
-                            ingested.clean,
-                            ingested.resource_id,
-                            min_unique=self.config.min_unique_values,
-                            seed=self.config.seed,
-                            meter=meter,
-                            hasher=hasher,
-                            cache=cache,
-                        )
+                    with prof_scope(meter, self.code, "joinsig"):
+                        for table_index, ingested in enumerate(tables):
+                            signatures[table_index] = (
+                                compute_table_signatures(
+                                    ingested.clean,
+                                    ingested.resource_id,
+                                    min_unique=self.config.min_unique_values,
+                                    seed=self.config.seed,
+                                    meter=meter,
+                                    hasher=hasher,
+                                    cache=cache,
+                                )
+                            )
                     if span is not None and meter is not None:
                         span.add_ops(meter.spent)
                 else:
@@ -243,7 +250,8 @@ class PortalStudy:
 
                 if self.executor is None:
                     meter = self._stage_meter()
-                    self._cache[key] = analyze(meter)
+                    with prof_scope(meter, self.code, f"pairs@{threshold}"):
+                        self._cache[key] = analyze(meter)
                     if span is not None and meter is not None:
                         span.add_ops(meter.spent)
                 else:
@@ -345,9 +353,10 @@ class PortalStudy:
                 tables = self.screened_tables()
                 if self.executor is None:
                     meter = self._stage_meter()
-                    self._cache["unionability"] = analyze_unionability(
-                        self.code, tables, meter=meter
-                    )
+                    with prof_scope(meter, self.code, "union"):
+                        self._cache["unionability"] = analyze_unionability(
+                            self.code, tables, meter=meter
+                        )
                     if span is not None:
                         span.add_ops(meter.spent)
                 else:
@@ -424,13 +433,14 @@ class PortalStudy:
 
         if self.executor is None:
             meter = self._stage_meter()
-            self._cache["normalization"] = normalization_stats(
-                self.code,
-                self.filtered_tables(),
-                seed=self.config.seed,
-                max_lhs=self.config.max_lhs,
-                meter=meter,
-            )
+            with prof_scope(meter, self.code, "fd"):
+                self._cache["normalization"] = normalization_stats(
+                    self.code,
+                    self.filtered_tables(),
+                    seed=self.config.seed,
+                    max_lhs=self.config.max_lhs,
+                    meter=meter,
+                )
             if span is not None:
                 span.add_ops(meter.spent)
             return
@@ -524,6 +534,12 @@ class Study:
                 scale=config.scale,
                 portals=",".join(config.portal_codes),
             )
+            if obs.profiler is not None:
+                # The root frame of every profiled path.  Deliberately
+                # never popped: it scopes the whole study, and pooled
+                # workers seed their per-unit profilers with the same
+                # root so serial and sharded profiles merge identically.
+                obs.profiler.push("study")
         portals: dict[str, PortalStudy] = {}
         for code in config.portal_codes:
             with maybe_span(obs, "build", kind="portal", portal=code):

@@ -7,6 +7,9 @@ Examples::
     ogdp-repro run all --scale 0.5 --seed 11
     ogdp-repro run table03 --trace-out trace.jsonl
     ogdp-repro stats trace.jsonl --top 5
+    ogdp-repro run all --profile-out profile.json
+    ogdp-repro profile-report profile.json --top 15
+    ogdp-repro profile-diff baseline.json candidate.json
     ogdp-repro fidelity --json --out fidelity.json
     ogdp-repro diff runs/a runs/b
     ogdp-repro bench-report
@@ -172,6 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write a hierarchical span trace (JSONL) of the run to "
             "this file; inspect it with 'ogdp-repro stats'"
+        ),
+    )
+    run_parser.add_argument(
+        "--profile-out",
+        default=None,
+        help=(
+            "write the deterministic tick-attribution profile (JSON) "
+            "to this file; inspect it with 'ogdp-repro profile-report'"
+        ),
+    )
+    run_parser.add_argument(
+        "--profile-sample",
+        type=_positive_int,
+        default=1_000,
+        help=(
+            "flush pending ticks to the profile at least every N ticks "
+            "(default 1000; attribution is exact at any value)"
         ),
     )
     run_parser.add_argument(
@@ -461,6 +481,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     load_parser.add_argument(
+        "--profile-out",
+        default=None,
+        help=(
+            "write the handler-attribution profile (JSON) of the load "
+            "run to this file ('serve;<family>;...' frames)"
+        ),
+    )
+    load_parser.add_argument(
         "--load-seed",
         type=int,
         default=None,
@@ -518,6 +546,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero when the SLO verdict is EXHAUSTED",
     )
+    profile_report_parser = subparsers.add_parser(
+        "profile-report",
+        help="flame-attribution hotspot report from a profile or trace",
+    )
+    profile_report_parser.add_argument(
+        "source",
+        help=(
+            "a profile written by 'run --profile-out' or a trace "
+            "written by 'run --trace-out' (span ops are folded into "
+            "coarse frames)"
+        ),
+    )
+    profile_report_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON document instead of text",
+    )
+    profile_report_parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=20,
+        help="how many of the hottest frame paths to list (default 20)",
+    )
+    profile_report_parser.add_argument(
+        "--collapsed",
+        default=None,
+        help=(
+            "also write the profile in collapsed-stack format "
+            "('path ticks' per line) for flamegraph.pl / speedscope"
+        ),
+    )
+    profile_diff_parser = subparsers.add_parser(
+        "profile-diff",
+        help="per-frame tick deltas between two profiles (regression gate)",
+    )
+    profile_diff_parser.add_argument(
+        "run_a", help="baseline: a profile artifact or a trace file"
+    )
+    profile_diff_parser.add_argument(
+        "run_b", help="candidate: a profile artifact or a trace file"
+    )
+    profile_diff_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "relative per-frame tick growth that counts as a "
+            "regression (default 0.25)"
+        ),
+    )
+    profile_diff_parser.add_argument(
+        "--min-ticks",
+        type=_positive_int,
+        default=None,
+        help=(
+            "frames below this many ticks on both sides never trip "
+            "the gate (default 1000)"
+        ),
+    )
+    profile_diff_parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable JSON document instead of text",
+    )
+    profile_diff_parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=20,
+        help="how many of the largest deltas to list (default 20)",
+    )
     return parser
 
 
@@ -533,6 +633,8 @@ def config_from_args(args: argparse.Namespace) -> StudyConfig:
         quarantine_dir=args.quarantine_dir,
         poison_rate=args.poison_rate,
         trace_out=args.trace_out,
+        profile_out=args.profile_out,
+        profile_sample=args.profile_sample,
         wall_clock=args.wall_clock,
         workers=args.workers,
         unit_retries=args.unit_retries,
@@ -938,6 +1040,88 @@ def _run_serve_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile_report(args: argparse.Namespace) -> int:
+    """The ``profile-report`` subcommand: hotspot tables from a profile."""
+    import json
+    import pathlib
+
+    from ..obs.profile import (
+        collapsed_lines,
+        load_any_profile,
+        profile_report_json,
+        render_profile_report,
+    )
+
+    path = pathlib.Path(args.source)
+    if not path.exists():
+        get_log().error("profile-missing", path=str(path))
+        return 2
+    try:
+        doc = load_any_profile(path)
+    except (OSError, ValueError) as exc:
+        get_log().error(
+            "profile-unreadable", path=str(path), message=str(exc)
+        )
+        return 2
+    if args.collapsed is not None:
+        pathlib.Path(args.collapsed).write_text(
+            "\n".join(collapsed_lines(doc["frames"])) + "\n",
+            encoding="utf-8",
+        )
+        get_log().info("collapsed-written", path=args.collapsed)
+    if args.as_json:
+        print(json.dumps(profile_report_json(doc, top=args.top),
+                         sort_keys=True))
+    else:
+        print(render_profile_report(doc, top=args.top))
+    return 0
+
+
+def _run_profile_diff(args: argparse.Namespace) -> int:
+    """The ``profile-diff`` subcommand: 0 = clean, 1 = regressed, 2 = bad."""
+    import json
+    import pathlib
+
+    from ..obs.profile import (
+        DEFAULT_DIFF_THRESHOLD,
+        DEFAULT_MIN_TICKS,
+        diff_profiles,
+        load_any_profile,
+        render_profile_diff,
+    )
+
+    docs = []
+    for source in (args.run_a, args.run_b):
+        path = pathlib.Path(source)
+        if not path.exists():
+            get_log().error("profile-missing", path=str(path))
+            return 2
+        try:
+            docs.append(load_any_profile(path))
+        except (OSError, ValueError) as exc:
+            get_log().error(
+                "profile-unreadable", path=str(path), message=str(exc)
+            )
+            return 2
+    diff = diff_profiles(
+        docs[0],
+        docs[1],
+        threshold=(
+            DEFAULT_DIFF_THRESHOLD
+            if args.threshold is None
+            else args.threshold
+        ),
+        min_ticks=(
+            DEFAULT_MIN_TICKS if args.min_ticks is None else args.min_ticks
+        ),
+    )
+    if args.as_json:
+        print(json.dumps(diff, sort_keys=True))
+    else:
+        print(render_profile_diff(diff, top=args.top))
+    return 1 if diff["regressed"] else 0
+
+
 def _run_loadtest(args: argparse.Namespace) -> int:
     """The ``loadtest`` subcommand: 0 = invariants hold, 1 = violated."""
     import dataclasses
@@ -966,10 +1150,17 @@ def _run_loadtest(args: argparse.Namespace) -> int:
         )
     )
     started = time.perf_counter()
-    report = loadgen.run_load(study, config, trace_out=args.trace_out)
+    report = loadgen.run_load(
+        study,
+        config,
+        trace_out=args.trace_out,
+        profile_out=args.profile_out,
+    )
     seconds = time.perf_counter() - started
     if args.trace_out is not None:
         get_log().info("serve-trace-written", path=args.trace_out)
+    if args.profile_out is not None:
+        get_log().info("profile-written", path=args.profile_out)
     if args.report is not None:
         pathlib.Path(args.report).write_text(
             loadgen.report_to_json(report), encoding="utf-8"
@@ -1017,6 +1208,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_loadtest(args)
     if args.command == "serve-report":
         return _run_serve_report(args)
+    if args.command == "profile-report":
+        return _run_profile_report(args)
+    if args.command == "profile-diff":
+        return _run_profile_diff(args)
     config = config_from_args(args)
     study = get_study(config=config)
     try:
@@ -1040,6 +1235,8 @@ def main(argv: list[str] | None = None) -> int:
         study.close()
         if config.trace_out is not None:
             get_log().info("trace-written", path=config.trace_out)
+        if config.profile_out is not None:
+            get_log().info("profile-written", path=config.profile_out)
 
 
 def _entry() -> int:

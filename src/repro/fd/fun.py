@@ -20,6 +20,7 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..dataframe import Table
+from ..obs.profile import prof_scope
 from ..resilience.budget import BudgetExceeded, WorkMeter
 from .model import FD, FDSet
 from .partitions import Labels, cardinality, encode_columns, refine, refined_cardinality
@@ -61,39 +62,69 @@ def discover_fds(
 
     all_encoded = encode_columns(table)
     encoded = [all_encoded[p] for p in positions]
-    n_attrs = len(names)
 
     # FDs found at the level in progress; committed to ``fds`` only when
     # the whole level completes, so a budget blowup mid-level truncates
     # at the last completed level instead of an arbitrary lattice node.
     pending: list[FD] = []
     try:
-        # Level 1 ----------------------------------------------------
-        # labels/cards per free set; closures accumulate every RHS known
-        # to be determined by the set or any subset (minimality checks).
-        labels: dict[frozenset[int], Labels] = {}
-        cards: dict[frozenset[int], int] = {}
-        closures: dict[frozenset[int], set[int]] = {}
-        free_level: list[frozenset[int]] = []
+        with prof_scope(meter, "fun"):
+            pending = _discover_fun(
+                fds, names, encoded, n_rows, max_lhs, meter
+            )
+    except BudgetExceeded:
+        fds.truncated = True
 
+    return fds
+
+
+def _discover_fun(
+    fds: FDSet,
+    names: list[str],
+    encoded: list[Labels],
+    n_rows: int,
+    max_lhs: int,
+    meter: WorkMeter | None,
+) -> list[FD]:
+    """The lattice walk of :func:`discover_fds` (inside the ``fun`` frame).
+
+    Profiler frames follow the lattice structure — one ``levelN`` frame
+    per level, the partition-kernel work nested under ``dataframe``
+    frames naming the engine primitive (the ROADMAP item-5 target
+    list), e.g. ``fun;level2;dataframe;refined_cardinality``.
+    """
+    pending: list[FD] = []
+    n_attrs = len(names)
+    # Level 1 ----------------------------------------------------
+    # labels/cards per free set; closures accumulate every RHS known
+    # to be determined by the set or any subset (minimality checks).
+    labels: dict[frozenset[int], Labels] = {}
+    cards: dict[frozenset[int], int] = {}
+    closures: dict[frozenset[int], set[int]] = {}
+    free_level: list[frozenset[int]] = []
+
+    with prof_scope(meter, "level1"):
         constant_attrs: set[int] = set()
-        for attr in range(n_attrs):
-            if meter is not None:
-                meter.tick(n_rows, op="fd.cardinality")
-            card = cardinality(encoded[attr])
-            single = frozenset((attr,))
-            cards[single] = card
-            if card == n_rows:
-                # Single-column candidate key: all FDs from it are trivial.
-                continue
-            if card <= 1:
-                # Constant column: determined by the empty set; emit the
-                # empty-LHS FD and keep it out of larger LHS exploration.
-                constant_attrs.add(attr)
-                continue
-            labels[single] = encoded[attr]
-            closures[single] = {attr}
-            free_level.append(single)
+        with prof_scope(meter, "dataframe", "cardinality"):
+            for attr in range(n_attrs):
+                if meter is not None:
+                    meter.tick(n_rows, op="fd.cardinality")
+                card = cardinality(encoded[attr])
+                single = frozenset((attr,))
+                cards[single] = card
+                if card == n_rows:
+                    # Single-column candidate key: all FDs from it are
+                    # trivial.
+                    continue
+                if card <= 1:
+                    # Constant column: determined by the empty set; emit
+                    # the empty-LHS FD and keep it out of larger LHS
+                    # exploration.
+                    constant_attrs.add(attr)
+                    continue
+                labels[single] = encoded[attr]
+                closures[single] = {attr}
+                free_level.append(single)
 
         for attr in sorted(constant_attrs):
             pending.append(FD(frozenset(), names[attr]))
@@ -102,29 +133,31 @@ def discover_fds(
             meter.event("fd.level1.nodes", len(free_level))
 
         # Check level-1 FDs: X={a} -> b.
-        for single in free_level:
-            (attr,) = tuple(single)
-            closure = closures[single]
-            for rhs in range(n_attrs):
-                if rhs == attr or rhs in constant_attrs:
-                    continue
-                if meter is not None:
-                    meter.tick(n_rows, op="fd.refine")
-                if refined_cardinality(labels[single], encoded[rhs]) == cards[single]:
-                    closure.add(rhs)
-                    pending.append(FD(frozenset((names[attr],)), names[rhs]))
-        _commit(fds, pending)
+        with prof_scope(meter, "dataframe", "refined_cardinality"):
+            for single in free_level:
+                (attr,) = tuple(single)
+                closure = closures[single]
+                for rhs in range(n_attrs):
+                    if rhs == attr or rhs in constant_attrs:
+                        continue
+                    if meter is not None:
+                        meter.tick(n_rows, op="fd.refine")
+                    if refined_cardinality(labels[single], encoded[rhs]) == cards[single]:
+                        closure.add(rhs)
+                        pending.append(FD(frozenset((names[attr],)), names[rhs]))
+    _commit(fds, pending)
 
-        # Levels 2..max_lhs ------------------------------------------
-        current_free = free_level
-        for level in range(2, max_lhs + 1):
-            if not current_free:
-                break
-            candidates = _generate_candidates(current_free, level)
-            if meter is not None:
-                meter.event(f"fd.level{level}.nodes", len(candidates))
-            next_free: list[frozenset[int]] = []
-            next_labels: dict[frozenset[int], Labels] = {}
+    # Levels 2..max_lhs ------------------------------------------
+    current_free = free_level
+    for level in range(2, max_lhs + 1):
+        if not current_free:
+            break
+        candidates = _generate_candidates(current_free, level)
+        if meter is not None:
+            meter.event(f"fd.level{level}.nodes", len(candidates))
+        next_free: list[frozenset[int]] = []
+        next_labels: dict[frozenset[int], Labels] = {}
+        with prof_scope(meter, f"level{level}"):
             for candidate in candidates:
                 subsets = [candidate - {attr} for attr in candidate]
                 if any(s not in labels for s in subsets):
@@ -136,10 +169,11 @@ def discover_fds(
                     inherited |= closures[subset]
                 base_subset = subsets[0]
                 extra_attr = next(iter(candidate - base_subset))
-                if meter is not None:
-                    meter.tick(n_rows, op="fd.refine")
-                candidate_labels = refine(labels[base_subset], encoded[extra_attr])
-                card = cardinality(candidate_labels)
+                with prof_scope(meter, "dataframe", "refine"):
+                    if meter is not None:
+                        meter.tick(n_rows, op="fd.refine")
+                    candidate_labels = refine(labels[base_subset], encoded[extra_attr])
+                    card = cardinality(candidate_labels)
                 cards[candidate] = card
                 if card in subset_cards:
                     continue  # not free: a subset already induces this partition
@@ -147,28 +181,26 @@ def discover_fds(
                     continue  # candidate key: trivial FDs only, prune supersets
                 closure = set(candidate) | inherited
                 closures[candidate] = closure
-                for rhs in range(n_attrs):
-                    if rhs in closure or rhs in constant_attrs:
-                        continue
-                    if meter is not None:
-                        meter.tick(n_rows, op="fd.refine")
-                    if refined_cardinality(candidate_labels, encoded[rhs]) == card:
-                        closure.add(rhs)
-                        pending.append(
-                            FD(frozenset(names[a] for a in candidate), names[rhs])
-                        )
+                with prof_scope(meter, "dataframe", "refined_cardinality"):
+                    for rhs in range(n_attrs):
+                        if rhs in closure or rhs in constant_attrs:
+                            continue
+                        if meter is not None:
+                            meter.tick(n_rows, op="fd.refine")
+                        if refined_cardinality(candidate_labels, encoded[rhs]) == card:
+                            closure.add(rhs)
+                            pending.append(
+                                FD(frozenset(names[a] for a in candidate), names[rhs])
+                            )
                 next_labels[candidate] = candidate_labels
                 next_free.append(candidate)
-            # Free-set labels of the previous level are no longer needed
-            # for refinement but *are* needed for subset checks: keep
-            # cards and closures, roll labels forward.
-            labels.update(next_labels)
-            current_free = next_free
-            _commit(fds, pending)
-    except BudgetExceeded:
-        fds.truncated = True
-
-    return fds
+        # Free-set labels of the previous level are no longer needed
+        # for refinement but *are* needed for subset checks: keep
+        # cards and closures, roll labels forward.
+        labels.update(next_labels)
+        current_free = next_free
+        _commit(fds, pending)
+    return pending
 
 
 def _commit(fds: FDSet, pending: list[FD]) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..dataframe import Table
+from ..obs.profile import prof_scope
 from ..resilience.budget import BudgetExceeded, WorkMeter
 from .fun import DEFAULT_MAX_LHS, _commit
 from .model import FD, FDSet
@@ -111,10 +112,11 @@ def discover_fds_tane(
     pending: list[FD] = []
     try:
         singleton_partitions = []
-        for column in encoded:
-            if meter is not None:
-                meter.tick(n_rows, op="fd.partition")
-            singleton_partitions.append(stripped_partition(column))
+        with prof_scope(meter, "tane", "dataframe", "stripped_partition"):
+            for column in encoded:
+                if meter is not None:
+                    meter.tick(n_rows, op="fd.partition")
+                singleton_partitions.append(stripped_partition(column))
 
         constant_attrs = {
             a
@@ -151,31 +153,38 @@ def discover_fds_tane(
             # and X -> A for A outside X         [done via next level's
             # check, except we emit |LHS| = size FDs directly here].
             next_candidates: dict[frozenset[int], frozenset[int]] = {}
-            for node in level:
-                candidates = rhs_candidates.get(node, all_usable)
-                for rhs in sorted(set(usable) - node):
-                    if rhs not in candidates:
-                        continue
-                    if meter is not None:
-                        meter.tick(n_rows, op="fd.partition-product")
-                    joint = partition_product(
-                        partitions[node], encoded[rhs], n_rows
-                    )
-                    if _partition_error(partitions[node]) == _partition_error(
-                        joint
-                    ):
-                        # X -> rhs holds; minimality: rhs must still be a
-                        # candidate of every maximal proper subset.
-                        if _minimal(node, rhs, rhs_candidates, all_usable):
-                            pending.append(
-                                FD(
-                                    frozenset(names[a] for a in node),
-                                    names[rhs],
-                                )
-                            )
-                        next_candidates[node] = (
-                            next_candidates.get(node, candidates) - {rhs}
+            with prof_scope(
+                meter, "tane", f"level{size}", "dataframe", "partition_product"
+            ):
+                for node in level:
+                    candidates = rhs_candidates.get(node, all_usable)
+                    for rhs in sorted(set(usable) - node):
+                        if rhs not in candidates:
+                            continue
+                        if meter is not None:
+                            meter.tick(n_rows, op="fd.partition-product")
+                        joint = partition_product(
+                            partitions[node], encoded[rhs], n_rows
                         )
+                        if _partition_error(
+                            partitions[node]
+                        ) == _partition_error(joint):
+                            # X -> rhs holds; minimality: rhs must still
+                            # be a candidate of every maximal proper
+                            # subset.
+                            if _minimal(
+                                node, rhs, rhs_candidates, all_usable
+                            ):
+                                pending.append(
+                                    FD(
+                                        frozenset(names[a] for a in node),
+                                        names[rhs],
+                                    )
+                                )
+                            next_candidates[node] = (
+                                next_candidates.get(node, candidates)
+                                - {rhs}
+                            )
             for node, remaining in next_candidates.items():
                 rhs_candidates[node] = remaining
             _commit(fds, pending)
@@ -191,24 +200,27 @@ def discover_fds_tane(
                 grouped.setdefault(frozenset(ordered[:-1]), []).append(
                     ordered[-1]
                 )
-            for prefix, tails in grouped.items():
-                for left, right in combinations(sorted(tails), 2):
-                    candidate = prefix | {left, right}
-                    subsets = [candidate - {a} for a in candidate]
-                    if any(s not in partitions for s in subsets):
-                        continue  # a subset was a key or was pruned
-                    if meter is not None:
-                        meter.tick(n_rows, op="fd.partition-product")
-                    partition = partition_product(
-                        partitions[frozenset(candidate - {right})],
-                        encoded[right],
-                        n_rows,
-                    )
-                    if _is_key(partition):
-                        continue  # superkey: prune the subtree
-                    node = frozenset(candidate)
-                    partitions[node] = partition
-                    next_level.append(node)
+            with prof_scope(
+                meter, "tane", f"level{size}", "dataframe", "partition_product"
+            ):
+                for prefix, tails in grouped.items():
+                    for left, right in combinations(sorted(tails), 2):
+                        candidate = prefix | {left, right}
+                        subsets = [candidate - {a} for a in candidate]
+                        if any(s not in partitions for s in subsets):
+                            continue  # a subset was a key or was pruned
+                        if meter is not None:
+                            meter.tick(n_rows, op="fd.partition-product")
+                        partition = partition_product(
+                            partitions[frozenset(candidate - {right})],
+                            encoded[right],
+                            n_rows,
+                        )
+                        if _is_key(partition):
+                            continue  # superkey: prune the subtree
+                        node = frozenset(candidate)
+                        partitions[node] = partition
+                        next_level.append(node)
             level = next_level
         # Constants are still pending when the lattice had no usable
         # nodes at all (every column constant or a single-column key).

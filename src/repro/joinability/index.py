@@ -14,6 +14,7 @@ from collections import defaultdict
 
 from ..dataframe import Cell, Column
 from ..ingest.pipeline import IngestedTable
+from ..obs.profile import prof_scope
 from ..resilience.budget import WorkMeter
 from .coltypes import SemanticType, classify_column
 
@@ -91,18 +92,19 @@ def build_profiles(
     """
     profiles: list[ColumnProfile] = []
     total_columns = 0
-    for table_index, ingested in enumerate(tables):
-        table = ingested.clean
-        assert table is not None
-        for column in table.columns:
-            total_columns += 1
-            if meter is not None:
-                meter.tick(len(column), op="join.profile")
-            if column.distinct_count < min_unique:
-                continue
-            profiles.append(
-                profile_column(len(profiles), table_index, column)
-            )
+    with prof_scope(meter, "dataframe", "distinct_scan"):
+        for table_index, ingested in enumerate(tables):
+            table = ingested.clean
+            assert table is not None
+            for column in table.columns:
+                total_columns += 1
+                if meter is not None:
+                    meter.tick(len(column), op="join.profile")
+                if column.distinct_count < min_unique:
+                    continue
+                profiles.append(
+                    profile_column(len(profiles), table_index, column)
+                )
     return profiles, total_columns
 
 

@@ -53,6 +53,7 @@ import math
 from collections import defaultdict
 
 from ..ingest.pipeline import IngestedTable
+from ..obs.profile import prof_scope
 from ..resilience.budget import BudgetExceeded, WorkMeter
 from .index import (
     MIN_UNIQUE_VALUES,
@@ -213,21 +214,22 @@ def compute_table_signatures(
     if hasher is None:
         hasher = MinHasher.create(num_perm=params.num_perm, seed=seed)
     columns: list[ColumnSignature] = []
-    for column in table.columns:
-        if column.distinct_count < min_unique:
-            continue
-        values = frozenset(
-            normalize_value(v) for v in column.distinct_values()
-        )
-        if meter is not None:
-            meter.tick(len(values), op="join.signature")
-        columns.append(
-            ColumnSignature(
-                column_name=column.name,
-                num_unique=len(values),
-                signature=signature_of_values(values, hasher, cache),
+    with prof_scope(meter, "minhash", "signature"):
+        for column in table.columns:
+            if column.distinct_count < min_unique:
+                continue
+            values = frozenset(
+                normalize_value(v) for v in column.distinct_values()
             )
-        )
+            if meter is not None:
+                meter.tick(len(values), op="join.signature")
+            columns.append(
+                ColumnSignature(
+                    column_name=column.name,
+                    num_unique=len(values),
+                    signature=signature_of_values(values, hasher, cache),
+                )
+            )
     return TableJoinSignatures(table_id=table_id, columns=tuple(columns))
 
 
@@ -298,27 +300,29 @@ def generate_candidates(
         for value in profile.values:
             frequency[value] = frequency.get(value, 0) + 1
     postings: dict[str, list[int]] = defaultdict(list)
-    for profile in profiles:
-        length = prefix_length(profile.num_unique, threshold)
-        if meter is not None:
-            meter.tick(length, op="join.prefix")
-        prefix = sorted(
-            profile.values, key=lambda v: (frequency[v], v)
-        )[:length]
-        for value in prefix:
-            postings[value].append(profile.column_id)
+    with prof_scope(meter, "lsh", "prefix"):
+        for profile in profiles:
+            length = prefix_length(profile.num_unique, threshold)
+            if meter is not None:
+                meter.tick(length, op="join.prefix")
+            prefix = sorted(
+                profile.values, key=lambda v: (frequency[v], v)
+            )[:length]
+            for value in prefix:
+                postings[value].append(profile.column_id)
     candidates: set[tuple[int, int]] = set()
-    for posting in postings.values():
-        if len(posting) < 2:
-            continue
-        for i, left in enumerate(posting):
-            left_table = profiles[left].table_index
-            for right in posting[i + 1 :]:
-                if meter is not None:
-                    meter.tick(op="join.candidate")
-                if profiles[right].table_index == left_table:
-                    continue
-                candidates.add((left, right))
+    with prof_scope(meter, "lsh", "candidates"):
+        for posting in postings.values():
+            if len(posting) < 2:
+                continue
+            for i, left in enumerate(posting):
+                left_table = profiles[left].table_index
+                for right in posting[i + 1 :]:
+                    if meter is not None:
+                        meter.tick(op="join.candidate")
+                    if profiles[right].table_index == left_table:
+                        continue
+                    candidates.add((left, right))
     return sorted(candidates)
 
 
@@ -358,53 +362,65 @@ def lsh_joinable_pairs_flagged(
         hasher = MinHasher.create(num_perm=params.num_perm, seed=seed)
         cache: dict[str, tuple[int, ...]] = {}
         signatures = {}
-        for profile in profiles:
-            if meter is not None:
-                meter.tick(profile.num_unique, op="join.signature")
-            signatures[profile.column_id] = signature_of_values(
-                profile.values, hasher, cache
-            )
+        with prof_scope(meter, "minhash", "signature"):
+            for profile in profiles:
+                if meter is not None:
+                    meter.tick(profile.num_unique, op="join.signature")
+                signatures[profile.column_id] = signature_of_values(
+                    profile.values, hasher, cache
+                )
     candidates = generate_candidates(profiles, threshold, meter)
     if meter is not None:
         meter.event("join.prefix_candidates", len(candidates))
     survivors: list[tuple[int, int]] = []
-    for left, right in candidates:
-        if meter is not None:
-            meter.tick(op="join.filter")
-        small = min(profiles[left].num_unique, profiles[right].num_unique)
-        large = max(profiles[left].num_unique, profiles[right].num_unique)
-        if small + 1e-9 < threshold * large:
-            continue
-        left_sig = signatures.get(left)
-        right_sig = signatures.get(right)
-        if (
-            left_sig is not None
-            and right_sig is not None
-            and not _bands_agree(left_sig, right_sig, params)
-        ):
-            continue
-        survivors.append((left, right))
+    with prof_scope(meter, "lsh", "band_filter"):
+        for left, right in candidates:
+            if meter is not None:
+                meter.tick(op="join.filter")
+            small = min(
+                profiles[left].num_unique, profiles[right].num_unique
+            )
+            large = max(
+                profiles[left].num_unique, profiles[right].num_unique
+            )
+            if small + 1e-9 < threshold * large:
+                continue
+            left_sig = signatures.get(left)
+            right_sig = signatures.get(right)
+            if (
+                left_sig is not None
+                and right_sig is not None
+                and not _bands_agree(left_sig, right_sig, params)
+            ):
+                continue
+            survivors.append((left, right))
     if meter is not None:
         meter.event("join.candidate_pairs", len(survivors))
     pairs: list[JoinablePair] = []
     truncated = False
     try:
-        for left, right in survivors:
-            if meter is not None:
-                meter.tick(op="join.jaccard")
-            overlap = len(profiles[left].values & profiles[right].values)
-            union = (
-                profiles[left].num_unique
-                + profiles[right].num_unique
-                - overlap
-            )
-            jaccard = overlap / union if union else 0.0
-            if jaccard >= threshold:
-                pairs.append(
-                    JoinablePair(
-                        left=left, right=right, jaccard=jaccard, overlap=overlap
-                    )
+        with prof_scope(meter, "verify", "jaccard"):
+            for left, right in survivors:
+                if meter is not None:
+                    meter.tick(op="join.jaccard")
+                overlap = len(
+                    profiles[left].values & profiles[right].values
                 )
+                union = (
+                    profiles[left].num_unique
+                    + profiles[right].num_unique
+                    - overlap
+                )
+                jaccard = overlap / union if union else 0.0
+                if jaccard >= threshold:
+                    pairs.append(
+                        JoinablePair(
+                            left=left,
+                            right=right,
+                            jaccard=jaccard,
+                            overlap=overlap,
+                        )
+                    )
     except BudgetExceeded:
         truncated = True
     if meter is not None:

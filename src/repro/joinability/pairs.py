@@ -14,6 +14,7 @@ from collections import defaultdict
 
 from ..core.stats import fraction, median
 from ..ingest.pipeline import IngestedTable
+from ..obs.profile import prof_scope
 from ..resilience.budget import BudgetExceeded, WorkMeter
 from .index import (
     MIN_UNIQUE_VALUES,
@@ -70,37 +71,44 @@ def joinable_pairs_flagged(
     """
     index = build_inverted_index(profiles)
     overlaps: dict[tuple[int, int], int] = defaultdict(int)
-    for posting in index.values():
-        if len(posting) < 2:
-            continue
-        for i, left in enumerate(posting):
-            left_table = profiles[left].table_index
-            for right in posting[i + 1 :]:
-                if meter is not None:
-                    meter.tick(op="join.overlap")
-                if profiles[right].table_index == left_table:
-                    continue
-                overlaps[(left, right)] += 1
+    with prof_scope(meter, "allpairs", "overlap"):
+        for posting in index.values():
+            if len(posting) < 2:
+                continue
+            for i, left in enumerate(posting):
+                left_table = profiles[left].table_index
+                for right in posting[i + 1 :]:
+                    if meter is not None:
+                        meter.tick(op="join.overlap")
+                    if profiles[right].table_index == left_table:
+                        continue
+                    overlaps[(left, right)] += 1
 
     if meter is not None:
         meter.event("join.candidate_pairs", len(overlaps))
     pairs: list[JoinablePair] = []
     truncated = False
     try:
-        for left, right in sorted(overlaps):
-            if meter is not None:
-                meter.tick(op="join.jaccard")
-            overlap = overlaps[(left, right)]
-            union = (
-                profiles[left].num_unique + profiles[right].num_unique - overlap
-            )
-            jaccard = overlap / union if union else 0.0
-            if jaccard >= threshold:
-                pairs.append(
-                    JoinablePair(
-                        left=left, right=right, jaccard=jaccard, overlap=overlap
-                    )
+        with prof_scope(meter, "verify", "jaccard"):
+            for left, right in sorted(overlaps):
+                if meter is not None:
+                    meter.tick(op="join.jaccard")
+                overlap = overlaps[(left, right)]
+                union = (
+                    profiles[left].num_unique
+                    + profiles[right].num_unique
+                    - overlap
                 )
+                jaccard = overlap / union if union else 0.0
+                if jaccard >= threshold:
+                    pairs.append(
+                        JoinablePair(
+                            left=left,
+                            right=right,
+                            jaccard=jaccard,
+                            overlap=overlap,
+                        )
+                    )
     except BudgetExceeded:
         truncated = True
     if meter is not None:

@@ -33,6 +33,7 @@ import contextlib
 
 from .log import Logger, configure_log, get_log
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import DEFAULT_SAMPLE_EVERY, Profiler, write_profile
 from .trace import Span, TraceWriter, Tracer, read_trace
 
 #: Trace file format version, written in the header record.
@@ -53,6 +54,9 @@ class Observer:
         *,
         wall_clock: bool = False,
         meta: dict | None = None,
+        profile_path=None,
+        profile_sample: int = DEFAULT_SAMPLE_EVERY,
+        profile: bool = False,
     ):
         self.metrics = MetricsRegistry()
         writer = None
@@ -61,11 +65,24 @@ class Observer:
             header.update(meta or {})
             writer = TraceWriter(trace_path, header=header)
         self.tracer = Tracer(writer, wall_clock=wall_clock)
+        # The profiler attaches with a path (artifact written on close)
+        # or bare ``profile=True`` (in-memory frames only — the bench
+        # harness snapshots them per experiment).
+        self.profile_path = profile_path
+        self.profiler = (
+            Profiler(sample_every=profile_sample)
+            if profile or profile_path is not None
+            else None
+        )
+        self._profile_meta = {
+            k: v for k, v in (meta or {}).items() if k != "workers"
+        }
 
     @classmethod
     def from_config(cls, config) -> "Observer | None":
         """The observer a study config asks for, or None for zero overhead."""
-        if config.trace_out is None:
+        profile_out = getattr(config, "profile_out", None)
+        if config.trace_out is None and profile_out is None:
             return None
         meta = {
             "seed": config.seed,
@@ -76,12 +93,17 @@ class Observer:
         if getattr(config, "workers", 1) != 1:
             # Recorded only for sharded runs so a --workers 1 trace
             # stays byte-identical to the serial path's; diff treats
-            # header changes as informational, never drift.
+            # header changes as informational, never drift.  The
+            # profile artifact's meta never records workers at all —
+            # pooled and serial profiles must compare with `cmp`.
             meta["workers"] = config.workers
         return cls(
             config.trace_out,
             wall_clock=config.wall_clock,
             meta=meta,
+            profile_path=profile_out,
+            profile_sample=getattr(config, "profile_sample", None)
+            or DEFAULT_SAMPLE_EVERY,
         )
 
     def span(self, name: str, kind: str = "span", **attrs):
@@ -92,6 +114,19 @@ class Observer:
         """Finish dangling spans, flush metrics, and close the trace file."""
         while self.tracer.open_spans:
             self.tracer.finish(self.tracer.open_spans[-1])
+        if self.profiler is not None:
+            self.profiler.flush()
+            # Summary counters for profiled runs only; `profile.*` is
+            # excluded from drift comparison like `pool.*`, so a
+            # profiled run still diffs empty against an unprofiled one.
+            self.metrics.inc("profile.ticks", self.profiler.total_ticks)
+            self.metrics.inc("profile.frames", len(self.profiler.counts))
+            if self.profile_path is not None:
+                write_profile(
+                    self.profile_path,
+                    self.profiler,
+                    meta=self._profile_meta,
+                )
         writer = self.tracer.writer
         if writer is not None:
             for name, snap in self.metrics.snapshot().items():
@@ -116,6 +151,7 @@ __all__ = [
     "Logger",
     "MetricsRegistry",
     "Observer",
+    "Profiler",
     "Span",
     "TRACE_VERSION",
     "TraceWriter",

@@ -79,6 +79,11 @@ class BenchRecord:
     #: gated).
     join_candidates: float = 0.0
     join_verify_ops: float = 0.0
+    #: Hottest profiler frame paths of the recording run, as
+    #: ``(path, ticks)`` pairs (see :mod:`repro.obs.profile`).  Records
+    #: written before the profiler existed, or by unprofiled runs,
+    #: default to empty — reported as "no profile data", never gated.
+    hotspots: tuple = ()
 
     @classmethod
     def from_mapping(
@@ -102,9 +107,24 @@ class BenchRecord:
                 slo_verdict=str(raw.get("slo_verdict", "")),
                 join_candidates=float(raw.get("join_candidates", 0.0)),
                 join_verify_ops=float(raw.get("join_verify_ops", 0.0)),
+                hotspots=_parse_hotspots(raw.get("hotspots", ())),
             )
         except (KeyError, TypeError, ValueError):
             return None
+
+
+def _parse_hotspots(raw) -> tuple:
+    """``(path, ticks)`` pairs from a raw hotspot list, dropping junk."""
+    if not isinstance(raw, (list, tuple)):
+        return ()
+    parsed = []
+    for entry in raw:
+        try:
+            path, ticks = entry
+            parsed.append((str(path), float(ticks)))
+        except (TypeError, ValueError):
+            continue
+    return tuple(parsed)
 
 
 def salvage_json_objects(text: str) -> list[dict]:
@@ -243,9 +263,13 @@ class GateVerdict:
     join_candidates: float = 0.0
     baseline_join_candidates: float | None = None
     join_verify_ops: float = 0.0
+    #: Hottest frame paths of the latest run (empty when unprofiled).
+    hotspots: tuple = ()
 
     def as_json(self) -> dict:
-        return dataclasses.asdict(self)
+        doc = dataclasses.asdict(self)
+        doc["hotspots"] = [list(pair) for pair in self.hotspots]
+        return doc
 
 
 def evaluate_gate(
@@ -298,6 +322,7 @@ def evaluate_gate(
             join_candidates=latest.join_candidates,
             baseline_join_candidates=None,
             join_verify_ops=latest.join_verify_ops,
+            hotspots=latest.hotspots,
         )
     baseline_ops = statistics.median(r.total_ops for r in prior)
     baseline_seconds = statistics.median(r.seconds for r in prior)
@@ -368,6 +393,7 @@ def evaluate_gate(
         join_candidates=latest.join_candidates,
         baseline_join_candidates=baseline_join,
         join_verify_ops=latest.join_verify_ops,
+        hotspots=latest.hotspots,
     )
 
 
@@ -428,6 +454,23 @@ def render_bench_report(verdicts: list[GateVerdict]) -> str:
                 f"{v.experiment:<16} {v.join_candidates:>10.0f} "
                 f"{baseline_join:>10} {v.join_verify_ops:>10.0f}"
             )
+    profiled = [v for v in verdicts if v.hotspots]
+    lines.append("")
+    if profiled:
+        lines.append(
+            f"{'hotspot':<16} {'ticks':>12} {'share':>6}  frame (latest run)"
+        )
+        for v in profiled:
+            path, ticks = v.hotspots[0]
+            share = ticks / v.latest_ops if v.latest_ops > 0 else 0.0
+            lines.append(
+                f"{v.experiment:<16} {ticks:>12.0f} {share:>6.1%}  {path}"
+            )
+    else:
+        lines.append(
+            "no profile data in the latest records (profiled bench "
+            "runs attach per-frame hotspots)"
+        )
     serving = [v for v in verdicts if v.clients > 0]
     if serving:
         lines.append("")

@@ -231,8 +231,10 @@ def _quarantined(trace: TraceData) -> set[tuple[str, str]]:
 #: heartbeats — which legitimately varies between a serial and a
 #: sharded run (and across sharded reruns under chaos) while every
 #: analysis result stays identical; like wall-clock, they are
-#: telemetry about the run, not properties of the study.
-EXCLUDED_METRIC_PREFIXES = ("pool.",)
+#: telemetry about the run, not properties of the study.  ``profile.*``
+#: counters exist only when the profiler is attached, so a profiled
+#: run's trace must still diff empty against an unprofiled one.
+EXCLUDED_METRIC_PREFIXES = ("pool.", "profile.")
 
 
 def _metric_drift(a: TraceData, b: TraceData, rel_tol: float) -> list[dict]:

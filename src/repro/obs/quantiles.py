@@ -1,0 +1,32 @@
+"""Exact nearest-rank percentiles, shared across the reporting layer.
+
+Both the load harness (:mod:`repro.serve.loadgen`) and the serve
+report (:mod:`repro.obs.servereport`) judge op-cost distributions by
+*exact* nearest-rank percentiles — never histogram interpolation, so a
+percentile is always a value that actually occurred and equal-seed
+runs agree byte for byte.  The profiler's hotspot report uses the same
+arithmetic for frame-tick distributions.  One implementation lives
+here so the three cannot drift.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile_nearest_rank(values: Sequence[int], pct: float) -> int:
+    """Nearest-rank percentile of pre-sorted *values* (0 when empty).
+
+    The nearest-rank definition: the smallest element at or above the
+    requested rank ``ceil(pct/100 * n)``, clamped to the first element
+    for tiny *pct* and to the last for ``pct >= 100``.  Ties are
+    inherently exact — repeated values occupy repeated ranks.
+    """
+    if not values:
+        return 0
+    rank = max(1, math.ceil(pct / 100.0 * len(values)))
+    return values[min(rank, len(values)) - 1]
+
+
+__all__ = ["percentile_nearest_rank"]

@@ -22,9 +22,9 @@ reconstructs the three views an operator needs:
 
 from __future__ import annotations
 
-import math
 import pathlib
 
+from .quantiles import percentile_nearest_rank as _percentile
 from .slo import (
     RequestSample,
     SloSpec,
@@ -37,14 +37,6 @@ from .stats import TraceData, load_trace
 
 #: Width of the burn-rate bars in the text timeline.
 BURN_BAR_WIDTH = 20
-
-
-def _percentile(ordered: list[int], pct: float) -> int:
-    """Nearest-rank percentile of pre-sorted *ordered* (0 when empty)."""
-    if not ordered:
-        return 0
-    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
 
 
 def request_spans(trace: TraceData) -> list[dict]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..dataframe import Table, is_null
+from ..obs.profile import prof_scope
 from ..resilience.budget import WorkMeter
 
 #: String cells charge one extra tick per this many characters, so a
@@ -46,19 +47,20 @@ def screen_table(table: Table, meter: WorkMeter | None = None) -> TableScreen:
     cells = 0
     null_cells = 0
     max_cell_chars = 0
-    for column in table.columns:
-        cost = 0
-        for value in column.values:
-            cost += 1
-            if isinstance(value, str):
-                cost += len(value) // CHARS_PER_TICK
-                if len(value) > max_cell_chars:
-                    max_cell_chars = len(value)
-            elif is_null(value):
-                null_cells += 1
-        cells += len(column)
-        if meter is not None:
-            meter.tick(cost, op="screen.column")
+    with prof_scope(meter, "dataframe", "column_scan"):
+        for column in table.columns:
+            cost = 0
+            for value in column.values:
+                cost += 1
+                if isinstance(value, str):
+                    cost += len(value) // CHARS_PER_TICK
+                    if len(value) > max_cell_chars:
+                        max_cell_chars = len(value)
+                elif is_null(value):
+                    null_cells += 1
+            cells += len(column)
+            if meter is not None:
+                meter.tick(cost, op="screen.column")
     if meter is not None:
         meter.event("screen.cells", cells)
     return TableScreen(

@@ -40,13 +40,20 @@ class WorkMeter:
     named analysis-engine occurrences (lattice nodes per level, pairs
     pruned vs. verified); without one, both are single ``is None``
     branches, so unobserved runs pay nothing.
+
+    With a *profiler* attached (see :class:`repro.obs.profile.Profiler`),
+    every tick is additionally attributed to the profiler's current
+    frame path — same opt-in contract: one ``is None`` branch when
+    absent, so unprofiled runs are byte-identical to pre-profiler ones.
     """
 
-    def __init__(self, budget: int | None = None, metrics=None):
+    def __init__(self, budget: int | None = None, metrics=None,
+                 profiler=None):
         if budget is not None and budget < 1:
             raise ValueError(f"budget must be >= 1 or None, got {budget}")
         self.budget = budget
         self._metrics = metrics
+        self.profiler = profiler
         self._spent = 0
         self._exhausted = False
 
@@ -86,6 +93,11 @@ class WorkMeter:
         self._spent += cost
         if self._metrics is not None:
             self._metrics.inc("ops." + op, cost)
+        if self.profiler is not None:
+            # Attribute before the budget check: the exhausting tick is
+            # part of `spent`, so it must be part of the profile too or
+            # the reconciliation invariant would drift by one op.
+            self.profiler.add(cost, op)
         if self.budget is not None and self._spent > self.budget:
             self._exhausted = True
             raise BudgetExceeded(op, self._spent, self.budget)

@@ -31,6 +31,7 @@ import os
 import pathlib
 from typing import Callable, Mapping
 
+from ..obs.profile import prof_scope
 from .budget import BudgetExceeded, WorkMeter
 from .study_journal import StageRecord, StudyJournal
 
@@ -92,6 +93,10 @@ class CompletedUnit:
     metrics: Mapping[str, Mapping[str, object]] = dataclasses.field(
         default_factory=dict
     )
+    #: Frame-path tick counts the unit's worker-side profiler recorded
+    #: (``;``-joined paths, see :mod:`repro.obs.profile`); empty when
+    #: the run is not profiling.
+    profile: Mapping[str, int] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -195,9 +200,11 @@ class AnalysisExecutor:
                 completed, decode, fallback, journal_stage=journal_stage
             )
 
+        profiler = self.obs.profiler if self.obs is not None else None
         meter = WorkMeter(
             self.stage_budget,
             metrics=self.obs.metrics if self.obs is not None else None,
+            profiler=profiler,
         )
         span = None
         if self.obs is not None:
@@ -208,9 +215,10 @@ class AnalysisExecutor:
                 stage=stage,
                 table=table_id,
             )
-        result, status, detail = compute_unit(
-            compute, meter, classify=classify, on_budget=on_budget
-        )
+        with prof_scope(profiler, self.portal_code, stage):
+            result, status, detail = compute_unit(
+                compute, meter, classify=classify, on_budget=on_budget
+            )
 
         outcome = StageOutcome(
             portal=self.portal_code,
@@ -320,6 +328,8 @@ class AnalysisExecutor:
             self.obs.tracer.finish(span, status=status.value, ops=record.ticks)
             for name, snapshot in completed.metrics.items():
                 self.obs.metrics.inc(name, int(snapshot["value"]))
+            if completed.profile and self.obs.profiler is not None:
+                self.obs.profiler.absorb(completed.profile)
             self._observe_outcome(outcome)
         self._note(outcome)
         if journal_stage and self.journal is not None:

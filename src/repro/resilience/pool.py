@@ -67,6 +67,7 @@ from collections import deque
 from multiprocessing import connection as mp_connection
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.profile import Profiler
 from .budget import WorkMeter
 from .executor import CompletedUnit, StageStatus, compute_unit
 from .study_journal import MergeConflict, StageRecord
@@ -98,7 +99,7 @@ _WORKER_TABLES: dict = {}
 
 def shard_fingerprint(config) -> dict:
     """The config identity a shard must match to be reused."""
-    return {
+    fingerprint = {
         "seed": config.seed,
         "scale": config.scale,
         "stage_budget": config.stage_budget,
@@ -108,6 +109,14 @@ def shard_fingerprint(config) -> dict:
         "poison_rate": config.poison_rate,
         "portals": list(config.portal_codes),
     }
+    if getattr(config, "profile_out", None) is not None:
+        # Profiled runs must not resume from unprofiled shards (their
+        # envelopes carry no frame counts, which would silently punch
+        # holes in the merged profile).  Added conditionally so shards
+        # written before this field existed stay valid for unprofiled
+        # runs.
+        fingerprint["profiled"] = True
+    return fingerprint
 
 
 def _kill_self() -> None:
@@ -150,11 +159,12 @@ class SupervisedMeter(WorkMeter):
         budget: int | None = None,
         metrics=None,
         *,
+        profiler=None,
         heartbeat=None,
         heartbeat_every: int = HEARTBEAT_TICKS,
         kill_at: int | None = None,
     ):
-        super().__init__(budget, metrics=metrics)
+        super().__init__(budget, metrics=metrics, profiler=profiler)
         self._heartbeat = heartbeat
         self._heartbeat_every = max(1, heartbeat_every)
         self._next_beat = self._heartbeat_every
@@ -231,7 +241,9 @@ def merge_shards(
         for envelope in read_shard(path, fingerprint):
             key = tuple(envelope["unit"])
             if key in merged:
-                if merged[key]["record"] != envelope["record"]:
+                if merged[key]["record"] != envelope["record"] or merged[
+                    key
+                ].get("profile") != envelope.get("profile"):
                     raise MergeConflict(
                         f"shard {path} disagrees with {origin[key]} "
                         f"about unit {key!r}"
@@ -340,9 +352,20 @@ def _worker_main(slot, config, task_conn, result_conn, shard_dir):
         request = unit_request(unit, table, config)
         kill_at = _chaos_kill_tick(config, unit, attempt)
         registry = MetricsRegistry()
+        profiler = None
+        if config.profile_out is not None:
+            # A fresh per-unit profiler seeded with the frames the
+            # serial guard would be inside: the Study root, the portal,
+            # and the stage.  The unit's engine frames nest under these
+            # so the merged pooled profile is path-for-path identical
+            # to the serial one.
+            profiler = Profiler(sample_every=config.profile_sample)
+            for frame in ("study", unit.portal, unit.stage):
+                profiler.push(frame)
         meter = SupervisedMeter(
             config.stage_budget,
             metrics=registry,
+            profiler=profiler,
             heartbeat=lambda ops, key=unit.key: result_conn.send(
                 {
                     "type": "heartbeat",
@@ -379,7 +402,7 @@ def _worker_main(slot, config, task_conn, result_conn, shard_dir):
             detail=detail,
             payload=payload,
         )
-        envelopes[unit.key] = {
+        envelope = {
             "unit": list(unit.key),
             "worker": name,
             "record": dataclasses.asdict(record),
@@ -389,6 +412,9 @@ def _worker_main(slot, config, task_conn, result_conn, shard_dir):
                 if snap.get("kind") == "counter"
             },
         }
+        if profiler is not None:
+            envelope["profile"] = profiler.snapshot()
+        envelopes[unit.key] = envelope
         persist()
         result_conn.send(
             {
@@ -839,6 +865,7 @@ def run_pool(
                     record=record,
                     worker=envelope["worker"],
                     metrics=envelope["metrics"],
+                    profile=envelope.get("profile", {}),
                 )
                 lane = by_name.get(envelope["worker"])
                 if lane is not None:

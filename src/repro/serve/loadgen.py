@@ -35,11 +35,13 @@ import dataclasses
 import hashlib
 import heapq
 import json
-import math
 import random
 from collections import deque
 
 from ..obs import Observer
+from ..obs.quantiles import (
+    percentile_nearest_rank as _percentile_nearest_rank,
+)
 from ..obs.slo import (
     KIND_AVAILABILITY,
     KIND_LATENCY,
@@ -288,12 +290,9 @@ def _derive_rng(*parts) -> random.Random:
     return random.Random(int.from_bytes(digest[:8], "big"))
 
 
-def percentile_nearest_rank(values: list[int], pct: float) -> int:
-    """Nearest-rank percentile of pre-sorted *values* (0 when empty)."""
-    if not values:
-        return 0
-    rank = max(1, math.ceil(pct / 100.0 * len(values)))
-    return values[min(rank, len(values)) - 1]
+# Re-exported from the shared helper (repro.obs.quantiles) so existing
+# importers keep working; the arithmetic lives in exactly one place.
+percentile_nearest_rank = _percentile_nearest_rank
 
 
 class _FaultSchedule:
@@ -405,15 +404,19 @@ class RequestRecord:
     ops: int = 1
 
 
-def run_load(study, config: LoadConfig, *, trace_out=None) -> dict:
+def run_load(
+    study, config: LoadConfig, *, trace_out=None, profile_out=None
+) -> dict:
     """Run one scripted load against a fresh service; return the report.
 
     With *trace_out* set, every non-probe request's span tree is written
     to that path via the serving tracer (exemplar policy in
     :mod:`repro.serve.tracing`); the trace bytes depend only on
     ``(study, config)``, never on wall time, so equal seeds produce
-    byte-identical traces.  The report itself is identical with or
-    without a trace sink.
+    byte-identical traces.  *profile_out* attaches the deterministic
+    profiler the same way: handler work lands under ``serve;<family>``
+    frames and the artifact is written when the run finishes.  The
+    report itself is identical with or without either sink.
     """
     if not config.classes:
         raise ValueError("load config has no client classes")
@@ -426,9 +429,10 @@ def run_load(study, config: LoadConfig, *, trace_out=None) -> dict:
         else None
     )
     observer = None
-    if trace_out is not None:
+    if trace_out is not None or profile_out is not None:
         observer = Observer(
             trace_out,
+            profile_path=profile_out,
             meta={
                 "kind": "serve",
                 "seed": config.seed,
@@ -449,6 +453,7 @@ def run_load(study, config: LoadConfig, *, trace_out=None) -> dict:
         metrics=observer.metrics if observer is not None else None,
         fault_hook=fault_hook,
         tracer=observer.tracer if observer is not None else None,
+        profiler=observer.profiler if observer is not None else None,
     )
     factory = _RequestFactory(service, config.seed)
 

@@ -32,6 +32,7 @@ import dataclasses
 
 from ..obs.log import get_log
 from ..obs.metrics import MetricsRegistry
+from ..obs.profile import prof_scope
 from ..obs.slo import RequestSample, SloMonitor, SloSpec, default_slos
 from ..resilience.breaker import BreakerConfig, CircuitBreaker
 from ..resilience.budget import BudgetExceeded, WorkMeter
@@ -122,11 +123,16 @@ class LakeService:
         metrics: MetricsRegistry | None = None,
         fault_hook=None,
         tracer=None,
+        profiler=None,
     ):
         self.config = config or ServiceConfig()
         self.clock = clock if clock is not None else SimulatedClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._fault_hook = fault_hook
+        #: Optional :class:`~repro.obs.profile.Profiler`: request
+        #: handlers run under ``serve;<family>`` frames so the load
+        #: harness can attribute backend ops per endpoint family.
+        self.profiler = profiler
         self.slo = (
             SloMonitor(self.config.slo)
             if self.config.slo is not None
@@ -406,12 +412,17 @@ class LakeService:
             )
         if breaker is not None:
             trail.add(RUNG_BREAKER, family=family, allowed=True)
-        meter = WorkMeter(self.config.deadline_ops, metrics=self.metrics)
+        meter = WorkMeter(
+            self.config.deadline_ops,
+            metrics=self.metrics,
+            profiler=self.profiler,
+        )
         truncated_empty = False
         try:
             if self._fault_hook is not None:
                 self._fault_hook(request, family)
-            result = handler(request, meter)
+            with prof_scope(self.profiler, "serve", family):
+                result = handler(request, meter)
         except BudgetExceeded:
             # The deadline fired outside a handler's internal partial
             # path: there is no usable partial, but the request still

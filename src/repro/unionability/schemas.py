@@ -14,6 +14,7 @@ from collections import defaultdict
 from ..core.stats import fraction, median
 from ..dataframe import Table
 from ..ingest.pipeline import IngestedTable
+from ..obs.profile import prof_scope
 from ..resilience.budget import WorkMeter
 
 #: Schema fingerprint: ((name, dtype), ...) with names case-folded.
@@ -130,14 +131,15 @@ def analyze_unionability(
     over instead of truncating here).
     """
     by_fingerprint: dict[Fingerprint, list[int]] = defaultdict(list)
-    for index, ingested in enumerate(tables):
-        table = ingested.clean
-        assert table is not None
-        if meter is not None:
-            meter.tick(
-                max(1, len(table.column_names)), op="union.fingerprint"
-            )
-        by_fingerprint[schema_fingerprint(table)].append(index)
+    with prof_scope(meter, "dataframe", "schema_fingerprint"):
+        for index, ingested in enumerate(tables):
+            table = ingested.clean
+            assert table is not None
+            if meter is not None:
+                meter.tick(
+                    max(1, len(table.column_names)), op="union.fingerprint"
+                )
+            by_fingerprint[schema_fingerprint(table)].append(index)
 
     if meter is not None:
         meter.event("union.tables_grouped", len(tables))

@@ -507,3 +507,146 @@ class TestDriftCommands:
         )
         assert code == 1
         assert "REGRESSED" in capsys.readouterr().out
+
+
+class TestProfileCommands:
+    """The profiler's CLI surface: flags, report, and diff gate."""
+
+    def _write_profile(self, path, frames):
+        from repro.obs.profile import Profiler, write_profile
+
+        prof = Profiler()
+        prof.absorb(frames)
+        write_profile(path, prof)
+        return str(path)
+
+    def test_profile_defaults_are_seed_behavior(self):
+        config = config_from_args(
+            build_parser().parse_args(["run", "table01"])
+        )
+        assert config.profile_out is None
+        assert config.profile_sample == 1_000
+
+    def test_profile_flags_reach_config(self, tmp_path):
+        out = str(tmp_path / "profile.json")
+        config = config_from_args(
+            build_parser().parse_args(
+                [
+                    "run",
+                    "table01",
+                    "--profile-out",
+                    out,
+                    "--profile-sample",
+                    "50",
+                ]
+            )
+        )
+        assert config.profile_out == out
+        assert config.profile_sample == 50
+
+    def test_profile_report_command_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "profile-report",
+                "profile.json",
+                "--json",
+                "--top",
+                "3",
+                "--collapsed",
+                str(tmp_path / "c.txt"),
+            ]
+        )
+        assert args.command == "profile-report"
+        assert args.source == "profile.json"
+        assert args.as_json is True
+        assert args.top == 3
+
+    def test_profile_diff_command_parses(self):
+        args = build_parser().parse_args(
+            [
+                "profile-diff",
+                "a.json",
+                "b.json",
+                "--threshold",
+                "0.5",
+                "--min-ticks",
+                "10",
+            ]
+        )
+        assert args.command == "profile-diff"
+        assert args.threshold == 0.5
+        assert args.min_ticks == 10
+
+    def test_run_writes_profile_artifact(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "profile.json"
+        code = main(
+            [
+                "run",
+                "table03",
+                "--scale",
+                "0.08",
+                "--seed",
+                "2",
+                "--profile-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert "frames" in doc
+        assert doc["total_ticks"] == sum(doc["frames"].values())
+
+    def test_profile_report_text_and_json(self, capsys, tmp_path):
+        import json
+
+        path = self._write_profile(
+            tmp_path / "p.json",
+            {"study;SG;fd;fd.refine": 9_000, "study;SG;screen.cell": 1_000},
+        )
+        assert main(["profile-report", path]) == 0
+        out = capsys.readouterr().out
+        assert "PROFILE HOTSPOTS" in out
+        assert "study;SG;fd;fd.refine" in out
+        assert main(["profile-report", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total_ticks"] == 10_000
+        assert doc["hotspots"][0]["frame"] == "study;SG;fd;fd.refine"
+
+    def test_profile_report_writes_collapsed(self, capsys, tmp_path):
+        path = self._write_profile(
+            tmp_path / "p.json", {"study;SG;fd.refine": 7}
+        )
+        collapsed = tmp_path / "collapsed.txt"
+        code = main(
+            ["profile-report", path, "--collapsed", str(collapsed)]
+        )
+        assert code == 0
+        assert collapsed.read_text() == "study;SG;fd.refine 7\n"
+
+    def test_profile_report_missing_source(self, capsys, tmp_path):
+        assert main(["profile-report", str(tmp_path / "nope.json")]) == 2
+
+    def test_profile_diff_clean_and_regressed(self, capsys, tmp_path):
+        base = self._write_profile(
+            tmp_path / "a.json", {"study;SG;fd.refine": 10_000}
+        )
+        worse = self._write_profile(
+            tmp_path / "b.json", {"study;SG;fd.refine": 14_000}
+        )
+        assert main(["profile-diff", base, base]) == 0
+        capsys.readouterr()
+        assert main(["profile-diff", base, worse]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # A custom threshold can wave the same growth through.
+        code = main(
+            ["profile-diff", base, worse, "--threshold", "0.5"]
+        )
+        assert code == 0
+
+    def test_profile_diff_missing_input(self, capsys, tmp_path):
+        base = self._write_profile(
+            tmp_path / "a.json", {"study;SG;fd.refine": 10}
+        )
+        assert main(["profile-diff", base, str(tmp_path / "nope")]) == 2

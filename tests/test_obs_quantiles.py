@@ -1,0 +1,54 @@
+"""Tests for the shared nearest-rank percentile arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.quantiles import percentile_nearest_rank
+
+
+class TestPercentileNearestRank:
+    def test_empty_is_zero(self):
+        assert percentile_nearest_rank([], 50) == 0
+        assert percentile_nearest_rank([], 99) == 0
+
+    def test_single_value_at_every_percentile(self):
+        for pct in (0, 1, 50, 99, 100):
+            assert percentile_nearest_rank([42], pct) == 42
+
+    def test_nearest_rank_definition(self):
+        values = [10, 20, 30, 40]
+        # rank = ceil(pct/100 * 4): p25 -> rank 1, p50 -> rank 2 ...
+        assert percentile_nearest_rank(values, 25) == 10
+        assert percentile_nearest_rank(values, 50) == 20
+        assert percentile_nearest_rank(values, 75) == 30
+        assert percentile_nearest_rank(values, 100) == 40
+
+    def test_tiny_pct_clamps_to_first(self):
+        assert percentile_nearest_rank([5, 6, 7], 0) == 5
+        assert percentile_nearest_rank([5, 6, 7], 0.0001) == 5
+
+    def test_over_100_clamps_to_last(self):
+        assert percentile_nearest_rank([5, 6, 7], 150) == 7
+
+    def test_ties_are_exact(self):
+        values = [1, 3, 3, 3, 9]
+        assert percentile_nearest_rank(values, 50) == 3
+        assert percentile_nearest_rank(values, 60) == 3
+        assert percentile_nearest_rank(values, 80) == 3
+
+    @given(
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=50),
+        st.floats(0, 100, allow_nan=False),
+    )
+    def test_result_is_an_observed_value(self, values, pct):
+        values.sort()
+        assert percentile_nearest_rank(values, pct) in values
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50))
+    def test_monotone_in_pct(self, values):
+        values.sort()
+        results = [
+            percentile_nearest_rank(values, pct)
+            for pct in (1, 25, 50, 75, 99, 100)
+        ]
+        assert results == sorted(results)
